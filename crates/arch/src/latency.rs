@@ -1,0 +1,115 @@
+//! Latency model: how many sequential analog operations each solver
+//! needs, and what that costs in wall-clock time.
+//!
+//! The original AMC solver settles in a single INV operation. BlockAMC
+//! trades that for five cascaded operations on smaller arrays; the
+//! two-stage solver nests the cascade. Smaller arrays settle faster
+//! (lower row conductance, better-conditioned normalized blocks), so the
+//! latency gap is smaller than the op-count ratio suggests — the repro
+//! harness measures actual settle times through `amc-circuit`; this
+//! module provides the op-count bookkeeping.
+
+use crate::inventory::SolverKind;
+use crate::{ArchError, Result};
+
+/// Sequential analog operation counts of one solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCounts {
+    /// INV operations on the critical path.
+    pub inv: usize,
+    /// MVM operations on the critical path.
+    pub mvm: usize,
+}
+
+impl OpCounts {
+    /// Total sequential analog operations.
+    pub fn total(&self) -> usize {
+        self.inv + self.mvm
+    }
+}
+
+/// Sequential operation counts of each architecture.
+///
+/// * Original: 1 INV.
+/// * One-stage: 3 INV + 2 MVM (the five steps share one op-amp column, so
+///   they serialize).
+/// * Two-stage: each first-stage INV expands into a one-stage solve
+///   (5 ops) and each first-stage MVM into tiled partial MVMs whose four
+///   tiles run on four macros (counted as 1 sequential step):
+///   3×5 + 2×1 = 17 sequential operations.
+pub fn op_counts(kind: SolverKind) -> OpCounts {
+    match kind {
+        SolverKind::OriginalAmc => OpCounts { inv: 1, mvm: 0 },
+        SolverKind::OneStage => OpCounts { inv: 3, mvm: 2 },
+        SolverKind::TwoStage => OpCounts { inv: 9, mvm: 8 },
+    }
+}
+
+/// Latency of one solve given the per-operation settle times.
+///
+/// `inv_settle_s` / `mvm_settle_s` are the characteristic settle times of
+/// one INV / MVM at this architecture's array size (obtain them from
+/// `amc_circuit::timing`); `conversion_s` is added once per digital
+/// boundary crossing (DAC at the start, ADC at the end).
+///
+/// # Errors
+///
+/// Returns [`ArchError::InvalidConfig`] for negative or non-finite times.
+pub fn solve_latency(
+    kind: SolverKind,
+    inv_settle_s: f64,
+    mvm_settle_s: f64,
+    conversion_s: f64,
+) -> Result<f64> {
+    for t in [inv_settle_s, mvm_settle_s, conversion_s] {
+        if !t.is_finite() || t < 0.0 {
+            return Err(ArchError::config(
+                "settle/conversion times must be finite and non-negative",
+            ));
+        }
+    }
+    let c = op_counts(kind);
+    Ok(c.inv as f64 * inv_settle_s + c.mvm as f64 * mvm_settle_s + 2.0 * conversion_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_counts_match_algorithm() {
+        assert_eq!(op_counts(SolverKind::OriginalAmc).total(), 1);
+        assert_eq!(op_counts(SolverKind::OneStage).total(), 5);
+        assert_eq!(op_counts(SolverKind::OneStage).inv, 3);
+        assert_eq!(op_counts(SolverKind::TwoStage).total(), 17);
+    }
+
+    #[test]
+    fn latency_combines_counts_and_times() {
+        // One-stage: 3 INV × 2 µs + 2 MVM × 1 µs + 2 conversions × 0.5 µs.
+        let t = solve_latency(SolverKind::OneStage, 2e-6, 1e-6, 0.5e-6).unwrap();
+        assert!((t - 9e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn original_is_lowest_latency_at_equal_settle_times() {
+        let orig = solve_latency(SolverKind::OriginalAmc, 1e-6, 1e-6, 0.0).unwrap();
+        let one = solve_latency(SolverKind::OneStage, 1e-6, 1e-6, 0.0).unwrap();
+        assert!(orig < one);
+    }
+
+    #[test]
+    fn faster_small_arrays_can_beat_the_op_count() {
+        // If half-size arrays settle 6x faster (smaller λ_min penalty),
+        // one-stage latency beats the original.
+        let orig = solve_latency(SolverKind::OriginalAmc, 6e-6, 6e-6, 0.0).unwrap();
+        let one = solve_latency(SolverKind::OneStage, 1e-6, 0.5e-6, 0.0).unwrap();
+        assert!(one < orig);
+    }
+
+    #[test]
+    fn invalid_times_rejected() {
+        assert!(solve_latency(SolverKind::OneStage, -1.0, 0.0, 0.0).is_err());
+        assert!(solve_latency(SolverKind::OneStage, f64::NAN, 0.0, 0.0).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! partitioning depth and non-ideality toggles.
+
+use amc_bench::{make_workload, MatrixFamily};
+use blockamc::engine::{CircuitEngine, CircuitEngineConfig};
+use blockamc::solver::{BlockAmcSolver, Stages};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_depth");
+    group.sample_size(10);
+    let n = 32;
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let (a, b) = make_workload(MatrixFamily::Wishart, n, &mut rng);
+    for depth in 0..=3usize {
+        group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |bencher, &d| {
+            bencher.iter(|| {
+                let engine = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 1);
+                let mut solver = BlockAmcSolver::new(engine, Stages::Multi(d));
+                std::hint::black_box(solver.solve(&a, &b).expect("solve"));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_nonideality_toggles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nonideality_cost");
+    group.sample_size(10);
+    let n = 32;
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let (a, b) = make_workload(MatrixFamily::Wishart, n, &mut rng);
+    let configs = [
+        ("ideal", CircuitEngineConfig::ideal()),
+        ("finite_gain", CircuitEngineConfig::ideal_mapping()),
+        ("variation", CircuitEngineConfig::paper_variation()),
+        ("full", CircuitEngineConfig::paper_full()),
+    ];
+    for (label, config) in configs {
+        group.bench_with_input(BenchmarkId::new(label, n), &n, |bencher, _| {
+            bencher.iter(|| {
+                let engine = CircuitEngine::new(config, 1);
+                let mut solver = BlockAmcSolver::new(engine, Stages::One);
+                std::hint::black_box(solver.solve(&a, &b).expect("solve"));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_depth, bench_nonideality_toggles);
+criterion_main!(benches);

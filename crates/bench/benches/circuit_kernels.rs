@@ -1,0 +1,57 @@
+//! Circuit-substrate kernels: the exact interconnect grid vs the series
+//! approximation, and the dense LU the analytic path rests on.
+
+use amc_circuit::grid::{inv_exact, mvm_exact};
+use amc_circuit::interconnect::series_effective_conductances;
+use amc_device::array::ProgrammedMatrix;
+use amc_device::mapping::MappingConfig;
+use amc_device::variation::VariationModel;
+use amc_linalg::{generate, lu::LuFactor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_grid_vs_series(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interconnect_models");
+    group.sample_size(10);
+    for &n in &[8usize, 16] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let a = generate::wishart_default(n, &mut rng).expect("wishart");
+        let b = generate::random_vector(n, &mut rng);
+        let p = ProgrammedMatrix::program(
+            &a,
+            &MappingConfig::paper_default(),
+            &VariationModel::None,
+            &mut rng,
+        )
+        .expect("program");
+
+        group.bench_with_input(BenchmarkId::new("series_approx", n), &n, |bencher, _| {
+            let g = p.pos().conductances();
+            bencher.iter(|| std::hint::black_box(series_effective_conductances(&g, 1.0)));
+        });
+        group.bench_with_input(BenchmarkId::new("exact_grid_mvm", n), &n, |bencher, _| {
+            bencher.iter(|| std::hint::black_box(mvm_exact(&p, &b, 1.0).expect("mvm")));
+        });
+        group.bench_with_input(BenchmarkId::new("exact_grid_inv", n), &n, |bencher, _| {
+            bencher.iter(|| std::hint::black_box(inv_exact(&p, &b, 1.0).expect("inv")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_lu");
+    group.sample_size(10);
+    for &n in &[32usize, 128] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let a = generate::wishart_default(n, &mut rng).expect("wishart");
+        group.bench_with_input(BenchmarkId::new("factorize", n), &n, |bencher, _| {
+            bencher.iter(|| std::hint::black_box(LuFactor::new(&a).expect("lu")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_vs_series, bench_lu);
+criterion_main!(benches);

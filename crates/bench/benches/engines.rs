@@ -1,0 +1,41 @@
+//! Cost of the AMC primitives per engine (program / INV / MVM), isolating
+//! where simulation time goes.
+
+use amc_bench::{make_workload, MatrixFamily};
+use blockamc::engine::{AmcEngine, CircuitEngine, CircuitEngineConfig, NumericEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_primitives");
+    group.sample_size(10);
+    for &n in &[16usize, 64] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let (a, b) = make_workload(MatrixFamily::Wishart, n, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("numeric_inv", n), &n, |bencher, _| {
+            let mut e = NumericEngine::new();
+            let mut op = e.program(&a).expect("program");
+            bencher.iter(|| std::hint::black_box(e.inv(&mut op, &b).expect("inv")));
+        });
+        group.bench_with_input(BenchmarkId::new("circuit_program", n), &n, |bencher, _| {
+            let mut e = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 1);
+            bencher.iter(|| std::hint::black_box(e.program(&a).expect("program")));
+        });
+        group.bench_with_input(BenchmarkId::new("circuit_inv", n), &n, |bencher, _| {
+            let mut e = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 1);
+            let mut op = e.program(&a).expect("program");
+            bencher.iter(|| std::hint::black_box(e.inv(&mut op, &b).expect("inv")));
+        });
+        group.bench_with_input(BenchmarkId::new("circuit_mvm", n), &n, |bencher, _| {
+            let mut e = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 1);
+            let mut op = e.program(&a).expect("program");
+            bencher.iter(|| std::hint::black_box(e.mvm(&mut op, &b).expect("mvm")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Time-to-solution scaling of the three solver architectures
+//! (supports the latency discussion of DESIGN.md; the paper's Fig. 10
+//! counts hardware, these benches measure simulated solve cost).
+
+use amc_bench::{make_workload, MatrixFamily};
+use blockamc::engine::{CircuitEngine, CircuitEngineConfig, NumericEngine};
+use blockamc::solver::{BlockAmcSolver, Stages};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_architectures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_scaling");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 32, 64] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let (a, b) = make_workload(MatrixFamily::Wishart, n, &mut rng);
+        for (label, stages) in [
+            ("original", Stages::Original),
+            ("one_stage", Stages::One),
+            ("two_stage", Stages::Two),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |bencher, _| {
+                bencher.iter(|| {
+                    let engine = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 1);
+                    let mut solver = BlockAmcSolver::new(engine, stages);
+                    std::hint::black_box(solver.solve(&a, &b).expect("solve"));
+                });
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("numeric_lu", n), &n, |bencher, _| {
+            bencher.iter(|| {
+                let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::Original);
+                std::hint::black_box(solver.solve(&a, &b).expect("solve"));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_architectures);
+criterion_main!(benches);

@@ -1,0 +1,451 @@
+//! `repro` — regenerates every table and figure of the BlockAMC paper.
+//!
+//! ```text
+//! repro [--quick] [--trials N] <fig6|fig7|fig8|fig9|fig10|headline|all>
+//! ```
+//!
+//! Absolute numbers depend on the substituted simulation stack (see
+//! DESIGN.md); the *shapes* — who wins, by how much, and how errors grow
+//! with size — are the reproduction targets recorded in EXPERIMENTS.md.
+
+use amc_bench::{
+    accuracy_sweep, make_workload, presets, render_sweep, step_trace_comparison, MatrixFamily,
+    PAPER_SIZES, PAPER_TRIALS, QUICK_SIZES,
+};
+use amc_linalg::{lu, metrics};
+use blockamc::engine::{CircuitEngine, CircuitEngineConfig};
+use blockamc::solver::{BlockAmcSolver, Stages};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+struct Options {
+    sizes: Vec<usize>,
+    trials: usize,
+    /// The "showcase" size for Figs. 6 and 8 (256 in the paper).
+    showcase_n: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trials = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 10 } else { PAPER_TRIALS });
+    let opts = Options {
+        sizes: if quick {
+            QUICK_SIZES.to_vec()
+        } else {
+            PAPER_SIZES.to_vec()
+        },
+        trials,
+        showcase_n: if quick { 64 } else { 256 },
+    };
+    let cmds: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--") && !a.parse::<usize>().is_ok())
+        .collect();
+    let cmd = cmds.first().copied().unwrap_or("all");
+
+    let run = |name: &str| cmd == "all" || cmd == name;
+    let mut ran_any = false;
+    if run("fig6") {
+        fig6(&opts);
+        ran_any = true;
+    }
+    if run("fig7") {
+        fig7(&opts);
+        ran_any = true;
+    }
+    if run("fig8") {
+        fig8(&opts);
+        ran_any = true;
+    }
+    if run("fig9") {
+        fig9(&opts);
+        ran_any = true;
+    }
+    if run("fig10") {
+        fig10();
+        ran_any = true;
+    }
+    if run("headline") {
+        headline();
+        ran_any = true;
+    }
+    if run("scaling") {
+        scaling();
+        ran_any = true;
+    }
+    if run("ablation") {
+        ablation(&opts);
+        ran_any = true;
+    }
+    if run("transient") {
+        transient();
+        ran_any = true;
+    }
+    if run("yield") {
+        yield_report(&opts);
+        ran_any = true;
+    }
+    if !ran_any {
+        eprintln!(
+            "unknown command '{cmd}'. usage: repro [--quick] [--trials N] \
+             <fig6|fig7|fig8|fig9|fig10|headline|scaling|ablation|transient|yield|all>"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// Monte-Carlo yield: fraction of manufactured parts (variation draws)
+/// meeting an accuracy spec, per architecture.
+fn yield_report(opts: &Options) {
+    use blockamc::converter::IoConfig;
+    use blockamc::montecarlo::yield_analysis;
+
+    banner("Yield — parts meeting an accuracy spec across variation draws");
+    let n = 64;
+    let trials = opts.trials.max(20);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x41E1D);
+    let (a, b) = make_workload(MatrixFamily::Wishart, n, &mut rng);
+    println!("{n}x{n} Wishart, {trials} variation draws per architecture\n");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "spec", "Original AMC", "One-stage", "Two-stage"
+    );
+    for spec in [0.05, 0.08, 0.12, 0.20] {
+        let mut cols = Vec::new();
+        for stages in [Stages::Original, Stages::One, Stages::Two] {
+            match yield_analysis(
+                &a,
+                &b,
+                stages,
+                CircuitEngineConfig::paper_variation(),
+                &IoConfig::ideal(),
+                spec,
+                trials,
+                0x41E1D,
+            ) {
+                Ok(r) => cols.push(format!("{:>15.0}%", 100.0 * r.yield_fraction())),
+                Err(e) => cols.push(format!("failed: {e}")),
+            }
+        }
+        println!("{spec:>8.2} {} {} {}", cols[0], cols[1], cols[2]);
+    }
+    println!(
+        "\n-> at a given spec, BlockAMC's lower error floor converts directly \
+         into manufacturing yield."
+    );
+}
+
+/// Scaling/feasibility table (extends Fig. 10 across problem sizes and
+/// encodes the paper's 256-cell manufacturability ceiling).
+fn scaling() {
+    banner("Scaling — area/power/feasibility vs problem size");
+    let params = amc_arch::params::ComponentParams::calibrated_45nm();
+    match amc_arch::scaling::scaling_table(&[64, 128, 256, 512, 1024], &params) {
+        Ok(t) => print!("{}", amc_arch::scaling::render_scaling_table(&t)),
+        Err(e) => println!("scaling failed: {e}"),
+    }
+    println!(
+        "\n(feasible = largest required array fits within the paper's \
+         256x256 manufacturability ceiling)"
+    );
+}
+
+/// Design-choice ablations: variation-model interpretation, conductance
+/// quantization depth, and partitioning depth.
+fn ablation(opts: &Options) {
+    use amc_device::mapping::MappingConfig;
+    use amc_device::quant::Quantizer;
+    use blockamc::engine::NumericEngine;
+
+    banner("Ablation A — variation-model interpretation (n sweep, one-stage)");
+    println!(
+        "the paper says sigma = 0.05*G0; full-scale-additive reading vs \
+         per-device-relative reading:"
+    );
+    for (label, config) in [
+        ("relative 5% (reproduction)", CircuitEngineConfig::paper_variation()),
+        ("additive 0.05*G0 (literal)", CircuitEngineConfig::absolute_variation()),
+    ] {
+        let solvers = presets::original_vs_one_stage(config);
+        let sizes: Vec<usize> = opts.sizes.iter().copied().filter(|&n| n <= 128).collect();
+        let points = accuracy_sweep(MatrixFamily::Wishart, &sizes, opts.trials.min(15), &solvers, 0xAB1);
+        print!("{}", render_sweep(&format!("  [{label}]"), &solvers, &points));
+    }
+    println!(
+        "-> the additive reading diverges with n (noise power ~ n * sigma^2 \
+         overwhelms the spectrum), while the relative reading reproduces \
+         the paper's 0.05-0.4 error range; see DESIGN.md."
+    );
+
+    banner("Ablation B — conductance quantization levels (one-stage, n = 64)");
+    let n = 64;
+    let mut rng = ChaCha8Rng::seed_from_u64(0xAB2);
+    let (a, b) = make_workload(MatrixFamily::Wishart, n, &mut rng);
+    let x_ref = lu::solve(&a, &b).expect("reference");
+    for levels in [8u32, 16, 32, 64, 256, 1024] {
+        let mut mapping = MappingConfig::paper_default();
+        mapping.quantizer = Some(
+            Quantizer::new(mapping.g_min, mapping.g0, levels).expect("valid quantizer"),
+        );
+        let config = CircuitEngineConfig {
+            mapping,
+            variation: amc_device::variation::VariationModel::None,
+            sim: amc_circuit::sim::SimConfig::ideal(),
+        };
+        let mut solver = BlockAmcSolver::new(CircuitEngine::new(config, 1), Stages::One);
+        match solver.solve(&a, &b) {
+            Ok(r) => println!(
+                "  {levels:>5} levels: rel. error {:.3e}",
+                metrics::relative_error(&x_ref, &r.x)
+            ),
+            Err(e) => println!("  {levels:>5} levels: failed ({e})"),
+        }
+    }
+    println!("-> ~64 analog levels suffice to reach the variation-limited floor.");
+
+    banner("Ablation C — partitioning depth (numeric engine, n = 64)");
+    for depth in 0..=4usize {
+        let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::Multi(depth));
+        match solver.solve(&a, &b) {
+            Ok(r) => println!(
+                "  depth {depth}: rel. error {:.3e}, {:>3} arrays programmed, {} INV + {} MVM ops",
+                metrics::relative_error(&x_ref, &r.x),
+                r.stats_delta.program_ops,
+                r.stats_delta.inv_ops,
+                r.stats_delta.mvm_ops,
+            ),
+            Err(e) => println!("  depth {depth}: failed ({e})"),
+        }
+    }
+    println!("-> the algorithm is exact at every depth; hardware cost grows with depth.");
+}
+
+/// Transient settling validation: waveform-measured settle times vs the
+/// eigenvalue-based estimates, original vs BlockAMC block sizes.
+fn transient() {
+    use amc_circuit::opamp::OpAmpSpec;
+    use amc_circuit::timing;
+    use amc_circuit::transient::{simulate_inv_settling, TransientOptions};
+
+    banner("Transient — INV settling waveforms vs eigenvalue estimates");
+    let spec = OpAmpSpec::ideal();
+    for n in [8usize, 16, 32] {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x7100 + n as u64);
+        let (a, b) = make_workload(MatrixFamily::Wishart, n, &mut rng);
+        let g_hat = a.scaled(1.0 / a.max_abs());
+        let mut opts = TransientOptions::for_opamp(&spec);
+        opts.duration_s *= 10.0;
+        match (
+            simulate_inv_settling(&g_hat, &b, &spec, &opts),
+            timing::inv_settle_time(&g_hat, &spec, opts.epsilon),
+        ) {
+            (Ok(r), Ok(est)) => {
+                let measured = r
+                    .settle_time_s
+                    .map(|t| format!("{:.1} ns", t * 1e9))
+                    .unwrap_or_else(|| "did not settle".to_string());
+                println!(
+                    "  n={n:>3}: measured {measured:>12}, estimated {:.1} ns",
+                    est * 1e9
+                );
+            }
+            (Err(e), _) | (_, Err(e)) => println!("  n={n:>3}: failed ({e})"),
+        }
+    }
+    println!(
+        "-> settle time tracks 1/lambda_min: smaller, better-conditioned \
+         BlockAMC blocks settle faster, partially offsetting the 5-step cascade."
+    );
+}
+
+/// Fig. 6 — ideal mapping: per-step traces, final comparison at the
+/// showcase size, and the relative-error-vs-size sweep.
+fn fig6(opts: &Options) {
+    banner("Fig. 6 — ideal mapping (finite-gain op-amps, no variation)");
+    let n = opts.showcase_n;
+    let config = CircuitEngineConfig::ideal_mapping();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x_F16_6);
+    let (a, b) = make_workload(MatrixFamily::Wishart, n, &mut rng);
+
+    // (a) per-step BlockAMC vs numerical.
+    println!("(a) per-step relative error, {n}x{n} Wishart, BlockAMC vs numerical:");
+    match step_trace_comparison(&a, &b, config, 1) {
+        Ok(steps) => {
+            for (name, err) in steps {
+                println!("    {name:<22} rel. error {err:.3e}");
+            }
+        }
+        Err(e) => println!("    trace failed: {e}"),
+    }
+
+    // (b) final solutions of the three solvers.
+    println!("\n(b) final solution error vs numerical, {n}x{n} Wishart:");
+    let x_ref = lu::solve(&a, &b).expect("reference solve");
+    for (label, stages) in [
+        ("Original AMC", Stages::Original),
+        ("BlockAMC", Stages::One),
+    ] {
+        let mut solver = BlockAmcSolver::new(CircuitEngine::new(config, 2), stages);
+        match solver.solve(&a, &b) {
+            Ok(r) => println!(
+                "    {label:<14} rel. error {:.3e}",
+                metrics::relative_error(&x_ref, &r.x)
+            ),
+            Err(e) => println!("    {label:<14} failed: {e}"),
+        }
+    }
+
+    // (c) error vs size sweep.
+    let solvers = presets::original_vs_one_stage(config);
+    let points = accuracy_sweep(MatrixFamily::Wishart, &opts.sizes, opts.trials, &solvers, 0x66);
+    println!();
+    print!(
+        "{}",
+        render_sweep(
+            "(c) relative error vs Wishart size (ideal mapping)",
+            &solvers,
+            &points
+        )
+    );
+    shape_check(&points, "fig6c");
+}
+
+/// Fig. 7 — device variation (σ = 0.05·G₀) sweeps for both families.
+fn fig7(opts: &Options) {
+    banner("Fig. 7 — conductance variation σ = 0.05·G0");
+    let config = CircuitEngineConfig::paper_variation();
+    for (family, tag) in [(MatrixFamily::Wishart, "(a)"), (MatrixFamily::Toeplitz, "(b)")] {
+        let solvers = presets::original_vs_one_stage(config);
+        let points = accuracy_sweep(family, &opts.sizes, opts.trials, &solvers, 0x77);
+        print!(
+            "{}",
+            render_sweep(
+                &format!("{tag} relative error vs {} size, s = 0.05", family.label()),
+                &solvers,
+                &points
+            )
+        );
+        shape_check(&points, &format!("fig7{}", family.label()));
+        println!();
+    }
+}
+
+/// Fig. 8 — the two-stage solver: inner INV traces at the showcase size
+/// and the error-vs-size sweep against the original AMC.
+fn fig8(opts: &Options) {
+    banner("Fig. 8 — two-stage BlockAMC, σ = 0.05·G0");
+    let n = opts.showcase_n;
+    let config = CircuitEngineConfig::paper_variation();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x_F16_8);
+    let (a, b) = make_workload(MatrixFamily::Wishart, n, &mut rng);
+    let x_ref = lu::solve(&a, &b).expect("reference solve");
+
+    println!("(a,b) inner second-stage INV traces, {n}x{n} Wishart:");
+    let mut engine = CircuitEngine::new(config, 3);
+    match blockamc::two_stage::prepare(&mut engine, &a) {
+        Ok(mut prep) => {
+            match blockamc::two_stage::solve(
+                &mut engine,
+                &mut prep,
+                &b,
+                &blockamc::converter::IoConfig::ideal(),
+            ) {
+                Ok(sol) => {
+                    for (block, trace) in &sol.inner_traces {
+                        println!("    inner macro {block}: {} steps executed", trace.len());
+                    }
+                    println!(
+                        "\n(c) final two-stage solution rel. error: {:.3e}",
+                        metrics::relative_error(&x_ref, &sol.x)
+                    );
+                }
+                Err(e) => println!("    two-stage solve failed: {e}"),
+            }
+        }
+        Err(e) => println!("    two-stage prepare failed: {e}"),
+    }
+
+    let solvers = presets::original_vs_two_stage(config);
+    let points = accuracy_sweep(MatrixFamily::Wishart, &opts.sizes, opts.trials, &solvers, 0x88);
+    println!();
+    print!(
+        "{}",
+        render_sweep(
+            "(d) relative error vs Wishart size, original vs two-stage",
+            &solvers,
+            &points
+        )
+    );
+    shape_check(&points, "fig8d");
+}
+
+/// Fig. 9 — variation + interconnect resistance (1 Ω/segment).
+fn fig9(opts: &Options) {
+    banner("Fig. 9 — variation σ = 0.05·G0 + interconnect 1 Ω/segment");
+    let config = CircuitEngineConfig::paper_full();
+    for (family, tag) in [(MatrixFamily::Wishart, "(a)"), (MatrixFamily::Toeplitz, "(b)")] {
+        let solvers = presets::all_three(config);
+        let points = accuracy_sweep(family, &opts.sizes, opts.trials, &solvers, 0x99);
+        print!(
+            "{}",
+            render_sweep(
+                &format!(
+                    "{tag} relative error vs {} size, s = 0.05 + wire R",
+                    family.label()
+                ),
+                &solvers,
+                &points
+            )
+        );
+        shape_check(&points, &format!("fig9{}", family.label()));
+        println!();
+    }
+}
+
+/// Fig. 10 — area and power breakdowns.
+fn fig10() {
+    banner("Fig. 10 — area and power of the three solvers (n = 512)");
+    let params = amc_arch::params::ComponentParams::calibrated_45nm();
+    match amc_arch::report::Fig10Report::compute(512, &params) {
+        Ok(r) => print!("{}", r.render()),
+        Err(e) => println!("fig10 failed: {e}"),
+    }
+}
+
+/// The abstract's headline comparison.
+fn headline() {
+    banner("Headline (abstract)");
+    let params = amc_arch::params::ComponentParams::calibrated_45nm();
+    match amc_arch::report::headline(&params) {
+        Ok(h) => println!("{h}"),
+        Err(e) => println!("headline failed: {e}"),
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints the qualitative claim check for a two-or-more-solver sweep:
+/// the last solver column (a BlockAMC variant) should beat the first
+/// (the original AMC) at the largest sizes.
+fn shape_check(points: &[amc_bench::SweepPoint], tag: &str) {
+    if let Some(last) = points.last() {
+        if last.stats.len() >= 2 {
+            let orig = last.stats.first().expect("nonempty").median;
+            let block = last.stats.last().expect("nonempty").median;
+            let verdict = if block <= orig { "OK" } else { "MISS" };
+            println!(
+                "[shape {tag}] at n={}: original {:.4} vs BlockAMC {:.4} -> {verdict}",
+                last.n, orig, block
+            );
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Thermal (Johnson–Nyquist) noise analysis of the AMC circuits.
+//!
+//! Device variation and wire resistance are *static* non-idealities; the
+//! fundamental *dynamic* accuracy floor of an analog solver is thermal
+//! noise. Every conductance `g` at temperature `T` contributes a noise
+//! current with power spectral density `4·k_B·T·g`; the TIA/INV feedback
+//! integrates it over the circuit's noise bandwidth. This module
+//! estimates the resulting output noise and the signal-to-noise ratio of
+//! an AMC operation — the quantity that ultimately bounds how many
+//! effective bits a one-step analog solve can deliver.
+
+use amc_linalg::{lu::LuFactor, Matrix};
+
+use crate::opamp::OpAmpSpec;
+use crate::{CircuitError, Result};
+
+/// Boltzmann constant, J/K.
+pub const BOLTZMANN: f64 = 1.380649e-23;
+
+/// Output noise estimate of one AMC operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseEstimate {
+    /// RMS output noise voltage per output, volts.
+    pub output_noise_rms_v: Vec<f64>,
+    /// Noise bandwidth used, Hz.
+    pub bandwidth_hz: f64,
+    /// Temperature used, kelvin.
+    pub temperature_k: f64,
+}
+
+impl NoiseEstimate {
+    /// Signal-to-noise ratio (power ratio) for a given output signal
+    /// vector, using the worst (noisiest relative to its signal) output.
+    ///
+    /// Returns `f64::INFINITY` if noise is zero.
+    pub fn worst_snr(&self, signal_v: &[f64]) -> f64 {
+        let mut worst = f64::INFINITY;
+        for (s, n) in signal_v.iter().zip(&self.output_noise_rms_v) {
+            if *n > 0.0 {
+                worst = worst.min((s / n).powi(2));
+            }
+        }
+        worst
+    }
+
+    /// Effective number of bits of the worst output:
+    /// `ENOB = (10·log10(SNR) − 1.76) / 6.02`.
+    pub fn worst_enob(&self, signal_v: &[f64]) -> f64 {
+        let snr = self.worst_snr(signal_v);
+        if snr.is_infinite() {
+            f64::INFINITY
+        } else {
+            (10.0 * snr.log10() - 1.76) / 6.02
+        }
+    }
+}
+
+/// Thermal output noise of the **MVM** circuit.
+///
+/// Each TIA output integrates the noise of its row conductances and its
+/// feedback resistor: `v_n,i² = 4·k_B·T·B · (Σ_j g_ij + g₀) / g₀²`
+/// (current noise divided by the feedback transconductance).
+///
+/// The noise bandwidth `B` defaults to the op-amp's closed-loop
+/// bandwidth `GBWP / (1 + Ŝ_i)` times the single-pole factor π/2.
+///
+/// # Errors
+///
+/// * [`CircuitError::InvalidConfig`] for non-positive `g0` / temperature
+///   or an invalid op-amp spec.
+pub fn mvm_thermal_noise(
+    g_pos: &Matrix,
+    g_neg: &Matrix,
+    g0: f64,
+    opamp: &OpAmpSpec,
+    temperature_k: f64,
+) -> Result<NoiseEstimate> {
+    opamp.validate()?;
+    if !(g0 > 0.0 && g0.is_finite()) {
+        return Err(CircuitError::config("g0 must be positive and finite"));
+    }
+    if !(temperature_k > 0.0 && temperature_k.is_finite()) {
+        return Err(CircuitError::config("temperature must be positive"));
+    }
+    if g_pos.shape() != g_neg.shape() {
+        return Err(CircuitError::ShapeMismatch {
+            op: "mvm_thermal_noise",
+            expected: g_pos.cols(),
+            got: g_neg.cols(),
+        });
+    }
+    let mut noise = Vec::with_capacity(g_pos.rows());
+    let mut bw_used = 0.0_f64;
+    for i in 0..g_pos.rows() {
+        let row_sum: f64 = g_pos
+            .row(i)
+            .iter()
+            .zip(g_neg.row(i))
+            .map(|(&p, &q)| p + q)
+            .sum();
+        let s_hat = row_sum / g0;
+        let bw = std::f64::consts::FRAC_PI_2 * opamp.gbwp_hz / (1.0 + s_hat);
+        bw_used = bw_used.max(bw);
+        let i_n_sq = 4.0 * BOLTZMANN * temperature_k * bw * (row_sum + g0);
+        noise.push((i_n_sq).sqrt() / g0);
+    }
+    Ok(NoiseEstimate {
+        output_noise_rms_v: noise,
+        bandwidth_hz: bw_used,
+        temperature_k,
+    })
+}
+
+/// Thermal output noise of the **INV** circuit.
+///
+/// The feedback loop shapes every cell's noise current through the
+/// solved inverse: input-referred noise currents `i_n` at the virtual
+/// grounds map to output noise `Ĝ⁻¹·i_n / g₀`. Treating the per-row
+/// currents as independent, the output covariance is
+/// `Ĝ⁻¹·diag(4·k_B·T·B·(Σg + g₀))·Ĝ⁻ᵀ / g₀²`; this returns the square
+/// roots of its diagonal.
+///
+/// # Errors
+///
+/// * Configuration errors as in [`mvm_thermal_noise`].
+/// * [`CircuitError::NoOperatingPoint`] if `Ĝ` is singular.
+pub fn inv_thermal_noise(
+    g_pos: &Matrix,
+    g_neg: &Matrix,
+    g0: f64,
+    opamp: &OpAmpSpec,
+    temperature_k: f64,
+) -> Result<NoiseEstimate> {
+    opamp.validate()?;
+    if !(g0 > 0.0 && g0.is_finite()) {
+        return Err(CircuitError::config("g0 must be positive and finite"));
+    }
+    if !(temperature_k > 0.0 && temperature_k.is_finite()) {
+        return Err(CircuitError::config("temperature must be positive"));
+    }
+    if !g_pos.is_square() || g_pos.shape() != g_neg.shape() {
+        return Err(CircuitError::ShapeMismatch {
+            op: "inv_thermal_noise",
+            expected: g_pos.rows(),
+            got: g_pos.cols(),
+        });
+    }
+    let n = g_pos.rows();
+    let g_hat = g_pos.sub_matrix(&g_neg)?.scaled(1.0 / g0);
+    let lu = LuFactor::new(&g_hat)
+        .map_err(|e| CircuitError::no_op_point(format!("INV noise: {e}")))?;
+    let inv = lu.inverse()?;
+    let mut noise = Vec::with_capacity(n);
+    let mut bw_used = 0.0_f64;
+    // Per-row input-referred noise current variances.
+    let mut row_var = Vec::with_capacity(n);
+    for i in 0..n {
+        let row_sum: f64 = g_pos
+            .row(i)
+            .iter()
+            .zip(g_neg.row(i))
+            .map(|(&p, &q)| p + q)
+            .sum();
+        let s_hat = row_sum / g0;
+        let bw = std::f64::consts::FRAC_PI_2 * opamp.gbwp_hz / (1.0 + s_hat);
+        bw_used = bw_used.max(bw);
+        row_var.push(4.0 * BOLTZMANN * temperature_k * bw * (row_sum + g0));
+    }
+    for i in 0..n {
+        let mut var = 0.0;
+        for (k, &rv) in row_var.iter().enumerate() {
+            let w = inv[(i, k)];
+            var += w * w * rv;
+        }
+        noise.push(var.sqrt() / g0);
+    }
+    Ok(NoiseEstimate {
+        output_noise_rms_v: noise,
+        bandwidth_hz: bw_used,
+        temperature_k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrays(n: usize, g: f64) -> (Matrix, Matrix) {
+        (Matrix::filled(n, n, g), Matrix::zeros(n, n))
+    }
+
+    #[test]
+    fn mvm_noise_is_nanovolt_scale_at_room_temperature() {
+        let (gp, gn) = arrays(4, 1e-4);
+        let e = mvm_thermal_noise(&gp, &gn, 1e-4, &OpAmpSpec::ideal(), 300.0).unwrap();
+        for &v in &e.output_noise_rms_v {
+            // 100 µS devices, MHz bandwidths: tens of µV at most.
+            assert!(v > 1e-9 && v < 1e-3, "noise {v}");
+        }
+        assert!(e.bandwidth_hz > 0.0);
+    }
+
+    #[test]
+    fn more_conductance_means_more_noise_current_but_less_bandwidth() {
+        let (gp1, gn1) = arrays(2, 1e-5);
+        let (gp2, gn2) = arrays(2, 1e-4);
+        let spec = OpAmpSpec::ideal();
+        let small = mvm_thermal_noise(&gp1, &gn1, 1e-4, &spec, 300.0).unwrap();
+        let large = mvm_thermal_noise(&gp2, &gn2, 1e-4, &spec, 300.0).unwrap();
+        // Bandwidth shrinks with loading.
+        assert!(large.bandwidth_hz < small.bandwidth_hz);
+    }
+
+    #[test]
+    fn noise_scales_with_sqrt_temperature() {
+        let (gp, gn) = arrays(3, 1e-4);
+        let spec = OpAmpSpec::ideal();
+        let cold = mvm_thermal_noise(&gp, &gn, 1e-4, &spec, 100.0).unwrap();
+        let hot = mvm_thermal_noise(&gp, &gn, 1e-4, &spec, 400.0).unwrap();
+        let ratio = hot.output_noise_rms_v[0] / cold.output_noise_rms_v[0];
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn inv_noise_amplified_by_ill_conditioning() {
+        let g0 = 1e-4;
+        let well = Matrix::from_diag(&[1e-4, 1e-4]);
+        let ill = Matrix::from_diag(&[1e-4, 2e-6]); // tiny pivot -> big inverse
+        let z = Matrix::zeros(2, 2);
+        let spec = OpAmpSpec::ideal();
+        let nw = inv_thermal_noise(&well, &z, g0, &spec, 300.0).unwrap();
+        let ni = inv_thermal_noise(&ill, &z, g0, &spec, 300.0).unwrap();
+        assert!(
+            ni.output_noise_rms_v[1] > 5.0 * nw.output_noise_rms_v[1],
+            "ill {} vs well {}",
+            ni.output_noise_rms_v[1],
+            nw.output_noise_rms_v[1]
+        );
+    }
+
+    #[test]
+    fn snr_and_enob_reporting() {
+        let (gp, gn) = arrays(2, 1e-4);
+        let e = mvm_thermal_noise(&gp, &gn, 1e-4, &OpAmpSpec::ideal(), 300.0).unwrap();
+        let snr = e.worst_snr(&[0.5, 0.5]);
+        assert!(snr > 1e6, "thermal SNR should be high: {snr}");
+        let enob = e.worst_enob(&[0.5, 0.5]);
+        assert!(enob > 8.0, "enob {enob}");
+        // Zero signal -> SNR 0.
+        assert_eq!(e.worst_snr(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (gp, gn) = arrays(2, 1e-4);
+        let spec = OpAmpSpec::ideal();
+        assert!(mvm_thermal_noise(&gp, &gn, 0.0, &spec, 300.0).is_err());
+        assert!(mvm_thermal_noise(&gp, &gn, 1e-4, &spec, -1.0).is_err());
+        let rect = Matrix::zeros(2, 3);
+        assert!(inv_thermal_noise(&rect, &rect, 1e-4, &spec, 300.0).is_err());
+        let sing = Matrix::filled(2, 2, 1e-4);
+        assert!(inv_thermal_noise(&sing, &Matrix::zeros(2, 2), 1e-4, &spec, 300.0).is_err());
+    }
+}

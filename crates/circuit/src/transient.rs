@@ -1,0 +1,319 @@
+//! Transient (settling) simulation of the INV circuit.
+//!
+//! The DC analyses elsewhere in this crate give the equilibrium the
+//! circuit settles *to*; this module simulates how it gets there. Each
+//! op-amp is modeled as a single-pole integrator with unity-gain
+//! bandwidth `ω = 2π·GBWP` (the dominant-pole model used by the paper's
+//! refs. \[22\]/\[23\] for their time-complexity analyses), giving the linear
+//! ODE system
+//!
+//! ```text
+//! dv/dt = −ω · (Ĝ·v + v_in)
+//! ```
+//!
+//! for the INV topology with normalized matrix `Ĝ = G/G₀`: at
+//! equilibrium `Ĝ·v = −v_in`, the DC solution. The circuit is stable iff
+//! every eigenvalue of (the symmetric part of) `Ĝ` is positive, and the
+//! slowest mode decays with time constant `1/(ω·λ_min)` — which is
+//! exactly what [`crate::timing::inv_settle_time`] estimates. This module
+//! lets tests *verify* that estimate against an actual waveform, and it
+//! powers the settling-dynamics example.
+
+use amc_linalg::{vector, Matrix};
+
+use crate::opamp::OpAmpSpec;
+use crate::{CircuitError, Result};
+
+/// A simulated settling waveform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientResult {
+    /// Sample times, seconds.
+    pub times: Vec<f64>,
+    /// Output-vector snapshots (one per sample time).
+    pub outputs: Vec<Vec<f64>>,
+    /// Time at which the output first stayed within `epsilon` (relative,
+    /// ∞-norm) of the final value — `None` if it never settled within the
+    /// simulated window.
+    pub settle_time_s: Option<f64>,
+    /// The DC solution the waveform is measured against.
+    pub equilibrium: Vec<f64>,
+}
+
+/// Options for the transient simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    /// Total simulated time, seconds.
+    pub duration_s: f64,
+    /// Integration step, seconds. Stability requires
+    /// `dt < 2/(ω·λ_max)`; [`simulate_inv_settling`] validates this.
+    pub dt_s: f64,
+    /// Settling tolerance (relative, ∞-norm against the equilibrium).
+    pub epsilon: f64,
+    /// Store every `stride`-th sample (1 = all).
+    pub stride: usize,
+}
+
+impl TransientOptions {
+    /// Sensible defaults for a circuit with the given op-amp: simulate
+    /// 40 unity-gain time constants at 100 steps per constant.
+    pub fn for_opamp(opamp: &OpAmpSpec) -> Self {
+        let omega = std::f64::consts::TAU * opamp.gbwp_hz;
+        TransientOptions {
+            duration_s: 40.0 / omega,
+            dt_s: 0.01 / omega,
+            epsilon: 1e-3,
+            stride: 10,
+        }
+    }
+}
+
+/// Simulates the INV circuit settling from zero initial output.
+///
+/// `g_hat` is the normalized matrix `G/G₀` (use
+/// [`amc_device::array::ProgrammedMatrix::normalized_matrix`]); `v_in`
+/// the input vector in volts.
+///
+/// Integration is classical RK4 on the linear system — overkill in
+/// accuracy but cheap at these sizes and robust to review.
+///
+/// # Errors
+///
+/// * [`CircuitError::ShapeMismatch`] for non-square `g_hat` or mismatched
+///   `v_in`.
+/// * [`CircuitError::InvalidConfig`] for non-positive durations/steps, an
+///   unstable step size, or an invalid op-amp spec.
+/// * [`CircuitError::NoOperatingPoint`] if `g_hat` is singular (no
+///   equilibrium to settle to).
+pub fn simulate_inv_settling(
+    g_hat: &Matrix,
+    v_in: &[f64],
+    opamp: &OpAmpSpec,
+    opts: &TransientOptions,
+) -> Result<TransientResult> {
+    opamp.validate()?;
+    if !g_hat.is_square() {
+        return Err(CircuitError::ShapeMismatch {
+            op: "transient (square matrix required)",
+            expected: g_hat.rows(),
+            got: g_hat.cols(),
+        });
+    }
+    let n = g_hat.rows();
+    if v_in.len() != n {
+        return Err(CircuitError::ShapeMismatch {
+            op: "transient input",
+            expected: n,
+            got: v_in.len(),
+        });
+    }
+    if !(opts.duration_s > 0.0 && opts.dt_s > 0.0 && opts.duration_s >= opts.dt_s) {
+        return Err(CircuitError::config(
+            "transient duration and step must be positive with duration >= dt",
+        ));
+    }
+    if !(opts.epsilon > 0.0 && opts.epsilon < 1.0) {
+        return Err(CircuitError::config("epsilon must lie in (0, 1)"));
+    }
+    if opts.stride == 0 {
+        return Err(CircuitError::config("stride must be at least 1"));
+    }
+    let omega = std::f64::consts::TAU * opamp.gbwp_hz;
+    // Explicit stability guard: ‖ω·Ĝ·dt‖ must be < 2 for RK4 on the
+    // dominant eigenvalue (use the ∞-norm as a cheap upper bound).
+    if omega * g_hat.norm_inf() * opts.dt_s > 2.0 {
+        return Err(CircuitError::config(format!(
+            "dt = {} is unstable for this GBWP/matrix; reduce it",
+            opts.dt_s
+        )));
+    }
+
+    // Equilibrium: Ĝ·v* = −v_in.
+    let lu = amc_linalg::lu::LuFactor::new(g_hat)
+        .map_err(|e| CircuitError::no_op_point(format!("no equilibrium: {e}")))?;
+    let neg_in: Vec<f64> = v_in.iter().map(|v| -v).collect();
+    let equilibrium = lu.solve(&neg_in)?;
+    let eq_norm = vector::norm_inf(&equilibrium).max(f64::MIN_POSITIVE);
+
+    // dv/dt = f(v) = −ω(Ĝ·v + v_in).
+    let f = |v: &[f64]| -> Vec<f64> {
+        let gv = g_hat.matvec(v).expect("shape checked above");
+        gv.iter()
+            .zip(v_in)
+            .map(|(&gvi, &bi)| -omega * (gvi + bi))
+            .collect()
+    };
+
+    let steps = (opts.duration_s / opts.dt_s).ceil() as usize;
+    let mut v = vec![0.0; n];
+    let mut times = Vec::with_capacity(steps / opts.stride + 2);
+    let mut outputs = Vec::with_capacity(steps / opts.stride + 2);
+    let mut settle_time = None;
+    let mut settled_since: Option<f64> = None;
+    times.push(0.0);
+    outputs.push(v.clone());
+
+    for step in 1..=steps {
+        let t = step as f64 * opts.dt_s;
+        // RK4.
+        let k1 = f(&v);
+        let mut v2 = v.clone();
+        vector::axpy(opts.dt_s / 2.0, &k1, &mut v2);
+        let k2 = f(&v2);
+        let mut v3 = v.clone();
+        vector::axpy(opts.dt_s / 2.0, &k2, &mut v3);
+        let k3 = f(&v3);
+        let mut v4 = v.clone();
+        vector::axpy(opts.dt_s, &k3, &mut v4);
+        let k4 = f(&v4);
+        for i in 0..n {
+            v[i] += opts.dt_s / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+
+        let err = vector::norm_inf(&vector::sub(&v, &equilibrium)) / eq_norm;
+        if err <= opts.epsilon {
+            if settled_since.is_none() {
+                settled_since = Some(t);
+            }
+        } else {
+            settled_since = None;
+        }
+        if step % opts.stride == 0 || step == steps {
+            times.push(t);
+            outputs.push(v.clone());
+        }
+    }
+    if let Some(t) = settled_since {
+        settle_time = Some(t);
+    }
+    Ok(TransientResult {
+        times,
+        outputs,
+        settle_time_s: settle_time,
+        equilibrium,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing;
+    use amc_linalg::generate;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn spec() -> OpAmpSpec {
+        OpAmpSpec::ideal()
+    }
+
+    #[test]
+    fn settles_to_dc_solution() {
+        let g = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.5]]).unwrap();
+        let v_in = [0.3, -0.2];
+        let opts = TransientOptions::for_opamp(&spec());
+        let r = simulate_inv_settling(&g, &v_in, &spec(), &opts).unwrap();
+        let final_v = r.outputs.last().unwrap();
+        assert!(vector::approx_eq(final_v, &r.equilibrium, 1e-3));
+        assert!(r.settle_time_s.is_some());
+        // Equilibrium satisfies Ĝ·v = −v_in.
+        let gv = g.matvec(&r.equilibrium).unwrap();
+        assert!(vector::approx_eq(&gv, &[-0.3, 0.2], 1e-12));
+    }
+
+    #[test]
+    fn measured_settle_time_matches_eigenvalue_estimate() {
+        // For a diagonal matrix the slowest mode is exactly 1/(ω·λ_min);
+        // the analytic estimate and the waveform must agree within ~30%.
+        let g = Matrix::from_diag(&[1.0, 0.25]);
+        let v_in = [0.5, 0.5];
+        let opts = TransientOptions {
+            duration_s: 100.0 / (std::f64::consts::TAU * spec().gbwp_hz),
+            dt_s: 0.005 / (std::f64::consts::TAU * spec().gbwp_hz),
+            epsilon: 1e-3,
+            stride: 50,
+        };
+        let r = simulate_inv_settling(&g, &v_in, &spec(), &opts).unwrap();
+        let measured = r.settle_time_s.expect("must settle");
+        let estimate = timing::inv_settle_time(&g, &spec(), 1e-3).unwrap();
+        let ratio = measured / estimate;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "measured {measured:.3e} vs estimate {estimate:.3e}"
+        );
+    }
+
+    #[test]
+    fn slower_matrices_settle_slower() {
+        let fast = Matrix::from_diag(&[1.0, 1.0]);
+        let slow = Matrix::from_diag(&[1.0, 0.05]);
+        let opts = TransientOptions {
+            duration_s: 400.0 / (std::f64::consts::TAU * spec().gbwp_hz),
+            dt_s: 0.01 / (std::f64::consts::TAU * spec().gbwp_hz),
+            epsilon: 1e-3,
+            stride: 100,
+        };
+        let tf = simulate_inv_settling(&fast, &[0.1, 0.1], &spec(), &opts)
+            .unwrap()
+            .settle_time_s
+            .unwrap();
+        let ts = simulate_inv_settling(&slow, &[0.1, 0.1], &spec(), &opts)
+            .unwrap()
+            .settle_time_s
+            .unwrap();
+        assert!(ts > 5.0 * tf, "slow {ts} vs fast {tf}");
+    }
+
+    #[test]
+    fn unstable_matrix_never_settles() {
+        // A negative eigenvalue makes the feedback loop diverge: the
+        // waveform must not report a settle time.
+        let g = Matrix::from_diag(&[1.0, -0.5]);
+        let opts = TransientOptions::for_opamp(&spec());
+        let r = simulate_inv_settling(&g, &[0.1, 0.1], &spec(), &opts).unwrap();
+        assert_eq!(r.settle_time_s, None);
+        // And the trajectory visibly diverges from the equilibrium.
+        let last = r.outputs.last().unwrap();
+        assert!(vector::norm_inf(last) > vector::norm_inf(&r.equilibrium));
+    }
+
+    #[test]
+    fn wishart_block_settles_with_paper_scale_dynamics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = generate::wishart_default(8, &mut rng).unwrap();
+        let g = a.scaled(1.0 / a.max_abs());
+        let b = generate::random_vector(8, &mut rng);
+        let opts = TransientOptions {
+            duration_s: 300.0 / (std::f64::consts::TAU * spec().gbwp_hz),
+            dt_s: 0.005 / (std::f64::consts::TAU * spec().gbwp_hz),
+            epsilon: 1e-3,
+            stride: 100,
+        };
+        let r = simulate_inv_settling(&g, &b, &spec(), &opts).unwrap();
+        let t = r.settle_time_s.expect("SPD system must settle");
+        // 10 MHz GBWP: sub-ten-microsecond settling.
+        assert!(t < 1e-5, "settle time {t}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let g = Matrix::identity(2);
+        let opts = TransientOptions::for_opamp(&spec());
+        assert!(simulate_inv_settling(&Matrix::zeros(2, 3), &[0.0; 3], &spec(), &opts).is_err());
+        assert!(simulate_inv_settling(&g, &[0.0; 3], &spec(), &opts).is_err());
+        let mut bad = opts;
+        bad.dt_s = -1.0;
+        assert!(simulate_inv_settling(&g, &[0.0; 2], &spec(), &bad).is_err());
+        let mut bad = opts;
+        bad.epsilon = 0.0;
+        assert!(simulate_inv_settling(&g, &[0.0; 2], &spec(), &bad).is_err());
+        let mut bad = opts;
+        bad.stride = 0;
+        assert!(simulate_inv_settling(&g, &[0.0; 2], &spec(), &bad).is_err());
+        // Unstable step size.
+        let mut bad = opts;
+        bad.dt_s = 1.0;
+        assert!(simulate_inv_settling(&g, &[0.0; 2], &spec(), &bad).is_err());
+        // Singular matrix: no equilibrium.
+        let sing = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(simulate_inv_settling(&sing, &[0.1, 0.1], &spec(), &opts).is_err());
+    }
+}

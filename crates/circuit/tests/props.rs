@@ -1,0 +1,115 @@
+//! Property-based tests of the circuit-simulation invariants.
+
+use amc_circuit::inv::solve_inv;
+use amc_circuit::mvm::solve_mvm;
+use amc_circuit::opamp::GainModel;
+use amc_linalg::{generate, vector, Matrix};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const G0: f64 = 1e-4;
+
+/// A well-posed pair of conductance arrays (from a diagonally dominant
+/// signed matrix) plus an input vector.
+fn circuit_case() -> impl Strategy<Value = (Matrix, Matrix, Vec<f64>)> {
+    (2usize..=8, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = generate::diagonally_dominant(n, 1.0, &mut rng).unwrap();
+        let normalized = a.scaled(1.0 / a.max_abs());
+        let (pos, neg) = normalized.split_signs();
+        let v = generate::random_vector(n, &mut rng);
+        (pos.scaled(G0), neg.scaled(G0), v)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mvm_is_linear((gp, gn, v) in circuit_case(), alpha in -3.0f64..3.0) {
+        let out1 = solve_mvm(&gp, &gn, G0, &v, GainModel::Ideal).unwrap();
+        let scaled_in = vector::scale(&v, alpha);
+        let out2 = solve_mvm(&gp, &gn, G0, &scaled_in, GainModel::Ideal).unwrap();
+        let expect = vector::scale(&out1.volts, alpha);
+        prop_assert!(vector::approx_eq(&out2.volts, &expect,
+            1e-9 * vector::norm_inf(&expect).max(1.0)));
+    }
+
+    #[test]
+    fn inv_then_mvm_is_identity((gp, gn, v) in circuit_case()) {
+        let x = solve_inv(&gp, &gn, G0, &v, GainModel::Ideal).unwrap();
+        let back = solve_mvm(&gp, &gn, G0, &x.volts, GainModel::Ideal).unwrap();
+        // MVM(-Ĝ⁻¹·(−v)) … circuit algebra: Ĝ·x = −v, MVM returns −Ĝ·x = v.
+        prop_assert!(vector::approx_eq(&back.volts, &v,
+            1e-7 * vector::norm_inf(&v).max(1.0)));
+    }
+
+    #[test]
+    fn finite_gain_converges_to_ideal((gp, gn, v) in circuit_case()) {
+        let ideal = solve_inv(&gp, &gn, G0, &v, GainModel::Ideal).unwrap();
+        let mut prev_err = f64::INFINITY;
+        for a0 in [1e2, 1e4, 1e6] {
+            let finite = solve_inv(&gp, &gn, G0, &v, GainModel::Finite { a0 }).unwrap();
+            let err = amc_linalg::metrics::relative_error_l2(&ideal.volts, &finite.volts);
+            prop_assert!(err <= prev_err + 1e-12, "error must shrink with gain");
+            prev_err = err;
+        }
+        prop_assert!(prev_err < 1e-4);
+    }
+
+    #[test]
+    fn series_interconnect_only_reduces_conductance(
+        (gp, _gn, _v) in circuit_case(),
+        r_seg in 0.1f64..50.0,
+    ) {
+        use amc_circuit::interconnect::series_effective_conductances;
+        let eff = series_effective_conductances(&gp, r_seg).unwrap();
+        for (&e, &g) in eff.as_slice().iter().zip(gp.as_slice()) {
+            if g == 0.0 {
+                prop_assert_eq!(e, 0.0);
+            } else {
+                prop_assert!(e < g && e > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_sense_currents_superpose(
+        (gp, _gn, v) in circuit_case(),
+        r_seg in 0.5f64..10.0,
+    ) {
+        use amc_circuit::grid::ResistiveGrid;
+        let grid = ResistiveGrid::new(&gp, r_seg).unwrap();
+        let s_full = grid.solve(&v).unwrap();
+        let half: Vec<f64> = v.iter().map(|x| x / 2.0).collect();
+        let s_half = grid.solve(&half).unwrap();
+        for (f, h) in s_full.sense_currents.iter().zip(&s_half.sense_currents) {
+            prop_assert!((f - 2.0 * h).abs() < 1e-12 + 1e-9 * f.abs());
+        }
+    }
+
+    #[test]
+    fn power_is_non_negative((gp, gn, v) in circuit_case()) {
+        use amc_circuit::opamp::OpAmpSpec;
+        use amc_circuit::power;
+        let out = solve_mvm(&gp, &gn, G0, &v, GainModel::Ideal).unwrap();
+        let p = power::mvm_power(&gp, &gn, G0, &v, &out.volts, &OpAmpSpec::ideal()).unwrap();
+        prop_assert!(p >= 0.0);
+        let x = solve_inv(&gp, &gn, G0, &v, GainModel::Ideal).unwrap();
+        let p = power::inv_power(&gp, &gn, G0, &v, &x.volts, &OpAmpSpec::ideal()).unwrap();
+        prop_assert!(p > 0.0);
+    }
+
+    #[test]
+    fn settle_time_estimates_are_positive_and_finite((gp, gn, _v) in circuit_case()) {
+        use amc_circuit::opamp::OpAmpSpec;
+        use amc_circuit::timing;
+        let g_hat = gp.sub_matrix(&gn).unwrap().scaled(1.0 / G0);
+        let t = timing::inv_settle_time(&g_hat, &OpAmpSpec::ideal(), 1e-3).unwrap();
+        prop_assert!(t.is_finite() && t > 0.0);
+        let row = gp.add_matrix(&gn).unwrap().norm_inf() / G0;
+        let t = timing::mvm_settle_time(row, &OpAmpSpec::ideal(), 1e-3).unwrap();
+        prop_assert!(t.is_finite() && t > 0.0);
+    }
+}

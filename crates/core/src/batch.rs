@@ -1,0 +1,214 @@
+//! Pipelined batch solving.
+//!
+//! The macro's two S&H banks exist so that "the pipelining of the
+//! algorithm … improv\[es\] the throughput of the system" (paper §III.B):
+//! while problem *k* drains through steps 3–5, problem *k+1* can already
+//! occupy the earlier phases. This module solves a batch of right-hand
+//! sides against one prepared macro (arrays programmed once — matrices
+//! are nonvolatile) and reports both the solutions and the
+//! pipelined/unpipelined timing derived from the macro model.
+
+use amc_circuit::opamp::OpAmpSpec;
+use amc_circuit::timing;
+use amc_linalg::Matrix;
+
+use crate::converter::IoConfig;
+use crate::engine::AmcEngine;
+use crate::macro_model::MacroTiming;
+use crate::one_stage::{self, PreparedOneStage};
+use crate::{BlockAmcError, Result};
+
+/// Result of a batch solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSolution {
+    /// One solution per right-hand side, in input order.
+    pub solutions: Vec<Vec<f64>>,
+    /// Macro timing (per-phase settle times fed by the circuit model).
+    pub timing: MacroTiming,
+    /// Total batch latency with pipelining: the first solve pays the full
+    /// 5-phase latency, each subsequent one only a cycle.
+    pub batch_time_pipelined_s: f64,
+    /// Total batch latency without pipelining (solves strictly serialize).
+    pub batch_time_unpipelined_s: f64,
+}
+
+impl BatchSolution {
+    /// Throughput speedup delivered by the S&H double-buffering for this
+    /// batch.
+    pub fn pipeline_speedup(&self) -> f64 {
+        if self.batch_time_pipelined_s == 0.0 {
+            1.0
+        } else {
+            self.batch_time_unpipelined_s / self.batch_time_pipelined_s
+        }
+    }
+}
+
+/// Estimates the five per-phase settle times of a one-stage macro for the
+/// partitioned matrix `a` (INV phases from the block eigenvalues, MVM
+/// phases from row-conductance sums).
+///
+/// # Errors
+///
+/// Propagates timing-model failures (e.g. a singular block).
+pub fn phase_settle_times(a: &Matrix, opamp: &OpAmpSpec) -> Result<[f64; 5]> {
+    let p = crate::partition::BlockPartition::halves(a)?;
+    let a4s = p.schur_complement()?;
+    let eps = timing::DEFAULT_SETTLE_EPSILON;
+    let norm = |m: &Matrix| m.scaled(1.0 / m.max_abs().max(f64::MIN_POSITIVE));
+    let inv1 = timing::inv_settle_time(&norm(&p.a1), opamp, eps)?;
+    let inv3 = timing::inv_settle_time(&norm(&a4s), opamp, eps)?;
+    // MVM phases: row-sum-based (normalized matrices have max element 1).
+    let mvm_row = |m: &Matrix| {
+        let nm = norm(m);
+        nm.norm_inf()
+    };
+    let mvm2 = timing::mvm_settle_time(mvm_row(&p.a3), opamp, eps)?;
+    let mvm4 = timing::mvm_settle_time(mvm_row(&p.a2), opamp, eps)?;
+    Ok([inv1, mvm2, inv3, mvm4, inv1])
+}
+
+/// Solves a batch of right-hand sides against one prepared one-stage
+/// macro and derives the pipeline timing.
+///
+/// `a` must be the matrix `prepared` was built from (used only for the
+/// timing estimate); `conversion_s` is the DAC/ADC conversion time.
+///
+/// # Errors
+///
+/// * [`BlockAmcError::InvalidConfig`] for an empty batch.
+/// * Shape and engine failures per solve.
+pub fn solve_batch<E: AmcEngine + ?Sized>(
+    engine: &mut E,
+    prepared: &mut PreparedOneStage,
+    a: &Matrix,
+    batch: &[Vec<f64>],
+    io: &IoConfig,
+    opamp: &OpAmpSpec,
+    conversion_s: f64,
+) -> Result<BatchSolution> {
+    if batch.is_empty() {
+        return Err(BlockAmcError::config("batch must contain at least one RHS"));
+    }
+    let mut solutions = Vec::with_capacity(batch.len());
+    for b in batch {
+        solutions.push(one_stage::solve(engine, prepared, b, io)?.x);
+    }
+    let phases = phase_settle_times(a, opamp)?;
+    let timing = MacroTiming::from_phase_times(phases, conversion_s)?;
+    let k = batch.len() as f64;
+    // Pipelined: fill the 5-stage pipe once, then one result per cycle.
+    let batch_time_pipelined_s = timing.latency_s + (k - 1.0) * timing.cycle_s;
+    let batch_time_unpipelined_s = k * timing.latency_s;
+    Ok(BatchSolution {
+        solutions,
+        timing,
+        batch_time_pipelined_s,
+        batch_time_unpipelined_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::NumericEngine;
+    use amc_linalg::{generate, lu, vector};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(n: usize) -> (Matrix, Vec<Vec<f64>>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = generate::wishart_default(n, &mut rng).unwrap();
+        let batch = (0..4).map(|_| generate::random_vector(n, &mut rng)).collect();
+        (a, batch)
+    }
+
+    #[test]
+    fn batch_solutions_match_individual_solves() {
+        let (a, batch) = setup(12);
+        let mut engine = NumericEngine::new();
+        let mut prep = one_stage::prepare_matrix(&mut engine, &a).unwrap();
+        let out = solve_batch(
+            &mut engine,
+            &mut prep,
+            &a,
+            &batch,
+            &IoConfig::ideal(),
+            &OpAmpSpec::ideal(),
+            1e-7,
+        )
+        .unwrap();
+        assert_eq!(out.solutions.len(), 4);
+        for (b, x) in batch.iter().zip(&out.solutions) {
+            let x_ref = lu::solve(&a, b).unwrap();
+            assert!(vector::approx_eq(x, &x_ref, 1e-8));
+        }
+    }
+
+    #[test]
+    fn arrays_programmed_once_for_the_whole_batch() {
+        let (a, batch) = setup(8);
+        let mut engine = NumericEngine::new();
+        let mut prep = one_stage::prepare_matrix(&mut engine, &a).unwrap();
+        let _ = solve_batch(
+            &mut engine,
+            &mut prep,
+            &a,
+            &batch,
+            &IoConfig::ideal(),
+            &OpAmpSpec::ideal(),
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(engine.stats().program_ops, 4); // A1, A2, A3, A4s once
+        assert_eq!(engine.stats().inv_ops, 3 * 4); // 3 INVs per solve
+    }
+
+    #[test]
+    fn pipelining_approaches_5x_for_long_batches() {
+        let (a, _) = setup(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let batch: Vec<Vec<f64>> =
+            (0..50).map(|_| generate::random_vector(8, &mut rng)).collect();
+        let mut engine = NumericEngine::new();
+        let mut prep = one_stage::prepare_matrix(&mut engine, &a).unwrap();
+        let out = solve_batch(
+            &mut engine,
+            &mut prep,
+            &a,
+            &batch,
+            &IoConfig::ideal(),
+            &OpAmpSpec::ideal(),
+            0.0,
+        )
+        .unwrap();
+        let speedup = out.pipeline_speedup();
+        assert!(speedup > 3.0, "speedup {speedup}");
+        assert!(speedup <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn phase_times_are_positive_and_inv_phases_match() {
+        let (a, _) = setup(10);
+        let phases = phase_settle_times(&a, &OpAmpSpec::ideal()).unwrap();
+        assert!(phases.iter().all(|&t| t > 0.0));
+        assert_eq!(phases[0], phases[4], "steps 1 and 5 share the A1 array");
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let (a, _) = setup(8);
+        let mut engine = NumericEngine::new();
+        let mut prep = one_stage::prepare_matrix(&mut engine, &a).unwrap();
+        assert!(solve_batch(
+            &mut engine,
+            &mut prep,
+            &a,
+            &[],
+            &IoConfig::ideal(),
+            &OpAmpSpec::ideal(),
+            0.0
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,486 @@
+//! Execution engines for the AMC primitives.
+//!
+//! The BlockAMC algorithm (Fig. 2 / Algorithm 1 of the paper) is a fixed
+//! cascade of INV and MVM operations. [`AmcEngine`] abstracts who executes
+//! those primitives:
+//!
+//! * [`NumericEngine`] — exact digital LU solves; the paper's "numerical
+//!   solver" reference curve.
+//! * [`CircuitEngine`] — each primitive runs through the full analog
+//!   stack: matrix → conductance mapping, programming variation / faults /
+//!   quantization ([`amc_device`]), then the circuit equilibrium with
+//!   finite op-amp gain and wire resistance ([`amc_circuit`]).
+//!
+//! Both engines honour the AMC *sign convention*: the negative-feedback
+//! circuits produce `−A⁻¹·b` (INV) and `−A·x` (MVM). The five-step
+//! algorithm is formulated directly on those signed quantities, exactly as
+//! the paper's flow chart.
+//!
+//! Matrices are programmed once via [`AmcEngine::program`] and the
+//! returned [`Operand`] is reused across steps — this matters physically:
+//! block `A1` is used twice (steps 1 and 5) *on the same array*, so both
+//! steps must see the same variation draw.
+
+use amc_circuit::sim::{AnalogSimulator, SimConfig};
+use amc_device::array::ProgrammedMatrix;
+use amc_device::mapping::MappingConfig;
+use amc_device::variation::VariationModel;
+use amc_linalg::{lu::LuFactor, Matrix};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{BlockAmcError, Result};
+
+/// A matrix prepared for repeated AMC operations by a specific engine.
+///
+/// Obtained from [`AmcEngine::program`]; opaque to callers.
+#[derive(Debug, Clone)]
+pub struct Operand {
+    inner: OperandInner,
+}
+
+#[derive(Debug, Clone)]
+enum OperandInner {
+    /// Exact matrix with a cached LU factorization (built lazily on the
+    /// first INV).
+    Numeric {
+        a: Matrix,
+        lu: Option<LuFactor>,
+    },
+    /// Conductance-programmed crossbar pair.
+    Circuit(ProgrammedMatrix),
+}
+
+impl Operand {
+    /// Shape `(rows, cols)` of the represented matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        match &self.inner {
+            OperandInner::Numeric { a, .. } => a.shape(),
+            OperandInner::Circuit(p) => p.shape(),
+        }
+    }
+
+    /// The *effective* matrix this operand computes with — exact for
+    /// numeric operands, the programmed (noisy) matrix for circuit
+    /// operands. Useful for diagnostics.
+    pub fn effective_matrix(&self) -> Matrix {
+        match &self.inner {
+            OperandInner::Numeric { a, .. } => a.clone(),
+            OperandInner::Circuit(p) => p.effective_matrix(),
+        }
+    }
+}
+
+/// Cumulative cost counters of an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineStats {
+    /// Number of matrices programmed.
+    pub program_ops: usize,
+    /// Number of INV operations executed.
+    pub inv_ops: usize,
+    /// Number of MVM operations executed.
+    pub mvm_ops: usize,
+    /// Total estimated analog settling time, in seconds (circuit engine
+    /// only).
+    pub analog_time_s: f64,
+    /// Total estimated analog energy, in joules (circuit engine only).
+    pub analog_energy_j: f64,
+}
+
+/// An executor of the two AMC primitives.
+///
+/// Implementations return results with the AMC minus sign:
+/// [`AmcEngine::inv`] yields `−A⁻¹·b` and [`AmcEngine::mvm`] yields
+/// `−A·x`.
+pub trait AmcEngine {
+    /// Prepares a matrix for repeated operations (factorization for the
+    /// numeric engine; conductance mapping + programming for the circuit
+    /// engine — variation is drawn here, once per array, as in hardware).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping/factorization failures.
+    fn program(&mut self, a: &Matrix) -> Result<Operand>;
+
+    /// Executes an INV operation: returns `−A⁻¹·b`.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatches, operand-kind mismatches, and solver failures.
+    fn inv(&mut self, operand: &mut Operand, b: &[f64]) -> Result<Vec<f64>>;
+
+    /// Executes an MVM operation: returns `−A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatches, operand-kind mismatches, and solver failures.
+    fn mvm(&mut self, operand: &mut Operand, x: &[f64]) -> Result<Vec<f64>>;
+
+    /// Engine name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Cumulative cost counters.
+    fn stats(&self) -> EngineStats;
+}
+
+/// Exact digital engine (LU-based).
+///
+/// # Example
+///
+/// ```
+/// use blockamc::engine::{AmcEngine, NumericEngine};
+/// use amc_linalg::Matrix;
+///
+/// # fn main() -> Result<(), blockamc::BlockAmcError> {
+/// let mut e = NumericEngine::new();
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]])?;
+/// let mut op = e.program(&a)?;
+/// assert_eq!(e.inv(&mut op, &[2.0, 4.0])?, vec![-1.0, -1.0]); // −A⁻¹b
+/// assert_eq!(e.mvm(&mut op, &[1.0, 1.0])?, vec![-2.0, -4.0]); // −A·x
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NumericEngine {
+    stats: EngineStats,
+}
+
+impl NumericEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AmcEngine for NumericEngine {
+    fn program(&mut self, a: &Matrix) -> Result<Operand> {
+        self.stats.program_ops += 1;
+        Ok(Operand {
+            inner: OperandInner::Numeric {
+                a: a.clone(),
+                lu: None,
+            },
+        })
+    }
+
+    fn inv(&mut self, operand: &mut Operand, b: &[f64]) -> Result<Vec<f64>> {
+        let OperandInner::Numeric { a, lu } = &mut operand.inner else {
+            return Err(BlockAmcError::OperandMismatch { engine: "numeric" });
+        };
+        if lu.is_none() {
+            *lu = Some(LuFactor::new(a)?);
+        }
+        let x = lu
+            .as_ref()
+            .expect("factorization was just installed")
+            .solve(b)?;
+        self.stats.inv_ops += 1;
+        Ok(x.into_iter().map(|v| -v).collect())
+    }
+
+    fn mvm(&mut self, operand: &mut Operand, x: &[f64]) -> Result<Vec<f64>> {
+        let OperandInner::Numeric { a, .. } = &operand.inner else {
+            return Err(BlockAmcError::OperandMismatch { engine: "numeric" });
+        };
+        let y = a.matvec(x)?;
+        self.stats.mvm_ops += 1;
+        Ok(y.into_iter().map(|v| -v).collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "numeric"
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+/// Configuration of the analog [`CircuitEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitEngineConfig {
+    /// Matrix → conductance mapping (G₀, device window, quantization,
+    /// faults).
+    pub mapping: MappingConfig,
+    /// Conductance programming variation.
+    pub variation: VariationModel,
+    /// Circuit-level simulation configuration (op-amp gain, interconnect,
+    /// saturation checking).
+    pub sim: SimConfig,
+}
+
+impl CircuitEngineConfig {
+    /// Fully ideal analog stack — reproduces the numeric engine exactly
+    /// (a self-check configuration). The device window is widened to a
+    /// mathematical idealization so that no matrix element is clamped or
+    /// deselected; the `paper_*` configurations keep the realistic window.
+    pub fn ideal() -> Self {
+        let mut mapping = MappingConfig::paper_default();
+        mapping.g_min = 1e-15;
+        mapping.g_max = 1.0;
+        CircuitEngineConfig {
+            mapping,
+            variation: VariationModel::None,
+            sim: SimConfig::ideal(),
+        }
+    }
+
+    /// Finite-gain op-amps, ideal devices and wires — the paper's "ideal
+    /// mapping" Fig. 6 configuration.
+    pub fn ideal_mapping() -> Self {
+        CircuitEngineConfig {
+            mapping: MappingConfig::paper_default(),
+            variation: VariationModel::None,
+            sim: SimConfig::finite_gain_only(),
+        }
+    }
+
+    /// Device variation at the paper's 5% level with an otherwise ideal
+    /// circuit — the Fig. 7 configuration.
+    ///
+    /// Interpretation note: the paper states "a standard deviation of
+    /// 0.05·G₀, which is achievable by using the write&verify algorithm".
+    /// Taken as *full-scale additive* noise on every one of the n² cells,
+    /// the induced matrix perturbation has spectral norm `≈ 0.1·√n·G₀`,
+    /// which exceeds the smallest eigenvalue of any of the benchmark
+    /// matrices beyond n ≈ 128 and makes every solver diverge — far from
+    /// the ≤ 0.4 relative errors Fig. 7 reports. The only reading
+    /// consistent with those magnitudes is *per-device relative* accuracy
+    /// (a write-and-verify loop verifies each cell to within a fraction
+    /// of its target), so this configuration uses
+    /// [`VariationModel::Proportional`] with `sigma_rel = 0.05`. The
+    /// literal full-scale reading remains available as
+    /// [`CircuitEngineConfig::absolute_variation`] for the ablation bench.
+    pub fn paper_variation() -> Self {
+        CircuitEngineConfig {
+            mapping: MappingConfig::paper_default(),
+            variation: VariationModel::Proportional { sigma_rel: 0.05 },
+            sim: SimConfig::ideal(),
+        }
+    }
+
+    /// The literal full-scale-additive reading of the paper's variation
+    /// (`σ = 0.05·G₀` on every programmed cell). Kept for the noise-model
+    /// ablation; see [`CircuitEngineConfig::paper_variation`].
+    pub fn absolute_variation() -> Self {
+        let mapping = MappingConfig::paper_default();
+        CircuitEngineConfig {
+            mapping,
+            variation: VariationModel::paper_default(mapping.g0),
+            sim: SimConfig::ideal(),
+        }
+    }
+
+    /// Device variation + 1 Ω/segment interconnect — the paper's Fig. 9
+    /// configuration (same variation interpretation as
+    /// [`CircuitEngineConfig::paper_variation`]).
+    pub fn paper_full() -> Self {
+        CircuitEngineConfig {
+            mapping: MappingConfig::paper_default(),
+            variation: VariationModel::Proportional { sigma_rel: 0.05 },
+            sim: SimConfig {
+                opamp: amc_circuit::opamp::OpAmpSpec::ideal(),
+                interconnect: amc_circuit::interconnect::InterconnectModel::paper_default(),
+                check_saturation: false,
+                settle_epsilon: amc_circuit::timing::DEFAULT_SETTLE_EPSILON,
+            },
+        }
+    }
+}
+
+/// Analog engine: every primitive runs through the device + circuit stack.
+#[derive(Debug, Clone)]
+pub struct CircuitEngine {
+    config: CircuitEngineConfig,
+    sim: AnalogSimulator,
+    rng: ChaCha8Rng,
+    stats: EngineStats,
+}
+
+impl CircuitEngine {
+    /// Creates the engine with a deterministic RNG seed (used for
+    /// variation and fault draws).
+    pub fn new(config: CircuitEngineConfig, seed: u64) -> Self {
+        CircuitEngine {
+            config,
+            sim: AnalogSimulator::new(config.sim),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Borrows the configuration.
+    pub fn config(&self) -> &CircuitEngineConfig {
+        &self.config
+    }
+}
+
+impl AmcEngine for CircuitEngine {
+    fn program(&mut self, a: &Matrix) -> Result<Operand> {
+        let programmed = ProgrammedMatrix::program(
+            a,
+            &self.config.mapping,
+            &self.config.variation,
+            &mut self.rng,
+        )?;
+        self.stats.program_ops += 1;
+        Ok(Operand {
+            inner: OperandInner::Circuit(programmed),
+        })
+    }
+
+    fn inv(&mut self, operand: &mut Operand, b: &[f64]) -> Result<Vec<f64>> {
+        let OperandInner::Circuit(p) = &operand.inner else {
+            return Err(BlockAmcError::OperandMismatch { engine: "circuit" });
+        };
+        let out = self.sim.inv(p, b)?;
+        self.stats.inv_ops += 1;
+        self.stats.analog_time_s += out.settle_time_s;
+        self.stats.analog_energy_j += out.settle_time_s * out.power_w;
+        Ok(out.values)
+    }
+
+    fn mvm(&mut self, operand: &mut Operand, x: &[f64]) -> Result<Vec<f64>> {
+        let OperandInner::Circuit(p) = &operand.inner else {
+            return Err(BlockAmcError::OperandMismatch { engine: "circuit" });
+        };
+        let out = self.sim.mvm(p, x)?;
+        self.stats.mvm_ops += 1;
+        self.stats.analog_time_s += out.settle_time_s;
+        self.stats.analog_energy_j += out.settle_time_s * out.power_w;
+        Ok(out.values)
+    }
+
+    fn name(&self) -> &'static str {
+        "circuit"
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_linalg::vector;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.5]]).unwrap()
+    }
+
+    #[test]
+    fn numeric_engine_signs() {
+        let mut e = NumericEngine::new();
+        let a = sample();
+        let mut op = e.program(&a).unwrap();
+        let b = [0.5, 0.25];
+        let neg_x = e.inv(&mut op, &b).unwrap();
+        // A·(−neg_x) = b
+        let back = a.matvec(&vector::neg(&neg_x)).unwrap();
+        assert!(vector::approx_eq(&back, &b, 1e-12));
+        let neg_y = e.mvm(&mut op, &[1.0, 1.0]).unwrap();
+        assert!(vector::approx_eq(&neg_y, &[-2.5, -2.0], 1e-12));
+    }
+
+    #[test]
+    fn numeric_engine_caches_factorization() {
+        let mut e = NumericEngine::new();
+        let mut op = e.program(&sample()).unwrap();
+        let _ = e.inv(&mut op, &[1.0, 0.0]).unwrap();
+        let _ = e.inv(&mut op, &[0.0, 1.0]).unwrap();
+        assert_eq!(e.stats().inv_ops, 2);
+        assert_eq!(e.stats().program_ops, 1);
+    }
+
+    #[test]
+    fn ideal_circuit_engine_matches_numeric() {
+        let a = sample();
+        let b = [0.3, -0.2];
+        let mut num = NumericEngine::new();
+        let mut cir = CircuitEngine::new(CircuitEngineConfig::ideal(), 1);
+        let mut opn = num.program(&a).unwrap();
+        let mut opc = cir.program(&a).unwrap();
+        let xn = num.inv(&mut opn, &b).unwrap();
+        let xc = cir.inv(&mut opc, &b).unwrap();
+        assert!(vector::approx_eq(&xn, &xc, 1e-9));
+        let yn = num.mvm(&mut opn, &b).unwrap();
+        let yc = cir.mvm(&mut opc, &b).unwrap();
+        assert!(vector::approx_eq(&yn, &yc, 1e-9));
+    }
+
+    #[test]
+    fn circuit_engine_tracks_time_and_energy() {
+        let mut cir = CircuitEngine::new(CircuitEngineConfig::ideal(), 2);
+        let mut op = cir.program(&sample()).unwrap();
+        let _ = cir.inv(&mut op, &[0.1, 0.1]).unwrap();
+        let s = cir.stats();
+        assert_eq!(s.inv_ops, 1);
+        assert!(s.analog_time_s > 0.0);
+        assert!(s.analog_energy_j > 0.0);
+    }
+
+    #[test]
+    fn variation_makes_engines_differ() {
+        let a = sample();
+        let b = [0.3, -0.2];
+        let mut num = NumericEngine::new();
+        let mut cir = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 3);
+        let mut opn = num.program(&a).unwrap();
+        let mut opc = cir.program(&a).unwrap();
+        let xn = num.inv(&mut opn, &b).unwrap();
+        let xc = cir.inv(&mut opc, &b).unwrap();
+        let err = amc_linalg::metrics::relative_error(&xn, &xc);
+        assert!(err > 1e-4, "variation should perturb, err={err}");
+        assert!(err < 0.5, "perturbation should be moderate, err={err}");
+    }
+
+    #[test]
+    fn operands_persist_their_variation_draw() {
+        // The same operand used twice sees the same noisy matrix; two
+        // separately programmed operands see different draws.
+        let a = sample();
+        let mut cir = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 4);
+        let mut op1 = cir.program(&a).unwrap();
+        let mut op2 = cir.program(&a).unwrap();
+        let b = [0.2, 0.1];
+        let x1a = cir.inv(&mut op1, &b).unwrap();
+        let x1b = cir.inv(&mut op1, &b).unwrap();
+        let x2 = cir.inv(&mut op2, &b).unwrap();
+        assert_eq!(x1a, x1b, "same array => identical results");
+        assert_ne!(x1a, x2, "different arrays => different draws");
+    }
+
+    #[test]
+    fn operand_kind_mismatch_detected() {
+        let mut num = NumericEngine::new();
+        let mut cir = CircuitEngine::new(CircuitEngineConfig::ideal(), 5);
+        let mut opn = num.program(&sample()).unwrap();
+        let mut opc = cir.program(&sample()).unwrap();
+        assert!(matches!(
+            cir.inv(&mut opn, &[0.1, 0.1]),
+            Err(BlockAmcError::OperandMismatch { .. })
+        ));
+        assert!(matches!(
+            num.mvm(&mut opc, &[0.1, 0.1]),
+            Err(BlockAmcError::OperandMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn operand_reports_shape_and_effective_matrix() {
+        let mut e = NumericEngine::new();
+        let op = e.program(&sample()).unwrap();
+        assert_eq!(op.shape(), (2, 2));
+        assert!(op.effective_matrix().approx_eq(&sample(), 0.0));
+    }
+
+    #[test]
+    fn engine_names() {
+        assert_eq!(NumericEngine::new().name(), "numeric");
+        assert_eq!(
+            CircuitEngine::new(CircuitEngineConfig::ideal(), 0).name(),
+            "circuit"
+        );
+    }
+}

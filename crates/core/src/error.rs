@@ -1,0 +1,132 @@
+use std::fmt;
+
+/// Error type for all fallible operations in `blockamc`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BlockAmcError {
+    /// Invalid solver/partition configuration.
+    InvalidConfig {
+        /// Explanation of what was wrong.
+        message: String,
+    },
+    /// Input shapes disagree (matrix not square, `b` wrong length, …).
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Provided size.
+        got: usize,
+    },
+    /// An engine was handed an operand programmed by a different engine
+    /// kind (e.g. a numeric operand passed to the circuit engine).
+    OperandMismatch {
+        /// The engine that rejected the operand.
+        engine: &'static str,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(amc_linalg::LinalgError),
+    /// An underlying device-model operation failed.
+    Device(amc_device::DeviceError),
+    /// An underlying circuit-simulation operation failed.
+    Circuit(amc_circuit::CircuitError),
+}
+
+impl BlockAmcError {
+    /// Shorthand constructor for [`BlockAmcError::InvalidConfig`].
+    pub fn config(message: impl Into<String>) -> Self {
+        BlockAmcError::InvalidConfig {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for BlockAmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockAmcError::InvalidConfig { message } => {
+                write!(f, "invalid solver configuration: {message}")
+            }
+            BlockAmcError::ShapeMismatch { op, expected, got } => {
+                write!(f, "shape mismatch in {op}: expected {expected}, got {got}")
+            }
+            BlockAmcError::OperandMismatch { engine } => {
+                write!(f, "operand was programmed by a different engine kind than {engine}")
+            }
+            BlockAmcError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            BlockAmcError::Device(e) => write!(f, "device error: {e}"),
+            BlockAmcError::Circuit(e) => write!(f, "circuit error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BlockAmcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BlockAmcError::Linalg(e) => Some(e),
+            BlockAmcError::Device(e) => Some(e),
+            BlockAmcError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<amc_linalg::LinalgError> for BlockAmcError {
+    fn from(e: amc_linalg::LinalgError) -> Self {
+        BlockAmcError::Linalg(e)
+    }
+}
+
+impl From<amc_device::DeviceError> for BlockAmcError {
+    fn from(e: amc_device::DeviceError) -> Self {
+        BlockAmcError::Device(e)
+    }
+}
+
+impl From<amc_circuit::CircuitError> for BlockAmcError {
+    fn from(e: amc_circuit::CircuitError) -> Self {
+        BlockAmcError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(BlockAmcError::config("split too large")
+            .to_string()
+            .contains("split too large"));
+        assert!(BlockAmcError::ShapeMismatch {
+            op: "solve",
+            expected: 8,
+            got: 4
+        }
+        .to_string()
+        .contains("solve"));
+        assert!(BlockAmcError::OperandMismatch { engine: "numeric" }
+            .to_string()
+            .contains("numeric"));
+    }
+
+    #[test]
+    fn wraps_all_sources() {
+        use std::error::Error;
+        assert!(BlockAmcError::from(amc_linalg::LinalgError::Singular { pivot: 0 })
+            .source()
+            .is_some());
+        assert!(BlockAmcError::from(amc_device::DeviceError::config("x"))
+            .source()
+            .is_some());
+        assert!(BlockAmcError::from(amc_circuit::CircuitError::config("y"))
+            .source()
+            .is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BlockAmcError>();
+    }
+}

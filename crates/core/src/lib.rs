@@ -1,0 +1,74 @@
+//! # BlockAMC — scalable in-memory analog matrix computing
+//!
+//! Reproduction of *"BlockAMC: Scalable In-Memory Analog Matrix Computing
+//! for Solving Linear Systems"* (Pan, Zuo, Luo, Sun, Huang — DATE 2024).
+//!
+//! A single in-memory INV circuit solves `A·x = b` in one step, but does
+//! not scale past the manufacturable crossbar size. BlockAMC partitions
+//!
+//! ```text
+//! A = [ A1  A2 ]      b = [ f ]
+//!     [ A3  A4 ]          [ g ]
+//! ```
+//!
+//! pre-computes the Schur complement `A4s = A4 − A3·A1⁻¹·A2` digitally,
+//! and recovers the full solution with five cascaded analog operations
+//! (3×INV + 2×MVM) on half-size arrays — see [`one_stage`]. Recursion
+//! yields the [`two_stage`] solver on quarter-size arrays, and
+//! [`multi_stage`] generalizes to arbitrary depth.
+//!
+//! The algorithm is written once against the [`engine::AmcEngine`] trait:
+//!
+//! * [`engine::NumericEngine`] — exact digital solves (the paper's
+//!   "numerical solver" reference),
+//! * [`engine::CircuitEngine`] — every INV/MVM runs through the full
+//!   device + circuit stack (`amc-device`, `amc-circuit`): conductance
+//!   mapping, programming variation, wire resistance, finite op-amp gain,
+//!   and optional DAC/ADC quantization.
+//!
+//! [`solver::BlockAmcSolver`] is the high-level facade; [`macro_model`]
+//! describes the reconfigurable hardware macro (clock phases S0–S4,
+//! transmission-gate topologies, S&H pipelining) and its timing.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use blockamc::engine::NumericEngine;
+//! use blockamc::solver::{BlockAmcSolver, Stages};
+//! use amc_linalg::{generate, Matrix};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), blockamc::BlockAmcError> {
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+//! let a = generate::wishart_default(8, &mut rng)?;
+//! let b = generate::random_vector(8, &mut rng);
+//!
+//! let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
+//! let report = solver.solve(&a, &b)?;
+//! let residual = amc_linalg::vector::sub(&a.matvec(&report.x)?, &b);
+//! assert!(amc_linalg::vector::norm2(&residual) < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod converter;
+pub mod engine;
+mod error;
+pub mod macro_model;
+pub mod montecarlo;
+pub mod multi_stage;
+pub mod one_stage;
+pub mod partition;
+pub mod refine;
+pub mod solver;
+pub mod split_search;
+pub mod two_stage;
+
+pub use error::BlockAmcError;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, BlockAmcError>;

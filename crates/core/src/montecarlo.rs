@@ -1,0 +1,271 @@
+//! Monte-Carlo yield analysis.
+//!
+//! The paper's accuracy figures are 40-trial Monte-Carlo averages. For a
+//! hardware designer the more actionable statistic is *yield*: across
+//! device-variation draws (i.e. across manufactured parts), what fraction
+//! of solvers meets an accuracy specification? This module runs that
+//! analysis for any solver architecture and configuration.
+
+use amc_linalg::{lu, metrics, Matrix};
+
+use crate::converter::IoConfig;
+use crate::engine::{CircuitEngine, CircuitEngineConfig};
+use crate::solver::{BlockAmcSolver, Stages};
+use crate::{BlockAmcError, Result};
+
+/// Result of a yield run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldReport {
+    /// Number of variation draws simulated.
+    pub trials: usize,
+    /// Draws whose solve completed (no singular operating point).
+    pub completed: usize,
+    /// Draws meeting the accuracy specification.
+    pub passing: usize,
+    /// The accuracy specification (paper eq. 6 relative error).
+    pub spec: f64,
+    /// Error statistics over the completed draws.
+    pub errors: metrics::ErrorStats,
+}
+
+impl YieldReport {
+    /// Fraction of draws meeting the spec (completed and accurate).
+    pub fn yield_fraction(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.passing as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Runs `trials` independent device-variation draws of one solver on a
+/// fixed workload and reports the pass fraction against `spec`.
+///
+/// Each trial programs fresh arrays (a new "manufactured part") from
+/// `engine_seed + trial`, so results are reproducible.
+///
+/// # Errors
+///
+/// * [`BlockAmcError::InvalidConfig`] if `trials == 0` or `spec` is not
+///   positive.
+/// * Propagates reference-solution failures (a singular workload matrix).
+///   Per-trial analog failures are *counted*, not propagated.
+pub fn yield_analysis(
+    a: &Matrix,
+    b: &[f64],
+    stages: Stages,
+    config: CircuitEngineConfig,
+    io: &IoConfig,
+    spec: f64,
+    trials: usize,
+    engine_seed: u64,
+) -> Result<YieldReport> {
+    if trials == 0 {
+        return Err(BlockAmcError::config("yield analysis needs at least 1 trial"));
+    }
+    if !(spec > 0.0 && spec.is_finite()) {
+        return Err(BlockAmcError::config("spec must be positive and finite"));
+    }
+    let x_ref = lu::solve(a, b)?;
+    let mut errors = Vec::with_capacity(trials);
+    let mut passing = 0usize;
+    for t in 0..trials {
+        let engine = CircuitEngine::new(config, engine_seed.wrapping_add(t as u64));
+        let mut solver = BlockAmcSolver::new(engine, stages).with_io(*io);
+        if let Ok(report) = solver.solve(a, b) {
+            let err = metrics::relative_error(&x_ref, &report.x);
+            if err.is_finite() {
+                if err <= spec {
+                    passing += 1;
+                }
+                errors.push(err);
+            }
+        }
+    }
+    Ok(YieldReport {
+        trials,
+        completed: errors.len(),
+        passing,
+        spec,
+        errors: metrics::ErrorStats::from_samples(&errors),
+    })
+}
+
+/// Convenience: yields of all three architectures on one workload,
+/// in the paper's comparison order (original, one-stage, two-stage).
+///
+/// # Errors
+///
+/// Same conditions as [`yield_analysis`].
+pub fn compare_yields(
+    a: &Matrix,
+    b: &[f64],
+    config: CircuitEngineConfig,
+    spec: f64,
+    trials: usize,
+    engine_seed: u64,
+) -> Result<[YieldReport; 3]> {
+    let io = IoConfig::ideal();
+    Ok([
+        yield_analysis(a, b, Stages::Original, config, &io, spec, trials, engine_seed)?,
+        yield_analysis(a, b, Stages::One, config, &io, spec, trials, engine_seed)?,
+        yield_analysis(a, b, Stages::Two, config, &io, spec, trials, engine_seed)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_linalg::generate;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn workload(n: usize) -> (Matrix, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = generate::wishart_default(n, &mut rng).unwrap();
+        let b = generate::random_vector(n, &mut rng);
+        (a, b)
+    }
+
+    #[test]
+    fn ideal_stack_yields_100_percent() {
+        let (a, b) = workload(12);
+        let r = yield_analysis(
+            &a,
+            &b,
+            Stages::One,
+            CircuitEngineConfig::ideal(),
+            &IoConfig::ideal(),
+            1e-6,
+            5,
+            0,
+        )
+        .unwrap();
+        assert_eq!(r.passing, 5);
+        assert_eq!(r.completed, 5);
+        assert!((r.yield_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tight_spec_fails_noisy_parts() {
+        let (a, b) = workload(16);
+        let r = yield_analysis(
+            &a,
+            &b,
+            Stages::One,
+            CircuitEngineConfig::paper_variation(),
+            &IoConfig::ideal(),
+            1e-6, // far below the 5%-variation error floor
+            6,
+            0,
+        )
+        .unwrap();
+        assert_eq!(r.passing, 0);
+        assert!(r.errors.mean > 1e-3);
+    }
+
+    #[test]
+    fn loose_spec_passes_noisy_parts() {
+        let (a, b) = workload(16);
+        let r = yield_analysis(
+            &a,
+            &b,
+            Stages::One,
+            CircuitEngineConfig::paper_variation(),
+            &IoConfig::ideal(),
+            0.5,
+            6,
+            0,
+        )
+        .unwrap();
+        assert!(r.yield_fraction() > 0.5, "yield {}", r.yield_fraction());
+    }
+
+    #[test]
+    fn yield_is_monotone_in_spec() {
+        let (a, b) = workload(16);
+        let run = |spec: f64| {
+            yield_analysis(
+                &a,
+                &b,
+                Stages::One,
+                CircuitEngineConfig::paper_variation(),
+                &IoConfig::ideal(),
+                spec,
+                8,
+                3,
+            )
+            .unwrap()
+            .passing
+        };
+        let loose = run(0.5);
+        let mid = run(0.08);
+        let tight = run(0.001);
+        assert!(loose >= mid && mid >= tight, "{loose} >= {mid} >= {tight}");
+    }
+
+    #[test]
+    fn compare_yields_orders_architectures() {
+        let (a, b) = workload(16);
+        let reports = compare_yields(
+            &a,
+            &b,
+            CircuitEngineConfig::paper_variation(),
+            0.1,
+            6,
+            1,
+        )
+        .unwrap();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert_eq!(r.trials, 6);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let (a, b) = workload(8);
+        assert!(yield_analysis(
+            &a,
+            &b,
+            Stages::One,
+            CircuitEngineConfig::ideal(),
+            &IoConfig::ideal(),
+            0.1,
+            0,
+            0
+        )
+        .is_err());
+        assert!(yield_analysis(
+            &a,
+            &b,
+            Stages::One,
+            CircuitEngineConfig::ideal(),
+            &IoConfig::ideal(),
+            0.0,
+            3,
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let (a, b) = workload(12);
+        let run = || {
+            yield_analysis(
+                &a,
+                &b,
+                Stages::One,
+                CircuitEngineConfig::paper_variation(),
+                &IoConfig::ideal(),
+                0.1,
+                4,
+                9,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

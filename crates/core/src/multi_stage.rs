@@ -1,0 +1,300 @@
+//! Arbitrary-depth recursive BlockAMC (generalization of the paper's
+//! two-stage solver).
+//!
+//! The paper notes that "for an arbitrarily sized matrix, it can be
+//! partitioned stage by stage, resulting eventually in small scale block
+//! matrices that can be accommodated in memory arrays", and Fig. 8(d)
+//! supports "the scalability of this method towards larger scale INV
+//! problems through deeper partitioning". This module implements that
+//! generalization: a partition *tree* of depth `d` whose leaves are
+//! engine-programmed arrays of size ≈ `n / 2^d`.
+//!
+//! MVM blocks are executed directly on engine arrays at their natural
+//! block size (forward partitioning of MVM is routine — refs. \[13\]–\[15\]
+//! of the paper — and orthogonal to the INV recursion studied here).
+
+use amc_linalg::{vector, Matrix};
+
+use crate::engine::{AmcEngine, Operand};
+use crate::partition::BlockPartition;
+use crate::{BlockAmcError, Result};
+
+/// A node of the prepared partition tree.
+#[derive(Debug, Clone)]
+enum Node {
+    /// A leaf: the whole block is programmed on one array.
+    Leaf(Operand),
+    /// An internal node: the block is solved by the five-step algorithm
+    /// over its children.
+    Split {
+        split: usize,
+        size: usize,
+        a1: Box<Node>,
+        a4s: Box<Node>,
+        /// `None` for a zero block.
+        a2: Option<Operand>,
+        /// `None` for a zero block.
+        a3: Option<Operand>,
+    },
+}
+
+/// A matrix prepared for multi-stage BlockAMC solving.
+#[derive(Debug, Clone)]
+pub struct PreparedMultiStage {
+    root: Node,
+    n: usize,
+    depth: usize,
+}
+
+impl PreparedMultiStage {
+    /// Problem size `n`.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Partitioning depth (0 = single array, 1 = one-stage, 2 = two-stage
+    /// INV recursion, …).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Largest array (leaf block) size in the tree.
+    pub fn max_leaf_size(&self) -> usize {
+        fn walk(node: &Node) -> usize {
+            match node {
+                Node::Leaf(op) => op.shape().0.max(op.shape().1),
+                Node::Split { a1, a4s, a2, a3, .. } => {
+                    let mut m = walk(a1).max(walk(a4s));
+                    if let Some(op) = a2 {
+                        m = m.max(op.shape().0.max(op.shape().1));
+                    }
+                    if let Some(op) = a3 {
+                        m = m.max(op.shape().0.max(op.shape().1));
+                    }
+                    m
+                }
+            }
+        }
+        walk(&self.root)
+    }
+}
+
+fn prepare_node<E: AmcEngine + ?Sized>(
+    engine: &mut E,
+    a: &Matrix,
+    depth: usize,
+) -> Result<Node> {
+    if depth == 0 || a.rows() < 2 {
+        return Ok(Node::Leaf(engine.program(a)?));
+    }
+    let p = BlockPartition::halves(a)?;
+    let a4s = p.schur_complement()?;
+    let a1 = prepare_node(engine, &p.a1, depth - 1)?;
+    let a4s_node = prepare_node(engine, &a4s, depth - 1)?;
+    let a2 = if p.a2.is_zero() {
+        None
+    } else {
+        Some(engine.program(&p.a2)?)
+    };
+    let a3 = if p.a3.is_zero() {
+        None
+    } else {
+        Some(engine.program(&p.a3)?)
+    };
+    Ok(Node::Split {
+        split: p.split,
+        size: p.size(),
+        a1: Box::new(a1),
+        a4s: Box::new(a4s_node),
+        a2,
+        a3,
+    })
+}
+
+/// Computes `−block⁻¹·b` recursively (the AMC sign convention, so the
+/// recursion composes exactly like cascaded INV circuits).
+fn inv_signed<E: AmcEngine + ?Sized>(
+    engine: &mut E,
+    node: &mut Node,
+    b: &[f64],
+) -> Result<Vec<f64>> {
+    match node {
+        Node::Leaf(op) => engine.inv(op, b),
+        Node::Split {
+            split,
+            size,
+            a1,
+            a4s,
+            a2,
+            a3,
+        } => {
+            let split = *split;
+            let bottom = *size - split;
+            let f = &b[..split];
+            let g = &b[split..];
+            // Step 1: −y_t.
+            let neg_yt = inv_signed(engine, a1, f)?;
+            // Step 2: g_t = −A3·(−y_t).
+            let gt = match a3.as_mut() {
+                Some(op) => engine.mvm(op, &neg_yt)?,
+                None => vec![0.0; bottom],
+            };
+            // Step 3: z = −A4s⁻¹·(g_t − g).
+            let input3 = vector::sub(&gt, g);
+            let z = inv_signed(engine, a4s, &input3)?;
+            // Step 4: −f_t = −A2·z.
+            let neg_ft = match a2.as_mut() {
+                Some(op) => engine.mvm(op, &z)?,
+                None => vec![0.0; split],
+            };
+            // Step 5: −y = −A1⁻¹·(f − f_t).
+            let input5 = vector::add(f, &neg_ft);
+            let neg_y = inv_signed(engine, a1, &input5)?;
+            // This node's "INV output" must be −x for the parent cascade:
+            // x = [y; z] with y = −neg_y, so −x = [neg_y; −z].
+            Ok(vector::concat(&neg_y, &vector::neg(&z)))
+        }
+    }
+}
+
+/// Partitions `a` recursively to `depth` and programs all leaves.
+///
+/// # Errors
+///
+/// Partitioning, Schur, and programming failures. `depth` may exceed
+/// `log2(n)`; recursion stops early at 1×1 blocks.
+pub fn prepare<E: AmcEngine + ?Sized>(
+    engine: &mut E,
+    a: &Matrix,
+    depth: usize,
+) -> Result<PreparedMultiStage> {
+    if !a.is_square() {
+        return Err(BlockAmcError::ShapeMismatch {
+            op: "multi_stage prepare",
+            expected: a.rows(),
+            got: a.cols(),
+        });
+    }
+    Ok(PreparedMultiStage {
+        n: a.rows(),
+        root: prepare_node(engine, a, depth)?,
+        depth,
+    })
+}
+
+/// Solves `A·x = b` with the prepared partition tree.
+///
+/// # Errors
+///
+/// Shape mismatches and engine failures.
+pub fn solve<E: AmcEngine + ?Sized>(
+    engine: &mut E,
+    prepared: &mut PreparedMultiStage,
+    b: &[f64],
+) -> Result<Vec<f64>> {
+    if b.len() != prepared.n {
+        return Err(BlockAmcError::ShapeMismatch {
+            op: "multi_stage_solve",
+            expected: prepared.n,
+            got: b.len(),
+        });
+    }
+    let neg_x = inv_signed(engine, &mut prepared.root, b)?;
+    Ok(vector::neg(&neg_x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CircuitEngine, CircuitEngineConfig, NumericEngine};
+    use amc_linalg::{generate, lu, metrics};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn workload(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = generate::wishart_default(n, &mut rng).unwrap();
+        let b = generate::random_vector(n, &mut rng);
+        (a, b)
+    }
+
+    #[test]
+    fn depth_zero_is_single_array() {
+        let (a, b) = workload(8, 1);
+        let mut engine = NumericEngine::new();
+        let mut prep = prepare(&mut engine, &a, 0).unwrap();
+        assert_eq!(prep.max_leaf_size(), 8);
+        let x = solve(&mut engine, &mut prep, &b).unwrap();
+        let x_ref = lu::solve(&a, &b).unwrap();
+        assert!(vector::approx_eq(&x, &x_ref, 1e-10));
+        assert_eq!(engine.stats().program_ops, 1);
+    }
+
+    #[test]
+    fn depths_match_exact_solution() {
+        let (a, b) = workload(16, 2);
+        let x_ref = lu::solve(&a, &b).unwrap();
+        for depth in 0..=4 {
+            let mut engine = NumericEngine::new();
+            let mut prep = prepare(&mut engine, &a, depth).unwrap();
+            let x = solve(&mut engine, &mut prep, &b).unwrap();
+            assert!(
+                metrics::relative_error(&x_ref, &x) < 1e-8,
+                "depth {depth} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_size_halves_per_stage() {
+        let (a, _) = workload(32, 3);
+        let mut engine = NumericEngine::new();
+        let d1 = prepare(&mut engine, &a, 1).unwrap();
+        assert_eq!(d1.max_leaf_size(), 16);
+        let d2 = prepare(&mut engine, &a, 2).unwrap();
+        assert_eq!(d2.max_leaf_size(), 16); // MVM blocks stay at n/2
+        // INV leaves shrink though: count leaves of size 8.
+        let d3 = prepare(&mut engine, &a, 3).unwrap();
+        assert_eq!(d3.depth(), 3);
+    }
+
+    #[test]
+    fn excessive_depth_stops_at_1x1() {
+        let (a, b) = workload(4, 4);
+        let mut engine = NumericEngine::new();
+        let mut prep = prepare(&mut engine, &a, 10).unwrap();
+        let x = solve(&mut engine, &mut prep, &b).unwrap();
+        let x_ref = lu::solve(&a, &b).unwrap();
+        assert!(vector::approx_eq(&x, &x_ref, 1e-8));
+    }
+
+    #[test]
+    fn odd_sizes_at_depth_two() {
+        let (a, b) = workload(13, 5);
+        let mut engine = NumericEngine::new();
+        let mut prep = prepare(&mut engine, &a, 2).unwrap();
+        let x = solve(&mut engine, &mut prep, &b).unwrap();
+        let x_ref = lu::solve(&a, &b).unwrap();
+        assert!(metrics::relative_error(&x_ref, &x) < 1e-8);
+    }
+
+    #[test]
+    fn circuit_engine_depth_two_with_variation() {
+        let (a, b) = workload(16, 6);
+        let mut engine = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 31);
+        let mut prep = prepare(&mut engine, &a, 2).unwrap();
+        let x = solve(&mut engine, &mut prep, &b).unwrap();
+        let x_ref = lu::solve(&a, &b).unwrap();
+        let err = metrics::relative_error(&x_ref, &x);
+        assert!(err > 1e-6 && err < 1.0, "err={err}");
+    }
+
+    #[test]
+    fn non_square_and_wrong_rhs_rejected() {
+        let mut engine = NumericEngine::new();
+        assert!(prepare(&mut engine, &Matrix::zeros(2, 3), 1).is_err());
+        let (a, _) = workload(8, 7);
+        let mut prep = prepare(&mut engine, &a, 1).unwrap();
+        assert!(solve(&mut engine, &mut prep, &[0.0; 3]).is_err());
+    }
+}

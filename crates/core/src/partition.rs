@@ -1,0 +1,250 @@
+//! Block partitioning and Schur-complement pre-processing.
+//!
+//! The original matrix `A` (n×n) is split into four blocks around a split
+//! index `s` (paper Fig. 2; `s = n/2` by default, but "the size of A1 can
+//! be arbitrarily selected, only requiring that it is square"):
+//!
+//! ```text
+//! A = [ A1 (s×s)      A2 (s×(n−s)) ]
+//!     [ A3 ((n−s)×s)  A4 ((n−s)×(n−s)) ]
+//! ```
+//!
+//! The INV steps operate on `A1` and on the Schur complement
+//! `A4s = A4 − A3·A1⁻¹·A2`, which is computed *digitally in advance* and
+//! stored in a crossbar (the paper's acknowledged pre-processing
+//! overhead). When `A2` or `A3` is a zero block, `A4s = A4` and the
+//! pre-processing is free — [`BlockPartition::schur_complement`]
+//! implements that shortcut.
+
+use amc_linalg::{lu::LuFactor, Matrix};
+
+use crate::{BlockAmcError, Result};
+
+/// A 2×2 block view of a square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockPartition {
+    /// Upper-left block `A1` (square, `split x split`).
+    pub a1: Matrix,
+    /// Upper-right block `A2` (`split x (n-split)`).
+    pub a2: Matrix,
+    /// Lower-left block `A3` (`(n-split) x split`).
+    pub a3: Matrix,
+    /// Lower-right block `A4` (`(n-split) x (n-split)`).
+    pub a4: Matrix,
+    /// The split index (size of `A1`).
+    pub split: usize,
+}
+
+impl BlockPartition {
+    /// Partitions a square matrix at `split` (the size of `A1`).
+    ///
+    /// # Errors
+    ///
+    /// * [`BlockAmcError::ShapeMismatch`] if `a` is not square.
+    /// * [`BlockAmcError::InvalidConfig`] if `split` is 0 or ≥ n (both
+    ///   halves must be non-empty).
+    pub fn new(a: &Matrix, split: usize) -> Result<Self> {
+        if !a.is_square() {
+            return Err(BlockAmcError::ShapeMismatch {
+                op: "partition (square matrix required)",
+                expected: a.rows(),
+                got: a.cols(),
+            });
+        }
+        let n = a.rows();
+        if split == 0 || split >= n {
+            return Err(BlockAmcError::config(format!(
+                "split must satisfy 0 < split < n, got split={split}, n={n}"
+            )));
+        }
+        Ok(BlockPartition {
+            a1: a.block(0, 0, split, split)?,
+            a2: a.block(0, split, split, n - split)?,
+            a3: a.block(split, 0, n - split, split)?,
+            a4: a.block(split, split, n - split, n - split)?,
+            split,
+        })
+    }
+
+    /// Partitions at the paper's default split `⌈n/2⌉` (the `(n+1)/2`
+    /// choice for odd `n` described in §III.A).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BlockPartition::new`]; requires `n >= 2`.
+    pub fn halves(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        if n < 2 {
+            return Err(BlockAmcError::config(format!(
+                "cannot partition a {n}x{n} matrix into four blocks"
+            )));
+        }
+        Self::new(a, n.div_ceil(2))
+    }
+
+    /// Total size `n` of the original matrix.
+    pub fn size(&self) -> usize {
+        self.split + self.a4.rows()
+    }
+
+    /// Computes the Schur complement `A4s = A4 − A3·A1⁻¹·A2`
+    /// (paper eq. 3), with the zero-block shortcut: if `A2` or `A3` is a
+    /// zero matrix, `A4s = A4` and no digital inversion is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped [`amc_linalg::LinalgError::Singular`] if `A1` is
+    /// singular (the algorithm requires an invertible `A1`; choose a
+    /// different split in that case).
+    pub fn schur_complement(&self) -> Result<Matrix> {
+        if self.a2.is_zero() || self.a3.is_zero() {
+            return Ok(self.a4.clone());
+        }
+        let lu = LuFactor::new(&self.a1)?;
+        let a1_inv_a2 = lu.solve_matrix(&self.a2)?;
+        let correction = self.a3.matmul(&a1_inv_a2)?;
+        Ok(self.a4.sub_matrix(&correction)?)
+    }
+
+    /// Splits a right-hand-side vector into `(f, g)` — the upper `split`
+    /// entries and the rest (paper Fig. 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockAmcError::ShapeMismatch`] if `b.len() != n`.
+    pub fn split_vector(&self, b: &[f64]) -> Result<(Vec<f64>, Vec<f64>)> {
+        if b.len() != self.size() {
+            return Err(BlockAmcError::ShapeMismatch {
+                op: "split_vector",
+                expected: self.size(),
+                got: b.len(),
+            });
+        }
+        Ok((b[..self.split].to_vec(), b[self.split..].to_vec()))
+    }
+
+    /// Reassembles the original matrix from the four blocks (inverse of
+    /// [`BlockPartition::new`]).
+    pub fn recompose(&self) -> Matrix {
+        Matrix::from_blocks(&self.a1, &self.a2, &self.a3, &self.a4)
+            .expect("blocks tile by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_linalg::{generate, lu};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample(n: usize, seed: u64) -> Matrix {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        generate::diagonally_dominant(n, 1.0, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn partition_roundtrip_even() {
+        let a = sample(8, 1);
+        let p = BlockPartition::halves(&a).unwrap();
+        assert_eq!(p.split, 4);
+        assert_eq!(p.a1.shape(), (4, 4));
+        assert_eq!(p.a4.shape(), (4, 4));
+        assert_eq!(p.recompose(), a);
+        assert_eq!(p.size(), 8);
+    }
+
+    #[test]
+    fn partition_roundtrip_odd() {
+        // Odd n: A1 is (n+1)/2 per the paper.
+        let a = sample(7, 2);
+        let p = BlockPartition::halves(&a).unwrap();
+        assert_eq!(p.split, 4);
+        assert_eq!(p.a1.shape(), (4, 4));
+        assert_eq!(p.a2.shape(), (4, 3));
+        assert_eq!(p.a3.shape(), (3, 4));
+        assert_eq!(p.a4.shape(), (3, 3));
+        assert_eq!(p.recompose(), a);
+    }
+
+    #[test]
+    fn arbitrary_split_supported() {
+        let a = sample(10, 3);
+        for split in 1..10 {
+            let p = BlockPartition::new(&a, split).unwrap();
+            assert_eq!(p.a1.shape(), (split, split));
+            assert_eq!(p.recompose(), a);
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let a = sample(6, 4);
+        assert!(BlockPartition::new(&a, 0).is_err());
+        assert!(BlockPartition::new(&a, 6).is_err());
+        assert!(BlockPartition::new(&Matrix::zeros(2, 3), 1).is_err());
+        assert!(BlockPartition::halves(&Matrix::identity(1)).is_err());
+    }
+
+    #[test]
+    fn schur_complement_matches_definition() {
+        let a = sample(6, 5);
+        let p = BlockPartition::halves(&a).unwrap();
+        let s = p.schur_complement().unwrap();
+        let a1_inv = lu::inverse(&p.a1).unwrap();
+        let expect = p
+            .a4
+            .sub_matrix(&p.a3.matmul(&a1_inv).unwrap().matmul(&p.a2).unwrap())
+            .unwrap();
+        assert!(s.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn schur_shortcut_for_zero_blocks() {
+        // Block lower-triangular: A2 = 0 -> A4s = A4.
+        let a1 = Matrix::identity(2);
+        let a2 = Matrix::zeros(2, 2);
+        let a3 = Matrix::filled(2, 2, 0.5);
+        let a4 = Matrix::from_diag(&[3.0, 4.0]);
+        let a = Matrix::from_blocks(&a1, &a2, &a3, &a4).unwrap();
+        let p = BlockPartition::halves(&a).unwrap();
+        assert_eq!(p.schur_complement().unwrap(), a4);
+    }
+
+    #[test]
+    fn schur_detects_singular_a1() {
+        let a1 = Matrix::zeros(2, 2);
+        let rest = Matrix::identity(2);
+        let a2 = Matrix::filled(2, 2, 1.0);
+        let a = Matrix::from_blocks(&a1, &a2, &a2, &rest).unwrap();
+        let p = BlockPartition::halves(&a).unwrap();
+        assert!(p.schur_complement().is_err());
+    }
+
+    #[test]
+    fn vector_splitting() {
+        let a = sample(5, 6);
+        let p = BlockPartition::halves(&a).unwrap(); // split = 3
+        let (f, g) = p.split_vector(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(f, vec![1.0, 2.0, 3.0]);
+        assert_eq!(g, vec![4.0, 5.0]);
+        assert!(p.split_vector(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn block_inverse_identity_via_schur() {
+        // The block-inverse identity: for x = A⁻¹b,
+        // x_bot = A4s⁻¹(g − A3·A1⁻¹·f) must hold.
+        let a = sample(8, 7);
+        let b: Vec<f64> = (0..8).map(|i| (i as f64 * 0.3).sin()).collect();
+        let x = lu::solve(&a, &b).unwrap();
+        let p = BlockPartition::halves(&a).unwrap();
+        let (f, g) = p.split_vector(&b).unwrap();
+        let a4s = p.schur_complement().unwrap();
+        let yt = lu::solve(&p.a1, &f).unwrap();
+        let gt = p.a3.matvec(&yt).unwrap();
+        let gs = amc_linalg::vector::sub(&g, &gt);
+        let z = lu::solve(&a4s, &gs).unwrap();
+        assert!(amc_linalg::vector::approx_eq(&z, &x[4..], 1e-10));
+    }
+}

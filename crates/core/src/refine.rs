@@ -1,0 +1,146 @@
+//! AMC as a seed / preconditioner for digital iterative solvers.
+//!
+//! The paper positions AMC pragmatically: "AMC is hard to achieve high
+//! precision, rather it is positioned to provide a seed solution (or
+//! equivalently as a preconditioner) for digital computers, to speed up
+//! the convergence of iterative algorithms" (§IV). This module quantifies
+//! that claim: take an analog solution, use it to warm-start a digital
+//! conjugate-gradient solve, and count the iterations saved.
+
+use amc_linalg::iterative::{conjugate_gradient, IterOptions, JacobiPrecond};
+use amc_linalg::sparse::CsrMatrix;
+use amc_linalg::{vector, Matrix};
+
+use crate::Result;
+
+/// Relative residual `‖b − A·x‖₂ / ‖b‖₂` of a candidate solution — the
+/// "quality" of an analog seed.
+///
+/// # Errors
+///
+/// Propagates shape mismatches from the matrix-vector product.
+pub fn seed_quality(a: &Matrix, b: &[f64], x: &[f64]) -> Result<f64> {
+    let r = vector::sub(b, &a.matvec(x)?);
+    let nb = vector::norm2(b);
+    Ok(if nb == 0.0 {
+        vector::norm2(&r)
+    } else {
+        vector::norm2(&r) / nb
+    })
+}
+
+/// Outcome of a warm-started digital refinement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinementOutcome {
+    /// The refined solution.
+    pub x: Vec<f64>,
+    /// CG iterations with the analog seed.
+    pub iterations_with_seed: usize,
+    /// CG iterations from a zero initial guess (the digital-only
+    /// baseline).
+    pub iterations_cold: usize,
+    /// Final relative residual.
+    pub residual: f64,
+}
+
+impl RefinementOutcome {
+    /// Iterations saved by the analog seed.
+    pub fn iterations_saved(&self) -> isize {
+        self.iterations_cold as isize - self.iterations_with_seed as isize
+    }
+}
+
+/// Refines an analog seed with Jacobi-preconditioned conjugate gradients
+/// and reports the iteration count against a cold-started baseline.
+///
+/// `a` must be symmetric positive definite (the CG requirement; Wishart
+/// workloads qualify). Tolerance is the relative residual.
+///
+/// # Errors
+///
+/// * Shape mismatches.
+/// * [`amc_linalg::LinalgError::ConvergenceFailure`] (wrapped) if CG does
+///   not converge within `max_iterations`.
+pub fn refine_with_cg(
+    a: &Matrix,
+    b: &[f64],
+    seed: &[f64],
+    tolerance: f64,
+    max_iterations: usize,
+) -> Result<RefinementOutcome> {
+    let sparse = CsrMatrix::from_dense(a);
+    let precond = JacobiPrecond::new(&sparse)?;
+    let opts = IterOptions {
+        max_iterations,
+        tolerance,
+    };
+    let warm = conjugate_gradient(&sparse, b, Some(seed), &precond, opts)?;
+    let cold = conjugate_gradient(&sparse, b, None, &precond, opts)?;
+    let nb = vector::norm2(b).max(f64::MIN_POSITIVE);
+    Ok(RefinementOutcome {
+        residual: warm.residual / nb,
+        x: warm.x,
+        iterations_with_seed: warm.iterations,
+        iterations_cold: cold.iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_linalg::{generate, lu};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn spd_workload(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = generate::wishart_default(n, &mut rng).unwrap();
+        let b = generate::random_vector(n, &mut rng);
+        (a, b)
+    }
+
+    #[test]
+    fn seed_quality_is_zero_for_exact_solution() {
+        let (a, b) = spd_workload(8, 1);
+        let x = lu::solve(&a, &b).unwrap();
+        assert!(seed_quality(&a, &b, &x).unwrap() < 1e-12);
+        assert!(seed_quality(&a, &b, &vec![0.0; 8]).unwrap() > 0.99);
+    }
+
+    #[test]
+    fn good_seed_saves_iterations() {
+        let (a, b) = spd_workload(24, 2);
+        let x_exact = lu::solve(&a, &b).unwrap();
+        // A 1%-accurate analog-style seed (element-wise perturbation).
+        let seed: Vec<f64> = x_exact
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * (1.0 + 0.01 * ((i as f64).sin())))
+            .collect();
+        let out = refine_with_cg(&a, &b, &seed, 1e-10, 10_000).unwrap();
+        assert!(
+            out.iterations_with_seed < out.iterations_cold,
+            "warm {} vs cold {}",
+            out.iterations_with_seed,
+            out.iterations_cold
+        );
+        assert!(out.iterations_saved() > 0);
+        assert!(out.residual <= 1e-10);
+        assert!(vector::approx_eq(&out.x, &x_exact, 1e-6));
+    }
+
+    #[test]
+    fn zero_seed_equals_cold_start() {
+        let (a, b) = spd_workload(12, 3);
+        let out = refine_with_cg(&a, &b, &vec![0.0; 12], 1e-8, 10_000).unwrap();
+        assert_eq!(out.iterations_with_seed, out.iterations_cold);
+        assert_eq!(out.iterations_saved(), 0);
+    }
+
+    #[test]
+    fn shape_mismatch_propagates() {
+        let (a, b) = spd_workload(8, 4);
+        assert!(seed_quality(&a, &b, &[0.0; 3]).is_err());
+        assert!(refine_with_cg(&a, &b, &[0.0; 3], 1e-8, 100).is_err());
+    }
+}

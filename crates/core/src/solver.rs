@@ -1,0 +1,269 @@
+//! High-level solver facade.
+//!
+//! [`BlockAmcSolver`] bundles an engine, a solver architecture
+//! ([`Stages`]), and a signal-path configuration, and exposes a single
+//! `solve` call. The paper's three compared solvers map to:
+//!
+//! * `Stages::Original` — the baseline: one INV circuit with a single
+//!   full-size array,
+//! * `Stages::One` — the one-stage BlockAMC macro (Fig. 4),
+//! * `Stages::Two` — the two-stage solver (Fig. 5),
+//! * `Stages::Multi(d)` — the depth-`d` generalization.
+
+use amc_linalg::{vector, Matrix};
+
+use crate::converter::IoConfig;
+use crate::engine::{AmcEngine, EngineStats};
+use crate::one_stage::StepRecord;
+use crate::{multi_stage, one_stage, two_stage, BlockAmcError, Result};
+
+/// Solver architecture selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stages {
+    /// Single full-size INV circuit (the paper's "original AMC" baseline).
+    Original,
+    /// One-stage BlockAMC: one partition, five steps on half-size arrays.
+    One,
+    /// Two-stage BlockAMC: recursive partition, sixteen quarter-size
+    /// arrays.
+    Two,
+    /// Multi-stage BlockAMC at the given depth (`Multi(1)` ≈ `One` without
+    /// the converter boundary details; see [`crate::multi_stage`]).
+    Multi(usize),
+}
+
+/// Result of a facade solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// The recovered solution of `A·x = b`.
+    pub x: Vec<f64>,
+    /// The architecture used.
+    pub stages: Stages,
+    /// Engine name (`"numeric"` or `"circuit"`).
+    pub engine: &'static str,
+    /// One-stage step trace when `stages == Stages::One`.
+    pub trace: Option<Vec<StepRecord>>,
+    /// Engine cost counters accumulated during this solve.
+    pub stats_delta: EngineStats,
+}
+
+/// Engine + architecture + signal path, ready to solve linear systems.
+///
+/// # Example
+///
+/// ```
+/// use blockamc::engine::NumericEngine;
+/// use blockamc::solver::{BlockAmcSolver, Stages};
+/// use amc_linalg::Matrix;
+///
+/// # fn main() -> Result<(), blockamc::BlockAmcError> {
+/// let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]])?;
+/// let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
+/// let report = solver.solve(&a, &[4.0, 3.0])?;
+/// assert!((report.x[0] - 1.0).abs() < 1e-10);
+/// assert!((report.x[1] - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockAmcSolver<E: AmcEngine> {
+    engine: E,
+    stages: Stages,
+    io: IoConfig,
+}
+
+impl<E: AmcEngine> BlockAmcSolver<E> {
+    /// Creates a solver with an ideal signal path.
+    pub fn new(engine: E, stages: Stages) -> Self {
+        BlockAmcSolver {
+            engine,
+            stages,
+            io: IoConfig::ideal(),
+        }
+    }
+
+    /// Sets the DAC/ADC/S&H configuration.
+    pub fn with_io(mut self, io: IoConfig) -> Self {
+        self.io = io;
+        self
+    }
+
+    /// Borrows the engine (e.g. to read [`AmcEngine::stats`]).
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// The configured architecture.
+    pub fn stages(&self) -> Stages {
+        self.stages
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// Arrays are (re)programmed on every call — each call models a fresh
+    /// hardware deployment, which is what the paper's Monte-Carlo
+    /// accuracy sweeps need. To amortize programming across many
+    /// right-hand sides, drive the [`crate::one_stage`] /
+    /// [`crate::two_stage`] module APIs directly.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatches, partitioning/Schur failures, and engine errors.
+    pub fn solve(&mut self, a: &Matrix, b: &[f64]) -> Result<SolveReport> {
+        if !a.is_square() {
+            return Err(BlockAmcError::ShapeMismatch {
+                op: "solve (square matrix required)",
+                expected: a.rows(),
+                got: a.cols(),
+            });
+        }
+        if b.len() != a.rows() {
+            return Err(BlockAmcError::ShapeMismatch {
+                op: "solve",
+                expected: a.rows(),
+                got: b.len(),
+            });
+        }
+        let before = self.engine.stats();
+        let (x, trace) = match self.stages {
+            Stages::Original => {
+                // Single INV circuit: DAC in, one INV, ADC out.
+                let mut op = self.engine.program(a)?;
+                let input = self.io.apply_dac(b);
+                let neg_x = self.engine.inv(&mut op, &input)?;
+                (vector::neg(&self.io.apply_adc(&neg_x)), None)
+            }
+            Stages::One => {
+                let mut prep = one_stage::prepare_matrix(&mut self.engine, a)?;
+                let sol = one_stage::solve(&mut self.engine, &mut prep, b, &self.io)?;
+                (sol.x, Some(sol.trace))
+            }
+            Stages::Two => {
+                let mut prep = two_stage::prepare(&mut self.engine, a)?;
+                let sol = two_stage::solve(&mut self.engine, &mut prep, b, &self.io)?;
+                (sol.x, None)
+            }
+            Stages::Multi(depth) => {
+                let mut prep = multi_stage::prepare(&mut self.engine, a, depth)?;
+                (multi_stage::solve(&mut self.engine, &mut prep, b)?, None)
+            }
+        };
+        let after = self.engine.stats();
+        Ok(SolveReport {
+            x,
+            stages: self.stages,
+            engine: self.engine.name(),
+            trace,
+            stats_delta: EngineStats {
+                program_ops: after.program_ops - before.program_ops,
+                inv_ops: after.inv_ops - before.inv_ops,
+                mvm_ops: after.mvm_ops - before.mvm_ops,
+                analog_time_s: after.analog_time_s - before.analog_time_s,
+                analog_energy_j: after.analog_energy_j - before.analog_energy_j,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CircuitEngine, CircuitEngineConfig, NumericEngine};
+    use amc_linalg::{generate, lu, metrics};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn workload(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = generate::wishart_default(n, &mut rng).unwrap();
+        let b = generate::random_vector(n, &mut rng);
+        (a, b)
+    }
+
+    #[test]
+    fn all_architectures_agree_with_numeric_engine() {
+        let (a, b) = workload(16, 1);
+        let x_ref = lu::solve(&a, &b).unwrap();
+        for stages in [Stages::Original, Stages::One, Stages::Two, Stages::Multi(3)] {
+            let mut solver = BlockAmcSolver::new(NumericEngine::new(), stages);
+            let report = solver.solve(&a, &b).unwrap();
+            assert!(
+                metrics::relative_error(&x_ref, &report.x) < 1e-8,
+                "{stages:?} diverged"
+            );
+            assert_eq!(report.stages, stages);
+            assert_eq!(report.engine, "numeric");
+        }
+    }
+
+    #[test]
+    fn trace_only_for_one_stage() {
+        let (a, b) = workload(8, 2);
+        let mut s1 = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
+        assert!(s1.solve(&a, &b).unwrap().trace.is_some());
+        let mut s0 = BlockAmcSolver::new(NumericEngine::new(), Stages::Original);
+        assert!(s0.solve(&a, &b).unwrap().trace.is_none());
+    }
+
+    #[test]
+    fn stats_delta_counts_operations() {
+        let (a, b) = workload(8, 3);
+        let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
+        let r1 = solver.solve(&a, &b).unwrap();
+        assert_eq!(r1.stats_delta.inv_ops, 3);
+        assert_eq!(r1.stats_delta.mvm_ops, 2);
+        // Second solve has its own delta, not cumulative.
+        let r2 = solver.solve(&a, &b).unwrap();
+        assert_eq!(r2.stats_delta.inv_ops, 3);
+    }
+
+    #[test]
+    fn original_vs_blockamc_accuracy_under_variation() {
+        // With the same seed and variation level, both should be in the
+        // same error ballpark; this is the comparison the sweeps run at
+        // scale (BlockAMC wins on average, not necessarily per-draw).
+        let (a, b) = workload(32, 4);
+        let x_ref = lu::solve(&a, &b).unwrap();
+        let mut orig = BlockAmcSolver::new(
+            CircuitEngine::new(CircuitEngineConfig::paper_variation(), 7),
+            Stages::Original,
+        );
+        let mut blk = BlockAmcSolver::new(
+            CircuitEngine::new(CircuitEngineConfig::paper_variation(), 7),
+            Stages::One,
+        );
+        let e_orig = metrics::relative_error(&x_ref, &orig.solve(&a, &b).unwrap().x);
+        let e_blk = metrics::relative_error(&x_ref, &blk.solve(&a, &b).unwrap().x);
+        // Condition-number amplification of the 5% conductance noise makes
+        // absolute values draw-dependent; only coarse bounds are asserted.
+        assert!(e_orig > 1e-6 && e_orig < 2.0, "e_orig={e_orig}");
+        assert!(e_blk > 1e-6 && e_blk < 2.0, "e_blk={e_blk}");
+    }
+
+    #[test]
+    fn shape_validation() {
+        let (a, _) = workload(8, 5);
+        let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
+        assert!(solver.solve(&a, &[1.0; 3]).is_err());
+        assert!(solver
+            .solve(&Matrix::zeros(2, 3), &[1.0, 1.0])
+            .is_err());
+    }
+
+    #[test]
+    fn io_config_is_applied() {
+        let (a, b) = workload(8, 6);
+        let x_ref = lu::solve(&a, &b).unwrap();
+        let mut ideal = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
+        let mut coarse = BlockAmcSolver::new(NumericEngine::new(), Stages::One)
+            .with_io(IoConfig {
+                dac: Some(crate::converter::Converter::new(4, 1.0).unwrap()),
+                adc: Some(crate::converter::Converter::new(4, 1.0).unwrap()),
+                sh_droop: 0.0,
+            });
+        let e_ideal = metrics::relative_error(&x_ref, &ideal.solve(&a, &b).unwrap().x);
+        let e_coarse = metrics::relative_error(&x_ref, &coarse.solve(&a, &b).unwrap().x);
+        assert!(e_ideal < 1e-9);
+        assert!(e_coarse > 1e-3, "4-bit converters must hurt: {e_coarse}");
+    }
+}

@@ -1,0 +1,321 @@
+//! Crossbar arrays and programmed signed matrices.
+
+use amc_linalg::Matrix;
+use rand::Rng;
+
+use crate::cell::RramCell;
+use crate::mapping::{MappingConfig, MatrixMapping};
+use crate::variation::VariationModel;
+use crate::{DeviceError, Result};
+
+/// A crosspoint RRAM array holding one non-negative conductance matrix.
+///
+/// Rows correspond to word lines (WLs) and columns to bit lines (BLs),
+/// matching Fig. 1 of the paper.
+///
+/// # Example
+///
+/// ```
+/// use amc_device::array::CrossbarArray;
+/// use amc_linalg::Matrix;
+///
+/// # fn main() -> Result<(), amc_device::DeviceError> {
+/// let g = Matrix::from_rows(&[&[1e-4, 0.0], &[5e-5, 2e-5]])?;
+/// let array = CrossbarArray::from_conductances(&g)?;
+/// assert_eq!(array.conductances(), g);
+/// assert_eq!(array.programmed_cell_count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossbarArray {
+    rows: usize,
+    cols: usize,
+    cells: Vec<RramCell>,
+}
+
+impl CrossbarArray {
+    /// Creates an array of deselected (zero-conductance) cells with the
+    /// default device window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidConfig`] if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(DeviceError::config("array dimensions must be positive"));
+        }
+        Ok(CrossbarArray {
+            rows,
+            cols,
+            cells: vec![RramCell::with_default_window(); rows * cols],
+        })
+    }
+
+    /// Creates an array directly from a matrix of conductance values in
+    /// siemens (bypassing window checks — values are stored verbatim, which
+    /// is what the circuit simulator needs after variation sampling may
+    /// have pushed values slightly outside the nominal window).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidConfig`] if `g` is empty or contains
+    /// negative or non-finite values.
+    pub fn from_conductances(g: &Matrix) -> Result<Self> {
+        if g.rows() == 0 || g.cols() == 0 {
+            return Err(DeviceError::config("array dimensions must be positive"));
+        }
+        if g.as_slice().iter().any(|&v| !v.is_finite() || v < 0.0) {
+            return Err(DeviceError::config(
+                "conductances must be finite and non-negative",
+            ));
+        }
+        let mut array = CrossbarArray::new(g.rows(), g.cols())?;
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                array.cells[i * g.cols() + j].force(g[(i, j)]);
+            }
+        }
+        Ok(array)
+    }
+
+    /// Number of word lines (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bit lines (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads the whole array back as a conductance matrix in siemens.
+    pub fn conductances(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            self.cells[i * self.cols + j].read()
+        })
+    }
+
+    /// Reads a single cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn cell(&self, row: usize, col: usize) -> &RramCell {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        &self.cells[row * self.cols + col]
+    }
+
+    /// Number of cells holding a non-zero conductance.
+    pub fn programmed_cell_count(&self) -> usize {
+        self.cells.iter().filter(|c| !c.is_deselected()).count()
+    }
+
+    /// Sum of all conductances — proportional to the array's static power
+    /// draw under unit bias, used by the architecture model.
+    pub fn total_conductance(&self) -> f64 {
+        self.cells.iter().map(RramCell::read).sum()
+    }
+
+    /// Largest sum of conductances along any word line. The MVM circuit's
+    /// settling time is linear in this quantity (Sun & Huang, TCAS-II
+    /// 2021), so the timing model consumes it.
+    pub fn max_row_conductance_sum(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| {
+                (0..self.cols)
+                    .map(|j| self.cells[i * self.cols + j].read())
+                    .sum::<f64>()
+            })
+            .fold(0.0_f64, f64::max)
+    }
+}
+
+/// A signed matrix programmed onto a pair of crossbar arrays
+/// (`A = A⁺ − A⁻`), together with the scale metadata needed to interpret
+/// circuit outputs mathematically.
+///
+/// This is the handle the circuit crate operates on: it exposes both the
+/// physical conductances (for circuit-level simulation) and the effective
+/// mathematical matrix they represent (for the fast analytic path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgrammedMatrix {
+    pos: CrossbarArray,
+    neg: CrossbarArray,
+    scale: f64,
+    g0: f64,
+}
+
+impl ProgrammedMatrix {
+    /// Maps matrix `a` under `cfg` and programs both arrays, sampling
+    /// variation and faults from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeviceError::InvalidConfig`] for invalid configuration, a zero
+    ///   matrix, or invalid variation parameters.
+    pub fn program<R: Rng + ?Sized>(
+        a: &Matrix,
+        cfg: &MappingConfig,
+        variation: &VariationModel,
+        rng: &mut R,
+    ) -> Result<Self> {
+        variation.validate()?;
+        let mapping = MatrixMapping::new(a, cfg)?;
+        let (gp, gn) = mapping.sample_programmed(cfg, variation, rng);
+        Ok(ProgrammedMatrix {
+            pos: CrossbarArray::from_conductances(&gp)?,
+            neg: CrossbarArray::from_conductances(&gn)?,
+            scale: mapping.scale(),
+            g0: mapping.g0(),
+        })
+    }
+
+    /// The positive-part array.
+    pub fn pos(&self) -> &CrossbarArray {
+        &self.pos
+    }
+
+    /// The negative-part array.
+    pub fn neg(&self) -> &CrossbarArray {
+        &self.neg
+    }
+
+    /// The normalization factor applied before mapping.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The unit conductance G₀ in siemens.
+    pub fn g0(&self) -> f64 {
+        self.g0
+    }
+
+    /// Shape `(rows, cols)` of the represented matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.pos.rows(), self.pos.cols())
+    }
+
+    /// The *normalized* signed conductance matrix `(G⁺ − G⁻) / g0` the
+    /// circuit computes with; its ideal value is `a / scale`.
+    pub fn normalized_matrix(&self) -> Matrix {
+        let diff = self
+            .pos
+            .conductances()
+            .sub_matrix(&self.neg.conductances())
+            .expect("pos/neg arrays share a shape by construction");
+        diff.scaled(1.0 / self.g0)
+    }
+
+    /// The effective mathematical matrix represented by the programmed
+    /// conductances, `(G⁺ − G⁻) · scale / g0`. With no variation, faults,
+    /// quantization, or sub-window clamping this equals the original
+    /// matrix.
+    pub fn effective_matrix(&self) -> Matrix {
+        self.normalized_matrix().scaled(self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn sample_matrix() -> Matrix {
+        Matrix::from_rows(&[&[2.0, -1.0], &[0.5, 1.5]]).unwrap()
+    }
+
+    #[test]
+    fn array_construction_validation() {
+        assert!(CrossbarArray::new(0, 4).is_err());
+        assert!(CrossbarArray::new(4, 0).is_err());
+        let a = CrossbarArray::new(3, 5).unwrap();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.cols(), 5);
+        assert_eq!(a.programmed_cell_count(), 0);
+    }
+
+    #[test]
+    fn from_conductances_rejects_negative_and_nan() {
+        let bad = Matrix::from_rows(&[&[1e-4, -1e-5]]).unwrap();
+        assert!(CrossbarArray::from_conductances(&bad).is_err());
+        let nan = Matrix::from_rows(&[&[f64::NAN]]).unwrap();
+        assert!(CrossbarArray::from_conductances(&nan).is_err());
+    }
+
+    #[test]
+    fn conductance_roundtrip_and_stats() {
+        let g = Matrix::from_rows(&[&[1e-4, 0.0], &[5e-5, 2e-5]]).unwrap();
+        let a = CrossbarArray::from_conductances(&g).unwrap();
+        assert_eq!(a.conductances(), g);
+        assert_eq!(a.programmed_cell_count(), 3);
+        assert!((a.total_conductance() - 1.7e-4).abs() < 1e-18);
+        assert!((a.max_row_conductance_sum() - 1e-4).abs() < 1e-18);
+        assert_eq!(a.cell(0, 0).read(), 1e-4);
+    }
+
+    #[test]
+    fn ideal_programming_roundtrips_matrix() {
+        let a = sample_matrix();
+        let cfg = MappingConfig::paper_default();
+        let p = ProgrammedMatrix::program(&a, &cfg, &VariationModel::None, &mut rng(1)).unwrap();
+        assert!(p.effective_matrix().approx_eq(&a, 1e-12));
+        assert_eq!(p.shape(), (2, 2));
+        assert_eq!(p.scale(), 2.0);
+        assert_eq!(p.g0(), cfg.g0);
+    }
+
+    #[test]
+    fn normalized_matrix_has_unit_max() {
+        let a = sample_matrix();
+        let cfg = MappingConfig::paper_default();
+        let p = ProgrammedMatrix::program(&a, &cfg, &VariationModel::None, &mut rng(2)).unwrap();
+        assert!((p.normalized_matrix().max_abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variation_perturbs_effective_matrix() {
+        let a = sample_matrix();
+        let cfg = MappingConfig::paper_default();
+        let var = VariationModel::paper_default(cfg.g0);
+        let p = ProgrammedMatrix::program(&a, &cfg, &var, &mut rng(3)).unwrap();
+        let eff = p.effective_matrix();
+        assert!(!eff.approx_eq(&a, 1e-9), "variation should perturb");
+        // …but the perturbation should be small: σ/g0 = 5%, scale = 2.
+        let diff = eff.sub_matrix(&a).unwrap();
+        assert!(diff.max_abs() < 0.05 * 2.0 * 6.0, "6-sigma bound");
+    }
+
+    #[test]
+    fn stuck_off_faults_zero_cells() {
+        let a = sample_matrix();
+        let mut cfg = MappingConfig::paper_default();
+        cfg.faults = FaultModel::new(0.0, 1.0, cfg.g_max, 0.0).unwrap();
+        let p = ProgrammedMatrix::program(&a, &cfg, &VariationModel::None, &mut rng(4)).unwrap();
+        assert!(p.effective_matrix().is_zero());
+    }
+
+    #[test]
+    fn programming_is_reproducible() {
+        let a = sample_matrix();
+        let cfg = MappingConfig::paper_default();
+        let var = VariationModel::paper_default(cfg.g0);
+        let p1 = ProgrammedMatrix::program(&a, &cfg, &var, &mut rng(5)).unwrap();
+        let p2 = ProgrammedMatrix::program(&a, &cfg, &var, &mut rng(5)).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn invalid_variation_is_rejected() {
+        let a = sample_matrix();
+        let cfg = MappingConfig::paper_default();
+        let bad = VariationModel::Gaussian { sigma: -1.0 };
+        assert!(ProgrammedMatrix::program(&a, &cfg, &bad, &mut rng(6)).is_err());
+    }
+}

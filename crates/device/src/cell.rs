@@ -1,0 +1,203 @@
+//! Single RRAM cell model.
+
+use crate::{DeviceError, Result};
+
+/// Default minimum programmable conductance (high-resistance state), 1 µS.
+///
+/// Typical analog RRAM devices have an ON/OFF conductance window of about
+/// two orders of magnitude (e.g. Park et al., IEEE EDL 2016); with the
+/// paper's unit conductance G₀ = 100 µS this gives a 1 µS floor.
+pub const DEFAULT_G_MIN: f64 = 1e-6;
+
+/// Default maximum programmable conductance (low-resistance state), 150 µS.
+///
+/// Slightly above the paper's G₀ = 100 µS so that a matrix normalized to a
+/// maximum element of 1 maps comfortably inside the window.
+pub const DEFAULT_G_MAX: f64 = 1.5e-4;
+
+/// A single analog RRAM cell.
+///
+/// The cell stores a conductance in siemens, bounded by the physically
+/// programmable window `[g_min, g_max]`. A conductance of exactly `0.0` is
+/// also representable: it models an *unselected* cell (the 1T1R selector
+/// transistor keeps the device out of the circuit), which is how zero
+/// matrix elements are realized in hardware.
+///
+/// # Example
+///
+/// ```
+/// use amc_device::cell::RramCell;
+///
+/// # fn main() -> Result<(), amc_device::DeviceError> {
+/// let mut cell = RramCell::with_default_window();
+/// cell.program(5e-5)?;
+/// assert_eq!(cell.read(), 5e-5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RramCell {
+    conductance: f64,
+    g_min: f64,
+    g_max: f64,
+}
+
+impl RramCell {
+    /// Creates an unprogrammed (zero-conductance / unselected) cell with the
+    /// given programmable window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidConfig`] unless `0 < g_min < g_max`.
+    pub fn new(g_min: f64, g_max: f64) -> Result<Self> {
+        if !(g_min > 0.0 && g_min < g_max) {
+            return Err(DeviceError::config(format!(
+                "cell window requires 0 < g_min < g_max, got [{g_min}, {g_max}]"
+            )));
+        }
+        Ok(RramCell {
+            conductance: 0.0,
+            g_min,
+            g_max,
+        })
+    }
+
+    /// Creates a cell with the default window
+    /// `[`[`DEFAULT_G_MIN`]`, `[`DEFAULT_G_MAX`]`]`.
+    pub fn with_default_window() -> Self {
+        RramCell {
+            conductance: 0.0,
+            g_min: DEFAULT_G_MIN,
+            g_max: DEFAULT_G_MAX,
+        }
+    }
+
+    /// The lower edge of the programmable window.
+    pub fn g_min(&self) -> f64 {
+        self.g_min
+    }
+
+    /// The upper edge of the programmable window.
+    pub fn g_max(&self) -> f64 {
+        self.g_max
+    }
+
+    /// Programs the cell to `target` siemens.
+    ///
+    /// A target of exactly `0.0` deselects the cell. Targets inside the
+    /// window are stored exactly (write-and-verify is modeled separately by
+    /// [`crate::variation::VariationModel`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::ConductanceOutOfRange`] if `target` is
+    /// non-zero and outside `[g_min, g_max]`, or not finite.
+    pub fn program(&mut self, target: f64) -> Result<()> {
+        if target == 0.0 {
+            self.conductance = 0.0;
+            return Ok(());
+        }
+        if !target.is_finite() || target < self.g_min || target > self.g_max {
+            return Err(DeviceError::ConductanceOutOfRange {
+                requested: target,
+                g_min: self.g_min,
+                g_max: self.g_max,
+            });
+        }
+        self.conductance = target;
+        Ok(())
+    }
+
+    /// Programs the cell, clamping out-of-window targets to the nearest
+    /// window edge instead of failing (zero still deselects).
+    ///
+    /// Returns the conductance actually stored. This is the behaviour of a
+    /// real write-and-verify loop when asked for an unreachable value.
+    pub fn program_clamped(&mut self, target: f64) -> f64 {
+        let stored = if target == 0.0 || !target.is_finite() {
+            0.0
+        } else {
+            target.clamp(self.g_min, self.g_max)
+        };
+        self.conductance = stored;
+        stored
+    }
+
+    /// Reads the stored conductance in siemens.
+    pub fn read(&self) -> f64 {
+        self.conductance
+    }
+
+    /// Overwrites the stored conductance without window checks.
+    ///
+    /// Used by the fault injector to force stuck-at states; not part of the
+    /// normal programming flow.
+    pub(crate) fn force(&mut self, conductance: f64) {
+        self.conductance = conductance;
+    }
+
+    /// Returns `true` if the cell is deselected (zero conductance).
+    pub fn is_deselected(&self) -> bool {
+        self.conductance == 0.0
+    }
+}
+
+impl Default for RramCell {
+    fn default() -> Self {
+        Self::with_default_window()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_window() {
+        assert!(RramCell::new(1e-6, 1e-4).is_ok());
+        assert!(RramCell::new(0.0, 1e-4).is_err());
+        assert!(RramCell::new(1e-4, 1e-6).is_err());
+        assert!(RramCell::new(-1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn program_and_read() {
+        let mut c = RramCell::with_default_window();
+        assert!(c.is_deselected());
+        c.program(5e-5).unwrap();
+        assert_eq!(c.read(), 5e-5);
+        assert!(!c.is_deselected());
+        c.program(0.0).unwrap();
+        assert!(c.is_deselected());
+    }
+
+    #[test]
+    fn program_rejects_out_of_window() {
+        let mut c = RramCell::with_default_window();
+        assert!(matches!(
+            c.program(1.0),
+            Err(DeviceError::ConductanceOutOfRange { .. })
+        ));
+        assert!(c.program(1e-9).is_err());
+        assert!(c.program(f64::NAN).is_err());
+        assert!(c.program(-5e-5).is_err());
+    }
+
+    #[test]
+    fn program_clamped_saturates() {
+        let mut c = RramCell::with_default_window();
+        assert_eq!(c.program_clamped(1.0), DEFAULT_G_MAX);
+        assert_eq!(c.program_clamped(1e-9), DEFAULT_G_MIN);
+        assert_eq!(c.program_clamped(0.0), 0.0);
+        assert_eq!(c.program_clamped(f64::NAN), 0.0);
+        assert_eq!(c.program_clamped(5e-5), 5e-5);
+    }
+
+    #[test]
+    fn default_matches_default_window() {
+        let c = RramCell::default();
+        assert_eq!(c.g_min(), DEFAULT_G_MIN);
+        assert_eq!(c.g_max(), DEFAULT_G_MAX);
+    }
+}

@@ -1,0 +1,216 @@
+//! Conductance retention drift.
+//!
+//! Nonvolatile does not mean immutable: programmed RRAM conductances
+//! relax over time, typically following the empirical power law
+//! `g(t) = g(t₀) · (t/t₀)^(−ν)` with a drift exponent ν of 0–0.1
+//! (strongest in PCM, weaker but present in filamentary RRAM). BlockAMC
+//! stores the pre-computed Schur complement in an array, so the time
+//! between programming and solving matters — this module models that
+//! decay and lets experiments ask how stale an array can get before the
+//! solver drops out of spec.
+
+use amc_linalg::Matrix;
+use rand::Rng;
+
+use crate::{DeviceError, Result};
+
+/// Power-law drift model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DriftModel {
+    /// Mean drift exponent ν (0 = no drift).
+    pub nu: f64,
+    /// Device-to-device spread of the exponent (standard deviation of a
+    /// Gaussian around `nu`, clamped at 0).
+    pub nu_sigma: f64,
+    /// Reference time t₀ after programming, seconds (the time at which
+    /// the programmed value was verified).
+    pub t0_s: f64,
+}
+
+impl DriftModel {
+    /// No drift at all.
+    pub fn none() -> Self {
+        DriftModel {
+            nu: 0.0,
+            nu_sigma: 0.0,
+            t0_s: 1.0,
+        }
+    }
+
+    /// Representative filamentary-RRAM drift: ν = 0.005 ± 0.002 against a
+    /// 1 s verify reference — sub-percent decay per decade of time.
+    pub fn typical_rram() -> Self {
+        DriftModel {
+            nu: 0.005,
+            nu_sigma: 0.002,
+            t0_s: 1.0,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidConfig`] for negative/non-finite
+    /// values or a non-positive reference time.
+    pub fn validate(&self) -> Result<()> {
+        if self.nu.is_finite()
+            && self.nu >= 0.0
+            && self.nu_sigma.is_finite()
+            && self.nu_sigma >= 0.0
+            && self.t0_s.is_finite()
+            && self.t0_s > 0.0
+        {
+            Ok(())
+        } else {
+            Err(DeviceError::config(format!(
+                "invalid drift parameters: {self:?}"
+            )))
+        }
+    }
+
+    /// Deterministic decay factor at elapsed time `t_s` for the mean
+    /// exponent (t ≤ t₀ returns 1: no drift before the reference).
+    pub fn decay_factor(&self, t_s: f64) -> f64 {
+        if t_s <= self.t0_s || self.nu == 0.0 {
+            1.0
+        } else {
+            (t_s / self.t0_s).powf(-self.nu)
+        }
+    }
+
+    /// Applies drift to a conductance matrix at elapsed time `t_s`,
+    /// sampling a per-cell exponent when `nu_sigma > 0`. Deselected cells
+    /// (zero conductance) are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeviceError::InvalidConfig`] for invalid parameters or a
+    ///   non-finite/negative elapsed time.
+    pub fn apply<R: Rng + ?Sized>(
+        &self,
+        g: &Matrix,
+        t_s: f64,
+        rng: &mut R,
+    ) -> Result<Matrix> {
+        self.validate()?;
+        if !(t_s.is_finite() && t_s >= 0.0) {
+            return Err(DeviceError::config("elapsed time must be non-negative"));
+        }
+        if t_s <= self.t0_s || (self.nu == 0.0 && self.nu_sigma == 0.0) {
+            return Ok(g.clone());
+        }
+        let log_ratio = (t_s / self.t0_s).ln();
+        Ok(g.map_indexed(|_, _, v| {
+            if v == 0.0 {
+                0.0
+            } else {
+                let nu_cell = if self.nu_sigma > 0.0 {
+                    (self.nu + self.nu_sigma * normal(rng)).max(0.0)
+                } else {
+                    self.nu
+                };
+                v * (-nu_cell * log_ratio).exp()
+            }
+        }))
+    }
+}
+
+impl Default for DriftModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn no_drift_is_identity() {
+        let g = Matrix::filled(3, 3, 1e-4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let out = DriftModel::none().apply(&g, 1e6, &mut rng).unwrap();
+        assert_eq!(out, g);
+        assert_eq!(DriftModel::default(), DriftModel::none());
+    }
+
+    #[test]
+    fn decay_follows_power_law() {
+        let m = DriftModel {
+            nu: 0.01,
+            nu_sigma: 0.0,
+            t0_s: 1.0,
+        };
+        // One decade: factor = 10^-0.01 ≈ 0.97724.
+        assert!((m.decay_factor(10.0) - 10f64.powf(-0.01)).abs() < 1e-12);
+        // Before the reference: no drift.
+        assert_eq!(m.decay_factor(0.5), 1.0);
+        // Monotone decreasing.
+        assert!(m.decay_factor(1e6) < m.decay_factor(1e3));
+    }
+
+    #[test]
+    fn deterministic_apply_matches_factor() {
+        let m = DriftModel {
+            nu: 0.02,
+            nu_sigma: 0.0,
+            t0_s: 1.0,
+        };
+        let g = Matrix::filled(2, 2, 1e-4);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let out = m.apply(&g, 100.0, &mut rng).unwrap();
+        let expect = 1e-4 * m.decay_factor(100.0);
+        for &v in out.as_slice() {
+            assert!((v - expect).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn spread_gives_per_cell_variation_but_preserves_zeros() {
+        let m = DriftModel::typical_rram();
+        let mut g = Matrix::filled(4, 4, 1e-4);
+        g[(0, 0)] = 0.0;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let out = m.apply(&g, 1e5, &mut rng).unwrap();
+        assert_eq!(out[(0, 0)], 0.0);
+        // Cells drifted by different amounts.
+        assert_ne!(out[(1, 1)], out[(2, 2)]);
+        // All decayed (ν clamped non-negative).
+        assert!(out
+            .as_slice()
+            .iter()
+            .zip(g.as_slice())
+            .all(|(&o, &i)| o <= i + 1e-18));
+    }
+
+    #[test]
+    fn year_of_retention_loses_under_one_percent_for_typical_rram() {
+        let m = DriftModel::typical_rram();
+        let year = 3.15e7;
+        let factor = m.decay_factor(year);
+        assert!(factor > 0.90 && factor < 1.0, "factor {factor}");
+    }
+
+    #[test]
+    fn validation() {
+        let mut m = DriftModel::typical_rram();
+        m.nu = -0.1;
+        assert!(m.validate().is_err());
+        let mut m = DriftModel::typical_rram();
+        m.t0_s = 0.0;
+        assert!(m.validate().is_err());
+        let g = Matrix::filled(2, 2, 1e-4);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        assert!(DriftModel::typical_rram().apply(&g, -1.0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+use std::fmt;
+
+/// Error type for all fallible operations in `amc-device`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A conductance target lies outside the programmable device range.
+    ConductanceOutOfRange {
+        /// The requested conductance in siemens.
+        requested: f64,
+        /// Minimum programmable conductance.
+        g_min: f64,
+        /// Maximum programmable conductance.
+        g_max: f64,
+    },
+    /// Invalid configuration (non-positive G₀, zero levels, probability
+    /// outside `[0, 1]`, …).
+    InvalidConfig {
+        /// Explanation of what was wrong.
+        message: String,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(amc_linalg::LinalgError),
+}
+
+impl DeviceError {
+    /// Shorthand constructor for [`DeviceError::InvalidConfig`].
+    pub fn config(message: impl Into<String>) -> Self {
+        DeviceError::InvalidConfig {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::ConductanceOutOfRange {
+                requested,
+                g_min,
+                g_max,
+            } => write!(
+                f,
+                "conductance {requested:.3e} S outside programmable range \
+                 [{g_min:.3e}, {g_max:.3e}] S"
+            ),
+            DeviceError::InvalidConfig { message } => {
+                write!(f, "invalid device configuration: {message}")
+            }
+            DeviceError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<amc_linalg::LinalgError> for DeviceError {
+    fn from(e: amc_linalg::LinalgError) -> Self {
+        DeviceError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DeviceError::ConductanceOutOfRange {
+            requested: 1e-3,
+            g_min: 1e-6,
+            g_max: 1e-4,
+        };
+        assert!(e.to_string().contains("1.000e-3"));
+
+        let e = DeviceError::config("levels must be >= 2");
+        assert!(e.to_string().contains("levels"));
+    }
+
+    #[test]
+    fn wraps_linalg_errors() {
+        let le = amc_linalg::LinalgError::Singular { pivot: 0 };
+        let de = DeviceError::from(le.clone());
+        assert!(de.to_string().contains("singular"));
+        use std::error::Error;
+        assert!(de.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,173 @@
+//! Stuck-at fault injection.
+//!
+//! The paper's introduction names stuck cells as one of the scalability
+//! barriers for large arrays: "memory cells may get stuck in the ON or OFF
+//! state, losing the tunability of conductance states". [`FaultModel`]
+//! injects exactly those failure modes so experiments can measure how much
+//! of BlockAMC's accuracy advantage survives yield loss.
+
+use rand::Rng;
+
+use crate::{DeviceError, Result};
+
+/// Probabilistic stuck-at fault model applied at programming time.
+///
+/// Each cell independently gets stuck ON (low-resistance state,
+/// conductance `g_on`) with probability `p_stuck_on`, or stuck OFF
+/// (high-resistance state, conductance `g_off`) with probability
+/// `p_stuck_off`. A stuck cell ignores its programming target entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultModel {
+    /// Probability a cell is stuck in the ON state.
+    pub p_stuck_on: f64,
+    /// Probability a cell is stuck in the OFF state.
+    pub p_stuck_off: f64,
+    /// Conductance of a stuck-ON cell (typically `g_max`).
+    pub g_on: f64,
+    /// Conductance of a stuck-OFF cell (typically ~0).
+    pub g_off: f64,
+}
+
+/// The outcome of a per-cell fault draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultState {
+    /// Cell programs normally.
+    Healthy,
+    /// Cell is stuck at the ON conductance.
+    StuckOn,
+    /// Cell is stuck at the OFF conductance.
+    StuckOff,
+}
+
+impl FaultModel {
+    /// A fault-free model (both probabilities zero).
+    pub fn none() -> Self {
+        FaultModel {
+            p_stuck_on: 0.0,
+            p_stuck_off: 0.0,
+            g_on: 0.0,
+            g_off: 0.0,
+        }
+    }
+
+    /// Creates a fault model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidConfig`] if probabilities are outside
+    /// `[0, 1]`, their sum exceeds 1, or the stuck conductances are
+    /// negative/not finite.
+    pub fn new(p_stuck_on: f64, p_stuck_off: f64, g_on: f64, g_off: f64) -> Result<Self> {
+        let prob_ok = |p: f64| p.is_finite() && (0.0..=1.0).contains(&p);
+        if !prob_ok(p_stuck_on) || !prob_ok(p_stuck_off) || p_stuck_on + p_stuck_off > 1.0 {
+            return Err(DeviceError::config(format!(
+                "fault probabilities must lie in [0,1] and sum to <= 1, \
+                 got on={p_stuck_on}, off={p_stuck_off}"
+            )));
+        }
+        if !(g_on.is_finite() && g_on >= 0.0 && g_off.is_finite() && g_off >= 0.0) {
+            return Err(DeviceError::config(
+                "stuck conductances must be finite and non-negative",
+            ));
+        }
+        Ok(FaultModel {
+            p_stuck_on,
+            p_stuck_off,
+            g_on,
+            g_off,
+        })
+    }
+
+    /// Returns `true` if the model can never produce a fault.
+    pub fn is_none(&self) -> bool {
+        self.p_stuck_on == 0.0 && self.p_stuck_off == 0.0
+    }
+
+    /// Draws the fault state of one cell.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> FaultState {
+        if self.is_none() {
+            return FaultState::Healthy;
+        }
+        let u: f64 = rng.gen();
+        if u < self.p_stuck_on {
+            FaultState::StuckOn
+        } else if u < self.p_stuck_on + self.p_stuck_off {
+            FaultState::StuckOff
+        } else {
+            FaultState::Healthy
+        }
+    }
+
+    /// Applies the model to a programming `target`, returning the stored
+    /// conductance.
+    pub fn apply<R: Rng + ?Sized>(&self, target: f64, rng: &mut R) -> f64 {
+        match self.draw(rng) {
+            FaultState::Healthy => target,
+            FaultState::StuckOn => self.g_on,
+            FaultState::StuckOff => self.g_off,
+        }
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn validation() {
+        assert!(FaultModel::new(0.01, 0.02, 1e-4, 0.0).is_ok());
+        assert!(FaultModel::new(-0.1, 0.0, 1e-4, 0.0).is_err());
+        assert!(FaultModel::new(0.7, 0.7, 1e-4, 0.0).is_err());
+        assert!(FaultModel::new(0.0, 0.0, -1.0, 0.0).is_err());
+        assert!(FaultModel::new(0.0, 0.0, f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn none_is_always_healthy() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = FaultModel::none();
+        assert!(m.is_none());
+        for _ in 0..100 {
+            assert_eq!(m.draw(&mut rng), FaultState::Healthy);
+            assert_eq!(m.apply(5e-5, &mut rng), 5e-5);
+        }
+    }
+
+    #[test]
+    fn fault_rates_are_approximately_respected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let m = FaultModel::new(0.1, 0.2, 1e-4, 1e-7).unwrap();
+        let n = 50_000;
+        let mut on = 0;
+        let mut off = 0;
+        for _ in 0..n {
+            match m.draw(&mut rng) {
+                FaultState::StuckOn => on += 1,
+                FaultState::StuckOff => off += 1,
+                FaultState::Healthy => {}
+            }
+        }
+        let p_on = on as f64 / n as f64;
+        let p_off = off as f64 / n as f64;
+        assert!((p_on - 0.1).abs() < 0.01, "p_on {p_on}");
+        assert!((p_off - 0.2).abs() < 0.01, "p_off {p_off}");
+    }
+
+    #[test]
+    fn stuck_cells_ignore_target() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = FaultModel::new(1.0, 0.0, 1.23e-4, 0.0).unwrap();
+        assert_eq!(m.apply(5e-5, &mut rng), 1.23e-4);
+        let m = FaultModel::new(0.0, 1.0, 1.23e-4, 9e-8).unwrap();
+        assert_eq!(m.apply(5e-5, &mut rng), 9e-8);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the device-model invariants.
+
+use amc_device::array::ProgrammedMatrix;
+use amc_device::drift::DriftModel;
+use amc_device::mapping::{MappingConfig, MatrixMapping};
+use amc_device::quant::Quantizer;
+use amc_device::variation::VariationModel;
+use amc_linalg::{generate, Matrix};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn any_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=8, 1usize..=8, any::<u64>()).prop_map(|(r, c, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let m = generate::gaussian(r, c, &mut rng);
+        // Guarantee a non-zero matrix (the mapping rejects all-zeros).
+        if m.max_abs() == 0.0 {
+            Matrix::filled(r, c, 1.0)
+        } else {
+            m
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mapping_targets_stay_in_window_or_zero(a in any_matrix()) {
+        let cfg = MappingConfig::paper_default();
+        let m = MatrixMapping::new(&a, &cfg).unwrap();
+        for g in [m.g_pos(), m.g_neg()] {
+            for &v in g.as_slice() {
+                prop_assert!(
+                    v == 0.0 || (cfg.g_min..=cfg.g_max).contains(&v),
+                    "target {} outside window", v
+                );
+            }
+        }
+        // Pos and neg targets never overlap on the same cell.
+        for (p, n) in m.g_pos().as_slice().iter().zip(m.g_neg().as_slice()) {
+            prop_assert!(*p == 0.0 || *n == 0.0);
+        }
+    }
+
+    #[test]
+    fn normalization_scale_is_max_abs(a in any_matrix()) {
+        let cfg = MappingConfig::paper_default();
+        let m = MatrixMapping::new(&a, &cfg).unwrap();
+        prop_assert_eq!(m.scale(), a.max_abs());
+        // Largest mapped conductance equals g0 exactly.
+        let gmax = m.g_pos().max_abs().max(m.g_neg().max_abs());
+        prop_assert!((gmax - cfg.g0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn wide_window_roundtrip_is_exact(a in any_matrix()) {
+        let mut cfg = MappingConfig::paper_default();
+        cfg.g_min = 1e-15;
+        cfg.g_max = 1.0;
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let p = ProgrammedMatrix::program(&a, &cfg, &VariationModel::None, &mut rng).unwrap();
+        prop_assert!(p.effective_matrix().approx_eq(&a, 1e-12 * a.max_abs()));
+    }
+
+    #[test]
+    fn variation_never_produces_negative_conductance(
+        a in any_matrix(),
+        sigma in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let cfg = MappingConfig::paper_default();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let var = VariationModel::Proportional { sigma_rel: sigma };
+        let p = ProgrammedMatrix::program(&a, &cfg, &var, &mut rng).unwrap();
+        prop_assert!(p.pos().conductances().as_slice().iter().all(|&v| v >= 0.0));
+        prop_assert!(p.neg().conductances().as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn quantizer_is_idempotent(
+        g_min in 1e-7f64..1e-5,
+        span in 1.5f64..100.0,
+        levels in 2u32..512,
+        v in 0.0f64..1e-3,
+    ) {
+        let q = Quantizer::new(g_min, g_min * span, levels).unwrap();
+        let once = q.quantize(v);
+        let twice = q.quantize(once);
+        prop_assert!((once - twice).abs() < 1e-18, "{once} vs {twice}");
+    }
+
+    #[test]
+    fn drift_only_decreases_conductance(
+        a in any_matrix(),
+        t in 1.0f64..1e9,
+        seed in any::<u64>(),
+    ) {
+        let g = a.map(f64::abs).scaled(1e-4 / a.max_abs().max(1e-30));
+        let m = DriftModel::typical_rram();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let out = m.apply(&g, t, &mut rng).unwrap();
+        for (&o, &i) in out.as_slice().iter().zip(g.as_slice()) {
+            prop_assert!(o <= i + 1e-18);
+            prop_assert!(o >= 0.0);
+        }
+    }
+
+    #[test]
+    fn programming_determinism(a in any_matrix(), seed in any::<u64>()) {
+        let cfg = MappingConfig::paper_default();
+        let var = VariationModel::paper_default(cfg.g0);
+        let p1 = ProgrammedMatrix::program(
+            &a, &cfg, &var, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+        let p2 = ProgrammedMatrix::program(
+            &a, &cfg, &var, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,460 @@
+//! Banded matrices and solvers.
+//!
+//! Two of this workspace's workload families are banded: the 1-D Poisson
+//! matrix (tridiagonal) and the SPD autocorrelation Toeplitz family
+//! (bandwidth = kernel length). A banded solver turns their `O(n³)` dense
+//! solves into `O(n·b²)`, which matters for the digital *reference*
+//! solutions inside large Monte-Carlo sweeps, and demonstrates the cost
+//! the analog solver is competing against on structured problems.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// A square banded matrix with `lower` sub-diagonals and `upper`
+/// super-diagonals, stored band-by-band (LAPACK-style band storage).
+///
+/// # Example
+///
+/// ```
+/// use amc_linalg::banded::BandedMatrix;
+///
+/// # fn main() -> Result<(), amc_linalg::LinalgError> {
+/// // Tridiagonal Poisson matrix.
+/// let mut m = BandedMatrix::zeros(4, 1, 1)?;
+/// for i in 0..4 {
+///     m.set(i, i, 2.0)?;
+///     if i > 0 { m.set(i, i - 1, -1.0)?; }
+///     if i < 3 { m.set(i, i + 1, -1.0)?; }
+/// }
+/// let x = m.solve_no_pivot(&[1.0, 0.0, 0.0, 1.0])?;
+/// let back = m.matvec(&x)?;
+/// assert!((back[0] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandedMatrix {
+    n: usize,
+    lower: usize,
+    upper: usize,
+    /// Row-major `(lower + upper + 1) x n` band storage: band `d` (0 =
+    /// outermost super-diagonal) holds element `(i, j)` with
+    /// `d = upper + i - j` at column index `j`.
+    data: Vec<f64>,
+}
+
+impl BandedMatrix {
+    /// Creates a zero banded matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `n == 0` or a bandwidth
+    /// reaches `n`.
+    pub fn zeros(n: usize, lower: usize, upper: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(LinalgError::invalid("banded matrix must be non-empty"));
+        }
+        if lower >= n || upper >= n {
+            return Err(LinalgError::invalid(format!(
+                "bandwidths ({lower}, {upper}) must be < n = {n}"
+            )));
+        }
+        Ok(BandedMatrix {
+            n,
+            lower,
+            upper,
+            data: vec![0.0; (lower + upper + 1) * n],
+        })
+    }
+
+    /// Extracts the band structure of a dense matrix, verifying that all
+    /// elements outside the declared band are zero.
+    ///
+    /// # Errors
+    ///
+    /// * Shape/bandwidth validation as in [`BandedMatrix::zeros`].
+    /// * [`LinalgError::InvalidArgument`] if a non-zero element lies
+    ///   outside the band.
+    pub fn from_dense(a: &Matrix, lower: usize, upper: usize) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NonSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let mut m = BandedMatrix::zeros(a.rows(), lower, upper)?;
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                let v = a[(i, j)];
+                if v != 0.0 {
+                    if Self::in_band_static(i, j, lower, upper) {
+                        m.set(i, j, v)?;
+                    } else {
+                        return Err(LinalgError::invalid(format!(
+                            "element ({i},{j}) = {v} lies outside the ({lower},{upper}) band"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Infers the minimal bandwidths of a dense matrix and converts it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NonSquare`] for a rectangular input.
+    pub fn from_dense_auto(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NonSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let mut lower = 0usize;
+        let mut upper = 0usize;
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                if a[(i, j)] != 0.0 {
+                    if i > j {
+                        lower = lower.max(i - j);
+                    } else {
+                        upper = upper.max(j - i);
+                    }
+                }
+            }
+        }
+        Self::from_dense(a, lower, upper)
+    }
+
+    fn in_band_static(i: usize, j: usize, lower: usize, upper: usize) -> bool {
+        (j <= i + upper) && (i <= j + lower)
+    }
+
+    fn idx(&self, i: usize, j: usize) -> usize {
+        let band = self.upper + i - j;
+        band * self.n + j
+    }
+
+    /// Dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// `(lower, upper)` bandwidths.
+    pub fn bandwidths(&self) -> (usize, usize) {
+        (self.lower, self.upper)
+    }
+
+    /// Returns element `(i, j)` (zero outside the band).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices exceed the dimension.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        if Self::in_band_static(i, j, self.lower, self.upper) {
+            self.data[self.idx(i, j)]
+        } else {
+            0.0
+        }
+    }
+
+    /// Sets element `(i, j)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `(i, j)` lies outside
+    /// the band or the matrix.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) -> Result<()> {
+        if i >= self.n || j >= self.n {
+            return Err(LinalgError::invalid(format!(
+                "index ({i},{j}) out of bounds for n = {}",
+                self.n
+            )));
+        }
+        if !Self::in_band_static(i, j, self.lower, self.upper) {
+            return Err(LinalgError::invalid(format!(
+                "index ({i},{j}) lies outside the ({}, {}) band",
+                self.lower, self.upper
+            )));
+        }
+        let idx = self.idx(i, j);
+        self.data[idx] = v;
+        Ok(())
+    }
+
+    /// Banded matrix-vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != n`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "banded_matvec",
+                lhs: (self.n, self.n),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let j_lo = i.saturating_sub(self.lower);
+            let j_hi = (i + self.upper).min(self.n - 1);
+            let mut s = 0.0;
+            for j in j_lo..=j_hi {
+                s += self.data[self.idx(i, j)] * x[j];
+            }
+            y[i] = s;
+        }
+        Ok(y)
+    }
+
+    /// Converts back to a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        Matrix::from_fn(self.n, self.n, |i, j| self.get(i, j))
+    }
+
+    /// Solves `A·x = b` with banded LU **without pivoting** in
+    /// `O(n·(lower+upper)²)`.
+    ///
+    /// No pivoting means this is only stable for diagonally dominant or
+    /// SPD matrices — which covers every banded workload in this
+    /// workspace (Poisson, autocorrelation Toeplitz). A vanishing pivot
+    /// is reported as [`LinalgError::Singular`].
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `b.len() != n`.
+    /// * [`LinalgError::Singular`] on pivot breakdown.
+    pub fn solve_no_pivot(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "banded_solve",
+                lhs: (self.n, self.n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let n = self.n;
+        let mut work = self.clone();
+        let mut x = b.to_vec();
+        let scale = self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1.0);
+        // Elimination.
+        for k in 0..n {
+            let pivot = work.data[work.idx(k, k)];
+            if pivot.abs() <= 1e-300 * scale {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            let i_hi = (k + self.lower).min(n - 1);
+            for i in (k + 1)..=i_hi {
+                let factor = work.data[work.idx(i, k)] / pivot;
+                if factor != 0.0 {
+                    let j_hi = (k + self.upper).min(n - 1);
+                    for j in k..=j_hi {
+                        let above = work.data[work.idx(k, j)];
+                        let idx = work.idx(i, j);
+                        work.data[idx] -= factor * above;
+                    }
+                    x[i] -= factor * x[k];
+                }
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let j_hi = (i + self.upper).min(n - 1);
+            let mut s = x[i];
+            for j in (i + 1)..=j_hi {
+                s -= work.data[work.idx(i, j)] * x[j];
+            }
+            x[i] = s / work.data[work.idx(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+/// Solves a tridiagonal system with the Thomas algorithm in `O(n)`.
+///
+/// `sub`, `diag`, `sup` are the sub-/main/super-diagonals with
+/// `sub.len() == sup.len() == diag.len() - 1`. Stable for diagonally
+/// dominant or SPD tridiagonal systems.
+///
+/// # Errors
+///
+/// * [`LinalgError::InvalidArgument`] for inconsistent lengths.
+/// * [`LinalgError::Singular`] on pivot breakdown.
+///
+/// # Example
+///
+/// ```
+/// use amc_linalg::banded::thomas_solve;
+///
+/// # fn main() -> Result<(), amc_linalg::LinalgError> {
+/// // 2x - y = 1 ; -x + 2y = 1  ->  x = y = 1.
+/// let x = thomas_solve(&[-1.0], &[2.0, 2.0], &[-1.0], &[1.0, 1.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn thomas_solve(sub: &[f64], diag: &[f64], sup: &[f64], b: &[f64]) -> Result<Vec<f64>> {
+    let n = diag.len();
+    if n == 0 {
+        return Err(LinalgError::invalid("empty tridiagonal system"));
+    }
+    if sub.len() != n - 1 || sup.len() != n - 1 || b.len() != n {
+        return Err(LinalgError::invalid(
+            "tridiagonal bands must have length n-1 and rhs length n",
+        ));
+    }
+    let scale = diag
+        .iter()
+        .chain(sub)
+        .chain(sup)
+        .fold(0.0_f64, |m, v| m.max(v.abs()))
+        .max(1.0);
+    if n == 1 {
+        if diag[0].abs() <= 1e-300 * scale {
+            return Err(LinalgError::Singular { pivot: 0 });
+        }
+        return Ok(vec![b[0] / diag[0]]);
+    }
+    let mut c = vec![0.0; n - 1];
+    let mut d = vec![0.0; n];
+    // Forward sweep.
+    if diag[0].abs() <= 1e-300 * scale {
+        return Err(LinalgError::Singular { pivot: 0 });
+    }
+    c[0] = sup[0] / diag[0];
+    d[0] = b[0] / diag[0];
+    for i in 1..n {
+        let denom = diag[i] - sub[i - 1] * c[i - 1];
+        if denom.abs() <= 1e-300 * scale {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        if i < n - 1 {
+            c[i] = sup[i] / denom;
+        }
+        d[i] = (b[i] - sub[i - 1] * d[i - 1]) / denom;
+    }
+    // Back substitution.
+    let mut x = d;
+    for i in (0..n - 1).rev() {
+        let xi1 = x[i + 1];
+        x[i] -= c[i] * xi1;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, lu, vector};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = BandedMatrix::zeros(4, 1, 2).unwrap();
+        m.set(0, 0, 1.0).unwrap();
+        m.set(0, 2, 3.0).unwrap();
+        m.set(1, 0, -1.0).unwrap();
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(0, 3), 0.0); // outside band
+        assert!(m.set(0, 3, 1.0).is_err());
+        assert!(m.set(9, 0, 1.0).is_err());
+        assert_eq!(m.bandwidths(), (1, 2));
+        assert!(BandedMatrix::zeros(0, 0, 0).is_err());
+        assert!(BandedMatrix::zeros(3, 3, 0).is_err());
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let p = generate::poisson_1d(6).unwrap();
+        let b = BandedMatrix::from_dense(&p, 1, 1).unwrap();
+        assert_eq!(b.to_dense(), p);
+        let auto = BandedMatrix::from_dense_auto(&p).unwrap();
+        assert_eq!(auto.bandwidths(), (1, 1));
+        // An element outside the declared band is rejected.
+        assert!(BandedMatrix::from_dense(&p, 0, 0).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = generate::random_spd_toeplitz(12, 4, 0.02, &mut rng).unwrap();
+        let band = BandedMatrix::from_dense_auto(&t).unwrap();
+        let x = generate::random_vector(12, &mut rng);
+        assert!(vector::approx_eq(
+            &band.matvec(&x).unwrap(),
+            &t.matvec(&x).unwrap(),
+            1e-12
+        ));
+        assert!(band.matvec(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn banded_solve_matches_dense_lu() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let t = generate::random_spd_toeplitz(20, 5, 0.05, &mut rng).unwrap();
+        let band = BandedMatrix::from_dense_auto(&t).unwrap();
+        let b = generate::random_vector(20, &mut rng);
+        let x_band = band.solve_no_pivot(&b).unwrap();
+        let x_dense = lu::solve(&t, &b).unwrap();
+        assert!(vector::approx_eq(&x_band, &x_dense, 1e-8));
+        assert!(band.solve_no_pivot(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn poisson_solve_via_band_and_thomas_agree() {
+        let n = 30;
+        let p = generate::poisson_1d(n).unwrap();
+        let band = BandedMatrix::from_dense_auto(&p).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let x_band = band.solve_no_pivot(&b).unwrap();
+        let sub = vec![-1.0; n - 1];
+        let diag = vec![2.0; n];
+        let sup = vec![-1.0; n - 1];
+        let x_thomas = thomas_solve(&sub, &diag, &sup, &b).unwrap();
+        let x_dense = lu::solve(&p, &b).unwrap();
+        assert!(vector::approx_eq(&x_band, &x_dense, 1e-9));
+        assert!(vector::approx_eq(&x_thomas, &x_dense, 1e-9));
+    }
+
+    #[test]
+    fn thomas_validation_and_singularity() {
+        assert!(thomas_solve(&[], &[], &[], &[]).is_err());
+        assert!(thomas_solve(&[1.0], &[1.0, 1.0], &[], &[1.0, 1.0]).is_err());
+        // Singular: zero pivot.
+        assert!(matches!(
+            thomas_solve(&[1.0], &[0.0, 1.0], &[1.0], &[1.0, 1.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+        // 1x1 system.
+        let x = thomas_solve(&[], &[4.0], &[], &[2.0]).unwrap();
+        assert_eq!(x, vec![0.5]);
+    }
+
+    #[test]
+    fn singular_banded_matrix_detected() {
+        let mut m = BandedMatrix::zeros(3, 1, 1).unwrap();
+        m.set(0, 0, 1.0).unwrap();
+        m.set(1, 1, 0.0).unwrap();
+        m.set(2, 2, 1.0).unwrap();
+        assert!(matches!(
+            m.solve_no_pivot(&[1.0, 1.0, 1.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn asymmetric_bandwidths() {
+        // Lower-bidiagonal system (lower=1, upper=0).
+        let mut m = BandedMatrix::zeros(3, 1, 0).unwrap();
+        m.set(0, 0, 2.0).unwrap();
+        m.set(1, 0, 1.0).unwrap();
+        m.set(1, 1, 2.0).unwrap();
+        m.set(2, 1, 1.0).unwrap();
+        m.set(2, 2, 2.0).unwrap();
+        let x = m.solve_no_pivot(&[2.0, 3.0, 3.0]).unwrap();
+        assert!(vector::approx_eq(&x, &[1.0, 1.0, 1.0], 1e-12));
+    }
+}

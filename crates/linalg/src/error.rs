@@ -1,0 +1,135 @@
+use std::fmt;
+
+/// Error type for all fallible operations in `amc-linalg`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// An operation that requires a square matrix received a rectangular one.
+    NonSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// Two operands have incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A factorization failed because the matrix is singular (or numerically
+    /// singular) at the given pivot index.
+    Singular {
+        /// Pivot index where breakdown was detected.
+        pivot: usize,
+    },
+    /// Cholesky failed: the matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Index of the first non-positive diagonal pivot.
+        index: usize,
+    },
+    /// An iterative solver did not reach the requested tolerance.
+    ConvergenceFailure {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm at the last iteration.
+        residual: f64,
+        /// Requested tolerance.
+        tolerance: f64,
+    },
+    /// A caller-supplied argument is invalid (empty matrix, zero tolerance…).
+    InvalidArgument {
+        /// Explanation of what was wrong.
+        message: String,
+    },
+}
+
+impl LinalgError {
+    /// Shorthand constructor for [`LinalgError::InvalidArgument`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        LinalgError::InvalidArgument {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NonSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot at index {pivot})")
+            }
+            LinalgError::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite (pivot {index})")
+            }
+            LinalgError::ConvergenceFailure {
+                iterations,
+                residual,
+                tolerance,
+            } => write!(
+                f,
+                "iterative solver failed to converge after {iterations} iterations \
+                 (residual {residual:.3e}, tolerance {tolerance:.3e})"
+            ),
+            LinalgError::InvalidArgument { message } => {
+                write!(f, "invalid argument: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::NonSquare { rows: 3, cols: 4 };
+        assert_eq!(e.to_string(), "matrix must be square, got 3x4");
+
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("2x3"));
+
+        let e = LinalgError::Singular { pivot: 7 };
+        assert!(e.to_string().contains('7'));
+
+        let e = LinalgError::invalid("n must be > 0");
+        assert!(e.to_string().contains("n must be > 0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+
+    #[test]
+    fn convergence_failure_reports_numbers() {
+        let e = LinalgError::ConvergenceFailure {
+            iterations: 100,
+            residual: 1e-3,
+            tolerance: 1e-9,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100"));
+        assert!(s.contains("1.000e-3"));
+    }
+}

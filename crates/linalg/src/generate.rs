@@ -1,0 +1,472 @@
+//! Seeded generators for the paper's benchmark matrix families.
+//!
+//! The BlockAMC evaluation uses two matrix families (paper §IV):
+//!
+//! * **Wishart** matrices `A = Xᵀ·X` with `X` an `m x n` real Gaussian
+//!   matrix — stochastic SPD matrices common in statistical physics.
+//! * **Toeplitz** matrices, constant along diagonals — common in cyclic
+//!   convolution and discrete Fourier analysis.
+//!
+//! All generators take an explicit RNG so experiments are reproducible; the
+//! repro harness seeds a `rand_chacha::ChaCha8Rng` per (figure, size, trial).
+
+use crate::{LinalgError, Matrix, Result};
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Samples a standard normal value using the Box-Muller transform.
+///
+/// Kept local (instead of `rand_distr`) to keep the dependency set minimal.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller: u1 in (0,1], u2 in [0,1).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A distribution adapter producing standard normal samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        standard_normal(rng)
+    }
+}
+
+/// Generates an `rows x cols` matrix with i.i.d. standard normal entries.
+pub fn gaussian<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| standard_normal(rng))
+}
+
+/// Generates an `n x n` Wishart matrix `A = Xᵀ·X / m` with `X` an `m x n`
+/// real Gaussian matrix (paper eq. 4).
+///
+/// The `1/m` normalization keeps element magnitudes O(1) across sizes; the
+/// AMC mapping stage re-normalizes to the conductance range anyway, so this
+/// does not change any of the paper's experiments.
+///
+/// With `m >= n` the result is symmetric positive definite with probability
+/// one. The paper does not state `m`; the reproduction default, used by the
+/// harness, is `m = 4n`, which by the Marchenko–Pastur law gives condition
+/// numbers around `((1+√γ)/(1−√γ))² = 9` (γ = n/m = 1/4), independent of
+/// `n` — the regime in which the paper's reported relative errors (0.05 to
+/// 0.4 under 5% conductance variation) are reachable. Smaller `m` (e.g.
+/// `m = n`) gives much worse conditioning and proportionally larger analog
+/// errors.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `n == 0` or `m < n`.
+pub fn wishart<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Matrix> {
+    if n == 0 {
+        return Err(LinalgError::invalid("wishart size must be positive"));
+    }
+    if m < n {
+        return Err(LinalgError::invalid(format!(
+            "wishart requires m >= n for invertibility, got m={m}, n={n}"
+        )));
+    }
+    let x = gaussian(m, n, rng);
+    let mut a = x.transpose().matmul(&x)?;
+    let scale = 1.0 / m as f64;
+    a = a.scaled(scale);
+    Ok(a)
+}
+
+/// Generates an `n x n` Wishart matrix with the reproduction's default
+/// degrees-of-freedom choice `m = 4n` (see [`wishart`] for why).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `n == 0`.
+pub fn wishart_default<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Matrix> {
+    wishart(n, 4 * n, rng)
+}
+
+/// Builds a Toeplitz matrix from its first column and first row
+/// (paper eq. 5): `A[i][j] = first_col[i - j]` for `i >= j`, else
+/// `first_row[j - i]`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if the inputs are empty, have
+/// different lengths, or disagree on the shared diagonal element
+/// `first_col[0] != first_row[0]`.
+pub fn toeplitz(first_col: &[f64], first_row: &[f64]) -> Result<Matrix> {
+    if first_col.is_empty() {
+        return Err(LinalgError::invalid("toeplitz inputs must be non-empty"));
+    }
+    if first_col.len() != first_row.len() {
+        return Err(LinalgError::invalid(format!(
+            "toeplitz first_col ({}) and first_row ({}) must have equal length",
+            first_col.len(),
+            first_row.len()
+        )));
+    }
+    if (first_col[0] - first_row[0]).abs() > 0.0 {
+        return Err(LinalgError::invalid(
+            "toeplitz first_col[0] must equal first_row[0]",
+        ));
+    }
+    let n = first_col.len();
+    Ok(Matrix::from_fn(n, n, |i, j| {
+        if i >= j {
+            first_col[i - j]
+        } else {
+            first_row[j - i]
+        }
+    }))
+}
+
+/// Generates a random diagonally dominant Toeplitz matrix.
+///
+/// Off-diagonal generators are uniform in `[-1, 1]` and the diagonal is set
+/// to a value exceeding the absolute sum of the off-diagonals, which makes
+/// the matrix well-posed for the INV circuit (a singular Toeplitz draw
+/// would make neither the numerical nor the analog solver meaningful).
+/// `dominance` scales how strongly the diagonal dominates: `1.0` is
+/// marginal, larger is safer; the harness default is `1.2`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `n == 0` or
+/// `dominance <= 0`.
+pub fn random_toeplitz<R: Rng + ?Sized>(n: usize, dominance: f64, rng: &mut R) -> Result<Matrix> {
+    if n == 0 {
+        return Err(LinalgError::invalid("toeplitz size must be positive"));
+    }
+    if dominance <= 0.0 {
+        return Err(LinalgError::invalid("dominance must be positive"));
+    }
+    let mut col: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut row: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    // Decay off-diagonals so distant diagonals matter less (typical of the
+    // convolution kernels Toeplitz matrices model) and dominance is cheap.
+    for k in 1..n {
+        let decay = 1.0 / (1.0 + k as f64);
+        col[k] *= decay;
+        row[k] *= decay;
+    }
+    let off_sum: f64 = col[1..].iter().chain(row[1..].iter()).map(|v| v.abs()).sum();
+    let d = dominance * off_sum.max(1.0);
+    col[0] = d;
+    row[0] = d;
+    toeplitz(&col, &row)
+}
+
+/// Generates a raw random Toeplitz matrix: first row/column entries are
+/// i.i.d. uniform in `[-1, 1]` with no conditioning safeguards.
+///
+/// This matches the paper's benchmark family (eq. 5 with random
+/// generators): such matrices are almost surely invertible but can be
+/// arbitrarily ill-conditioned, which is why the paper's Toeplitz relative
+/// errors grow toward O(1) at large sizes. Use [`random_toeplitz`] when a
+/// well-posed (diagonally dominant) instance is needed.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `n == 0`.
+pub fn random_toeplitz_raw<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Matrix> {
+    if n == 0 {
+        return Err(LinalgError::invalid("toeplitz size must be positive"));
+    }
+    let mut col: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let row_rest: Vec<f64> = (1..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut row = Vec::with_capacity(n);
+    row.push(col[0]);
+    row.extend(row_rest);
+    // Guard against a (measure-zero) zero diagonal which would make the
+    // matrix trivially singular for n = 1.
+    if col[0] == 0.0 {
+        col[0] = 0.5;
+        row[0] = 0.5;
+    }
+    toeplitz(&col, &row)
+}
+
+/// Generates a random symmetric positive-definite Toeplitz matrix from a
+/// random autocorrelation sequence.
+///
+/// A length-`kernel_len` random vector `w` defines
+/// `a_k = Σ_j w_j·w_{j+k}`; the banded Toeplitz matrix with those
+/// diagonals is a finite section of the PSD convolution operator with
+/// symbol `|W(e^{iθ})|²`, hence positive semidefinite — and positive
+/// definite for generic `w` (strictly, whenever `W` has no zeros on the
+/// unit circle). This is the natural Toeplitz family of the paper's
+/// motivating applications (cyclic convolution, autocorrelation /
+/// discrete-Fourier analysis), and its condition number grows with `n`
+/// toward `max|W|²/min|W|²`, giving the error-vs-size growth the paper's
+/// Fig. 7(b)/9(b) show.
+///
+/// `ridge` adds `ridge·a_0` to the diagonal (a relative regularization,
+/// like the noise floor of a measured autocorrelation), which bounds the
+/// condition number by roughly `1 + 1/ridge`; pass `0.0` for the raw
+/// autocorrelation matrix.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `n == 0`, `kernel_len == 0`,
+/// or `ridge` is negative/not finite.
+pub fn random_spd_toeplitz<R: Rng + ?Sized>(
+    n: usize,
+    kernel_len: usize,
+    ridge: f64,
+    rng: &mut R,
+) -> Result<Matrix> {
+    if n == 0 {
+        return Err(LinalgError::invalid("toeplitz size must be positive"));
+    }
+    if kernel_len == 0 {
+        return Err(LinalgError::invalid("kernel length must be positive"));
+    }
+    if !(ridge.is_finite() && ridge >= 0.0) {
+        return Err(LinalgError::invalid("ridge must be finite and non-negative"));
+    }
+    let k = kernel_len.min(n);
+    let w: Vec<f64> = (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut diag0 = 0.0;
+    for &wj in &w {
+        diag0 += wj * wj;
+    }
+    diag0 = diag0.max(1e-6); // guard against an (astronomically unlikely) zero draw
+    let mut col = vec![0.0; n];
+    col[0] = diag0 * (1.0 + ridge);
+    for lag in 1..k {
+        let mut s = 0.0;
+        for j in 0..(k - lag) {
+            s += w[j] * w[j + lag];
+        }
+        col[lag] = s;
+    }
+    toeplitz(&col, &col)
+}
+
+/// Generates a random strictly diagonally dominant matrix with off-diagonal
+/// entries uniform in `[-1, 1]`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `n == 0` or `margin <= 0`.
+pub fn diagonally_dominant<R: Rng + ?Sized>(n: usize, margin: f64, rng: &mut R) -> Result<Matrix> {
+    if n == 0 {
+        return Err(LinalgError::invalid("size must be positive"));
+    }
+    if margin <= 0.0 {
+        return Err(LinalgError::invalid("margin must be positive"));
+    }
+    let mut a = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+    for i in 0..n {
+        let off: f64 = a
+            .row(i)
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, v)| v.abs())
+            .sum();
+        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        a[(i, i)] = sign * (off + margin);
+    }
+    Ok(a)
+}
+
+/// Builds the `n x n` 1-D Poisson (second-difference) matrix
+/// `tridiag(-1, 2, -1)`, which is SPD and Toeplitz — used by the Poisson
+/// solver example.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `n == 0`.
+pub fn poisson_1d(n: usize) -> Result<Matrix> {
+    if n == 0 {
+        return Err(LinalgError::invalid("size must be positive"));
+    }
+    Ok(Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            2.0
+        } else if i.abs_diff(j) == 1 {
+            -1.0
+        } else {
+            0.0
+        }
+    }))
+}
+
+/// Generates a random vector with entries uniform in `[-1, 1]`.
+pub fn random_vector<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Generates a random unit-norm vector.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_unit_vector<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
+    assert!(n > 0, "vector length must be positive");
+    loop {
+        let v: Vec<f64> = (0..n).map(|_| standard_normal(rng)).collect();
+        let norm = crate::vector::norm2(&v);
+        if norm > 1e-12 {
+            return v.into_iter().map(|x| x / norm).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn gaussian_has_plausible_moments() {
+        let mut r = rng(1);
+        let m = gaussian(100, 100, &mut r);
+        let n = (m.rows() * m.cols()) as f64;
+        let mean: f64 = m.as_slice().iter().sum::<f64>() / n;
+        let var: f64 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn wishart_is_spd_and_symmetric() {
+        let mut r = rng(2);
+        let a = wishart_default(16, &mut r).unwrap();
+        assert!(a.is_symmetric(1e-12));
+        assert!(cholesky::is_spd(&a, 1e-12));
+    }
+
+    #[test]
+    fn wishart_validates_arguments() {
+        let mut r = rng(3);
+        assert!(wishart(0, 4, &mut r).is_err());
+        assert!(wishart(8, 4, &mut r).is_err());
+    }
+
+    #[test]
+    fn wishart_is_reproducible_with_same_seed() {
+        let a = wishart_default(8, &mut rng(7)).unwrap();
+        let b = wishart_default(8, &mut rng(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn toeplitz_structure() {
+        let a = toeplitz(&[1.0, 2.0, 3.0], &[1.0, -1.0, -2.0]).unwrap();
+        // Constant along diagonals.
+        assert_eq!(a[(0, 0)], 1.0);
+        assert_eq!(a[(1, 1)], 1.0);
+        assert_eq!(a[(2, 2)], 1.0);
+        assert_eq!(a[(1, 0)], 2.0);
+        assert_eq!(a[(2, 1)], 2.0);
+        assert_eq!(a[(0, 1)], -1.0);
+        assert_eq!(a[(1, 2)], -1.0);
+        assert_eq!(a[(0, 2)], -2.0);
+    }
+
+    #[test]
+    fn toeplitz_validates_inputs() {
+        assert!(toeplitz(&[], &[]).is_err());
+        assert!(toeplitz(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(toeplitz(&[1.0, 2.0], &[2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn random_toeplitz_is_invertible_and_dominant() {
+        let mut r = rng(4);
+        for n in [4usize, 16, 33] {
+            let a = random_toeplitz(n, 1.2, &mut r).unwrap();
+            assert!(a.is_diagonally_dominant(), "n={n}");
+            assert!(crate::lu::LuFactor::new(&a).is_ok(), "n={n}");
+        }
+        assert!(random_toeplitz(0, 1.0, &mut r).is_err());
+        assert!(random_toeplitz(4, 0.0, &mut r).is_err());
+    }
+
+    #[test]
+    fn random_toeplitz_raw_is_toeplitz_structured() {
+        let mut r = rng(11);
+        let a = random_toeplitz_raw(6, &mut r).unwrap();
+        for i in 1..6 {
+            for j in 1..6 {
+                assert_eq!(a[(i, j)], a[(i - 1, j - 1)], "diagonal constancy");
+            }
+        }
+        assert!(random_toeplitz_raw(0, &mut r).is_err());
+        // Entries stay in [-1, 1].
+        assert!(a.max_abs() <= 1.0);
+    }
+
+    #[test]
+    fn random_spd_toeplitz_is_spd_and_symmetric() {
+        let mut r = rng(12);
+        for n in [4usize, 16, 33] {
+            let a = random_spd_toeplitz(n, 8, 0.0, &mut r).unwrap();
+            assert!(a.is_symmetric(0.0), "n={n}");
+            assert!(cholesky::is_spd(&a, 0.0), "n={n}");
+            // Toeplitz structure.
+            if n > 2 {
+                assert_eq!(a[(2, 1)], a[(1, 0)]);
+            }
+        }
+        assert!(random_spd_toeplitz(0, 4, 0.0, &mut r).is_err());
+        assert!(random_spd_toeplitz(4, 0, 0.0, &mut r).is_err());
+    }
+
+    #[test]
+    fn spd_toeplitz_conditioning_grows_with_n() {
+        // Finite sections approach the symbol's max/min ratio from below,
+        // so condition numbers are (weakly) increasing in n.
+        use crate::lu::LuFactor;
+        let mut r = rng(13);
+        let small = random_spd_toeplitz(8, 8, 0.0, &mut r).unwrap();
+        let mut r = rng(13);
+        let large = random_spd_toeplitz(128, 8, 0.0, &mut r).unwrap();
+        let cs = LuFactor::new(&small).unwrap().cond_estimate(small.norm_one());
+        let cl = LuFactor::new(&large).unwrap().cond_estimate(large.norm_one());
+        assert!(cl >= cs, "cond small {cs} vs large {cl}");
+    }
+
+    #[test]
+    fn diagonally_dominant_is_dominant() {
+        let mut r = rng(5);
+        let a = diagonally_dominant(12, 0.5, &mut r).unwrap();
+        assert!(a.is_diagonally_dominant());
+        assert!(diagonally_dominant(0, 1.0, &mut r).is_err());
+    }
+
+    #[test]
+    fn poisson_1d_shape() {
+        let p = poisson_1d(4).unwrap();
+        assert_eq!(p[(0, 0)], 2.0);
+        assert_eq!(p[(0, 1)], -1.0);
+        assert_eq!(p[(0, 2)], 0.0);
+        assert!(cholesky::is_spd(&p, 0.0));
+        assert!(poisson_1d(0).is_err());
+    }
+
+    #[test]
+    fn random_vectors() {
+        let mut r = rng(6);
+        let v = random_vector(10, &mut r);
+        assert_eq!(v.len(), 10);
+        assert!(v.iter().all(|&x| (-1.0..1.0).contains(&x)));
+        let u = random_unit_vector(10, &mut r);
+        assert!((crate::vector::norm2(&u) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_normal_distribution_adapter() {
+        let mut r = rng(8);
+        let samples: Vec<f64> = (0..1000).map(|_| StandardNormal.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / 1000.0;
+        assert!(mean.abs() < 0.15);
+    }
+}

@@ -1,0 +1,830 @@
+//! Dense row-major matrix type.
+
+use crate::{LinalgError, Result};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// `Matrix` is the workhorse of the BlockAMC reproduction: it stores the
+/// mathematical matrices being solved, the conductance matrices programmed
+/// into crossbar arrays, and the assembled modified-nodal-analysis systems
+/// for small circuits.
+///
+/// # Example
+///
+/// ```
+/// use amc_linalg::Matrix;
+///
+/// # fn main() -> Result<(), amc_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c, a);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows.checked_mul(cols).expect("matrix size overflow")],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix where every element equals `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.data[i * n + i] = d;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::invalid(format!(
+                "data length {} does not match {}x{}",
+                data.len(),
+                rows,
+                cols
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if the rows have differing
+    /// lengths or the input is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinalgError::invalid("matrix must have at least one row"));
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(LinalgError::invalid("matrix must have at least one column"));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::invalid(format!(
+                    "row {i} has length {}, expected {cols}",
+                    r.len()
+                )));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the row-major storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element access with bounds checking.
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Sets a single element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index out of bounds");
+        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+    }
+
+    /// Returns the main diagonal as a vector.
+    pub fn diag(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self.data[i * self.cols + i]).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Matrix-matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop contiguous in both operands.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.data[i * self.cols + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += aik * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(out)
+    }
+
+    /// Transposed matrix-vector product `selfᵀ * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.rows()`.
+    pub fn matvec_transposed(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec_transposed",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (o, &a) in out.iter_mut().zip(row) {
+                *o += xi * a;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn add_matrix(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes differ.
+    pub fn sub_matrix(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns a new matrix scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> Matrix {
+        self.map(|v| v * factor)
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f(row, col, value)` to every element, returning a new matrix.
+    pub fn map_indexed(&self, mut f: impl FnMut(usize, usize, f64) -> f64) -> Matrix {
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[i * self.cols + j] = f(i, j, self.data[i * self.cols + j]);
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute element value (zero for a matrix of zeros).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Induced infinity norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Induced 1-norm (maximum absolute column sum).
+    pub fn norm_one(&self) -> f64 {
+        let mut sums = vec![0.0_f64; self.cols];
+        for i in 0..self.rows {
+            for (s, &v) in sums.iter_mut().zip(self.row(i)) {
+                *s += v.abs();
+            }
+        }
+        sums.into_iter().fold(0.0, f64::max)
+    }
+
+    /// Extracts the sub-matrix starting at `(row0, col0)` with shape
+    /// `(rows, cols)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if the block exceeds the
+    /// matrix bounds or is empty.
+    pub fn block(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Result<Matrix> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::invalid("block must be non-empty"));
+        }
+        if row0 + rows > self.rows || col0 + cols > self.cols {
+            return Err(LinalgError::invalid(format!(
+                "block ({row0},{col0})+{rows}x{cols} exceeds matrix {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            let src = &self.data[(row0 + i) * self.cols + col0..(row0 + i) * self.cols + col0 + cols];
+            out.data[i * cols..(i + 1) * cols].copy_from_slice(src);
+        }
+        Ok(out)
+    }
+
+    /// Overwrites the sub-matrix starting at `(row0, col0)` with `block`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidArgument`] if the block exceeds the
+    /// matrix bounds.
+    pub fn set_block(&mut self, row0: usize, col0: usize, block: &Matrix) -> Result<()> {
+        if row0 + block.rows > self.rows || col0 + block.cols > self.cols {
+            return Err(LinalgError::invalid(format!(
+                "block ({row0},{col0})+{}x{} exceeds matrix {}x{}",
+                block.rows, block.cols, self.rows, self.cols
+            )));
+        }
+        for i in 0..block.rows {
+            let dst_start = (row0 + i) * self.cols + col0;
+            self.data[dst_start..dst_start + block.cols]
+                .copy_from_slice(&block.data[i * block.cols..(i + 1) * block.cols]);
+        }
+        Ok(())
+    }
+
+    /// Assembles a 2x2 block matrix `[[a, b], [c, d]]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the blocks do not tile.
+    pub fn from_blocks(a: &Matrix, b: &Matrix, c: &Matrix, d: &Matrix) -> Result<Matrix> {
+        if a.rows != b.rows || c.rows != d.rows || a.cols != c.cols || b.cols != d.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "from_blocks",
+                lhs: a.shape(),
+                rhs: d.shape(),
+            });
+        }
+        let rows = a.rows + c.rows;
+        let cols = a.cols + b.cols;
+        let mut out = Matrix::zeros(rows, cols);
+        out.set_block(0, 0, a)?;
+        out.set_block(0, a.cols, b)?;
+        out.set_block(a.rows, 0, c)?;
+        out.set_block(a.rows, a.cols, d)?;
+        Ok(out)
+    }
+
+    /// Horizontal concatenation `[self | rhs]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the row counts differ.
+    pub fn hstack(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hstack",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        out.set_block(0, 0, self)?;
+        out.set_block(0, self.cols, rhs)?;
+        Ok(out)
+    }
+
+    /// Vertical concatenation `[self; rhs]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the column counts differ.
+    pub fn vstack(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows + rhs.rows, self.cols);
+        out.set_block(0, 0, self)?;
+        out.set_block(self.rows, 0, rhs)?;
+        Ok(out)
+    }
+
+    /// Splits the matrix into the element-wise positive and negative parts so
+    /// that `self = positive - negative`, with both parts non-negative.
+    ///
+    /// This is the decomposition used to map signed matrices onto two
+    /// crossbar arrays (device conductances are physically non-negative).
+    pub fn split_signs(&self) -> (Matrix, Matrix) {
+        let pos = self.map(|v| if v > 0.0 { v } else { 0.0 });
+        let neg = self.map(|v| if v < 0.0 { -v } else { 0.0 });
+        (pos, neg)
+    }
+
+    /// Returns `true` if every element is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&v| v == 0.0)
+    }
+
+    /// Returns `true` if all elements differ from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    /// Returns `true` if the matrix is strictly diagonally dominant.
+    pub fn is_diagonally_dominant(&self) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        (0..self.rows).all(|i| {
+            let row = self.row(i);
+            let off: f64 = row
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, v)| v.abs())
+                .sum();
+            row[i].abs() > off
+        })
+    }
+
+    /// Returns `true` if the matrix equals its transpose within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self.data[i * self.cols + j] - self.data[j * self.cols + i]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (row, col): (usize, usize)) -> &f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Matrix::add_matrix`] for a fallible
+    /// version.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.add_matrix(rhs).expect("matrix addition shape mismatch")
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Matrix::sub_matrix`] for a fallible
+    /// version.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        self.sub_matrix(rhs).expect("matrix subtraction shape mismatch")
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics if the shapes are incompatible; use [`Matrix::matmul`] for a
+    /// fallible version.
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        self.matmul(rhs).expect("matrix multiplication shape mismatch")
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scaled(-1.0)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for i in 0..self.rows.min(max_rows) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(max_rows) {
+                write!(f, "{:>12.5e} ", self.data[i * self.cols + j])?;
+            }
+            if self.cols > max_rows {
+                write!(f, "…")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.is_zero());
+
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i.diag(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn from_rows_validates_ragged_input() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+        assert!(err.is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn indexing_and_rows() {
+        let m = sample();
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+        assert_eq!(m.get(5, 0), None);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_and_transposed() {
+        let m = sample();
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]).unwrap(), vec![-2.0, -2.0]);
+        assert_eq!(
+            m.matvec_transposed(&[1.0, 1.0]).unwrap(),
+            vec![5.0, 7.0, 9.0]
+        );
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn block_extraction_and_composition() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let a = m.block(0, 0, 2, 2).unwrap();
+        let b = m.block(0, 2, 2, 2).unwrap();
+        let c = m.block(2, 0, 2, 2).unwrap();
+        let d = m.block(2, 2, 2, 2).unwrap();
+        let re = Matrix::from_blocks(&a, &b, &c, &d).unwrap();
+        assert_eq!(re, m);
+        assert!(m.block(3, 3, 2, 2).is_err());
+        assert!(m.block(0, 0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn set_block_rejects_out_of_bounds() {
+        let mut m = Matrix::zeros(3, 3);
+        let b = Matrix::identity(2);
+        m.set_block(1, 1, &b).unwrap();
+        assert_eq!(m[(1, 1)], 1.0);
+        assert_eq!(m[(2, 2)], 1.0);
+        assert!(m.set_block(2, 2, &b).is_err());
+    }
+
+    #[test]
+    fn stacking() {
+        let a = Matrix::identity(2);
+        let h = a.hstack(&a).unwrap();
+        assert_eq!(h.shape(), (2, 4));
+        let v = a.vstack(&a).unwrap();
+        assert_eq!(v.shape(), (4, 2));
+        assert!(a.hstack(&Matrix::zeros(3, 2)).is_err());
+        assert!(a.vstack(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn sign_split_reconstructs() {
+        let m = Matrix::from_rows(&[&[1.0, -2.0], &[0.0, 3.5]]).unwrap();
+        let (p, n) = m.split_signs();
+        assert!(p.as_slice().iter().all(|&v| v >= 0.0));
+        assert!(n.as_slice().iter().all(|&v| v >= 0.0));
+        assert_eq!(&p - &n, m);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_rows(&[&[3.0, -4.0], &[0.0, 0.0]]).unwrap();
+        assert_eq!(m.max_abs(), 4.0);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.norm_inf(), 7.0);
+        assert_eq!(m.norm_one(), 4.0);
+    }
+
+    #[test]
+    fn predicates() {
+        let dd = Matrix::from_rows(&[&[4.0, 1.0], &[-1.0, 3.0]]).unwrap();
+        assert!(dd.is_diagonally_dominant());
+        let not_dd = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(!not_dd.is_diagonally_dominant());
+
+        let sym = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        assert!(sym.is_symmetric(0.0));
+        assert!(!sample().is_symmetric(0.0));
+    }
+
+    #[test]
+    fn operators() {
+        let a = Matrix::identity(2);
+        let b = Matrix::filled(2, 2, 1.0);
+        let s = &a + &b;
+        assert_eq!(s[(0, 0)], 2.0);
+        let d = &s - &b;
+        assert_eq!(d, a);
+        let n = -&a;
+        assert_eq!(n[(1, 1)], -1.0);
+        let p = &a * &b;
+        assert_eq!(p, b);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let text = sample().to_string();
+        assert!(text.contains("Matrix 2x3"));
+    }
+
+    #[test]
+    fn map_indexed_sees_coordinates() {
+        let m = Matrix::zeros(2, 2).map_indexed(|i, j, _| (i * 10 + j) as f64);
+        assert_eq!(m[(1, 1)], 11.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Small vector helpers over `&[f64]` slices.
+//!
+//! These free functions are used pervasively by the solvers; they keep the
+//! hot paths allocation-free where possible and panic-free by returning
+//! checked results only where shapes can disagree (callers in this workspace
+//! validate shapes at the matrix level, so these helpers use debug
+//! assertions instead of `Result`s).
+
+/// Dot product of two equally sized slices.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm2(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+/// Maximum absolute value (zero for an empty slice).
+pub fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+}
+
+/// Sum of absolute values.
+pub fn norm1(v: &[f64]) -> f64 {
+    v.iter().map(|x| x.abs()).sum()
+}
+
+/// Element-wise sum `a + b` as a new vector.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b` as a new vector.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Scaled copy `alpha * v`.
+pub fn scale(v: &[f64], alpha: f64) -> Vec<f64> {
+    v.iter().map(|x| alpha * x).collect()
+}
+
+/// Negated copy `-v`.
+pub fn neg(v: &[f64]) -> Vec<f64> {
+    scale(v, -1.0)
+}
+
+/// In-place `y += alpha * x` (the BLAS `axpy` operation).
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Concatenates two slices into a new vector.
+pub fn concat(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    out.extend_from_slice(a);
+    out.extend_from_slice(b);
+    out
+}
+
+/// Splits a slice at `mid`, returning owned halves.
+///
+/// # Panics
+///
+/// Panics if `mid > v.len()`.
+pub fn split_at(v: &[f64], mid: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(mid <= v.len(), "split index out of bounds");
+    (v[..mid].to_vec(), v[mid..].to_vec())
+}
+
+/// Returns `true` if every pair of elements differs by at most `tol`.
+pub fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [3.0, 4.0];
+        assert_eq!(dot(&a, &a), 25.0);
+        assert_eq!(norm2(&a), 5.0);
+        assert_eq!(norm_inf(&a), 4.0);
+        assert_eq!(norm1(&a), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 5.0];
+        assert_eq!(add(&a, &b), vec![4.0, 7.0]);
+        assert_eq!(sub(&b, &a), vec![2.0, 3.0]);
+        assert_eq!(scale(&a, 2.0), vec![2.0, 4.0]);
+        assert_eq!(neg(&a), vec![-1.0, -2.0]);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let x = [1.0, 1.0];
+        let mut y = [0.5, -0.5];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [2.5, 1.5]);
+    }
+
+    #[test]
+    fn concat_and_split_roundtrip() {
+        let v = concat(&[1.0, 2.0], &[3.0]);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+        let (l, r) = split_at(&v, 2);
+        assert_eq!(l, vec![1.0, 2.0]);
+        assert_eq!(r, vec![3.0]);
+        let (l, r) = split_at(&v, 0);
+        assert!(l.is_empty());
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "split index out of bounds")]
+    fn split_out_of_bounds_panics() {
+        let _ = split_at(&[1.0], 2);
+    }
+
+    #[test]
+    fn approx_eq_checks_both_length_and_values() {
+        assert!(approx_eq(&[1.0, 2.0], &[1.0 + 1e-12, 2.0], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.0, 2.0], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.1], 1e-3));
+    }
+}

@@ -1,0 +1,78 @@
+//! Stuck-at fault tolerance of the AMC solvers.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+//!
+//! The paper's motivation names cell yield as a scalability barrier:
+//! "memory cells may get stuck in the ON or OFF state, losing the
+//! tunability of conductance states". This example injects stuck-at
+//! faults at increasing rates and compares how gracefully the original
+//! AMC and BlockAMC degrade — an experiment the paper motivates but does
+//! not run.
+
+use amc_circuit::sim::SimConfig;
+use amc_device::faults::FaultModel;
+use amc_device::mapping::MappingConfig;
+use amc_device::variation::VariationModel;
+use amc_linalg::{generate, lu, metrics};
+use blockamc::engine::{CircuitEngine, CircuitEngineConfig};
+use blockamc::solver::{BlockAmcSolver, Stages};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 48;
+    let trials = 10;
+    let rates = [0.0, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2];
+
+    println!(
+        "stuck-at fault sweep, {n}x{n} Wishart, {trials} trials \
+         (half stuck-ON at g_max, half stuck-OFF at 0)\n"
+    );
+    println!(
+        "{:>10} {:>16} {:>16} {:>16}",
+        "fault rate", "Original AMC", "One-stage", "Two-stage"
+    );
+
+    for rate in rates {
+        let mut cols = Vec::new();
+        for stages in [Stages::Original, Stages::One, Stages::Two] {
+            let mut errs = Vec::new();
+            for t in 0..trials {
+                let mut rng = ChaCha8Rng::seed_from_u64(500 + t);
+                let a = generate::wishart_default(n, &mut rng)?;
+                let b = generate::random_vector(n, &mut rng);
+                let x_ref = lu::solve(&a, &b)?;
+                let mut mapping = MappingConfig::paper_default();
+                mapping.faults = FaultModel::new(rate / 2.0, rate / 2.0, mapping.g_max, 0.0)?;
+                let config = CircuitEngineConfig {
+                    mapping,
+                    variation: VariationModel::Proportional { sigma_rel: 0.05 },
+                    sim: SimConfig::ideal(),
+                };
+                let engine = CircuitEngine::new(config, 900 + t);
+                let mut solver = BlockAmcSolver::new(engine, stages);
+                if let Ok(r) = solver.solve(&a, &b) {
+                    let e = metrics::relative_error(&x_ref, &r.x);
+                    if e.is_finite() {
+                        errs.push(e);
+                    }
+                }
+            }
+            cols.push(metrics::ErrorStats::from_samples(&errs).median);
+        }
+        println!(
+            "{rate:>10.0e} {:>16.4} {:>16.4} {:>16.4}",
+            cols[0], cols[1], cols[2]
+        );
+    }
+
+    println!(
+        "\na stuck-ON cell injects a full-scale matrix error (g_max ≈ 1.5·G0),\n\
+         so tolerance is set by how much of the matrix one array carries:\n\
+         smaller BlockAMC blocks mean each fault corrupts a smaller share\n\
+         of the computation — and a bad array can be remapped individually."
+    );
+    Ok(())
+}

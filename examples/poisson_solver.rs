@@ -1,0 +1,102 @@
+//! Solving a 1-D Poisson boundary-value problem with BlockAMC.
+//!
+//! ```text
+//! cargo run --release --example poisson_solver
+//! ```
+//!
+//! Discretizing `−u''(t) = f(t)` on `[0, 1]` with zero boundary values
+//! gives the SPD Toeplitz system `tridiag(−1, 2, −1)·u = h²·f` — the
+//! classic scientific-computing workload the paper's introduction
+//! motivates. It is also a *hard* analog workload: the condition number
+//! grows as `(n/π)²`, so conductance noise is strongly amplified. This
+//! example shows (a) how the analog error tracks the conditioning, and
+//! (b) the paper's remedy — use the analog result as a seed and polish it
+//! with a few digital refinement iterations.
+
+use amc_linalg::{generate, lu, metrics};
+use blockamc::engine::{CircuitEngine, CircuitEngineConfig, NumericEngine};
+use blockamc::refine::refine_with_cg;
+use blockamc::solver::{BlockAmcSolver, Stages};
+use amc_device::mapping::MappingConfig;
+use amc_device::variation::VariationModel;
+use amc_circuit::sim::SimConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 32; // interior grid points; κ ≈ (n/π)² ≈ 104
+    let h = 1.0 / (n as f64 + 1.0);
+    let a = generate::poisson_1d(n)?;
+
+    // Source term: a step load f(t) = 1 for t < 1/2, −1 otherwise.
+    // (Deliberately *not* a sine: sampled sines are exact eigenvectors of
+    // the discrete Laplacian, which makes cold-started CG converge in one
+    // iteration and would hide the seed's value.)
+    let f: Vec<f64> = (1..=n)
+        .map(|i| if (i as f64) * h < 0.5 { 1.0 } else { -1.0 })
+        .collect();
+    let b: Vec<f64> = f.iter().map(|v| v * h * h).collect();
+    let u_ref = lu::solve(&a, &b)?;
+
+    println!("1-D Poisson, {n} interior points (tridiagonal SPD Toeplitz)\n");
+
+    // Algorithm check with the exact engine.
+    let mut digital = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
+    println!(
+        "BlockAMC + numeric engine: rel. error {:.3e}",
+        metrics::relative_error(&u_ref, &digital.solve(&a, &b)?.x)
+    );
+
+    // Analog error vs write accuracy: conditioning amplifies the noise.
+    println!("\nanalog rel. error vs device write accuracy (one-stage BlockAMC):");
+    for sigma in [0.001, 0.005, 0.01, 0.05] {
+        let config = CircuitEngineConfig {
+            mapping: MappingConfig::paper_default(),
+            variation: VariationModel::Proportional { sigma_rel: sigma },
+            sim: SimConfig::ideal(),
+        };
+        let engine = CircuitEngine::new(config, 3);
+        let mut solver = BlockAmcSolver::new(engine, Stages::One);
+        let r = solver.solve(&a, &b)?;
+        println!(
+            "  σ_rel = {sigma:>5.3}: rel. error {:.3e}",
+            metrics::relative_error(&u_ref, &r.x)
+        );
+    }
+
+    // The paper's remedy: analog seed + digital refinement.
+    let config = CircuitEngineConfig {
+        mapping: MappingConfig::paper_default(),
+        variation: VariationModel::Proportional { sigma_rel: 0.01 },
+        sim: SimConfig::ideal(),
+    };
+    let engine = CircuitEngine::new(config, 3);
+    let mut solver = BlockAmcSolver::new(engine, Stages::One);
+    let seed = solver.solve(&a, &b)?.x;
+    let refined = refine_with_cg(&a, &b, &seed, 1e-12, 100_000)?;
+    println!(
+        "\nanalog seed (σ=0.01) + CG polish: {} iterations \
+         (vs {} from a zero start), final rel. error {:.3e}",
+        refined.iterations_with_seed,
+        refined.iterations_cold,
+        metrics::relative_error(&u_ref, &refined.x)
+    );
+    if refined.iterations_with_seed >= refined.iterations_cold {
+        println!(
+            "note: on this ill-conditioned system the noisy seed does NOT\n\
+             help CG — the analog noise injects rough error modes that CG\n\
+             removes slowly, while the zero start only needs the smooth\n\
+             modes of the load. This is exactly why the paper stresses\n\
+             *accuracy* of the seed: BlockAMC's error advantage over the\n\
+             original AMC translates directly into refinement savings\n\
+             (compare examples/preconditioner.rs on a well-conditioned\n\
+             Wishart system, where the seed does pay off)."
+        );
+    }
+
+    println!("\n   t      u_digital  u_refined");
+    for frac in [0.25, 0.5, 0.75] {
+        let i = ((n as f64) * frac) as usize;
+        let t = (i + 1) as f64 * h;
+        println!("  {t:.2}   {:>9.5}  {:>9.5}", u_ref[i], refined.x[i]);
+    }
+    Ok(())
+}

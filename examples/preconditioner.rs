@@ -1,0 +1,61 @@
+//! AMC as a seed solution for digital iterative refinement.
+//!
+//! ```text
+//! cargo run --release --example preconditioner
+//! ```
+//!
+//! The paper positions analog matrix computing as a *seed/preconditioner*
+//! for digital iterative methods (§IV). This example measures that
+//! pipeline end to end: solve with the analog BlockAMC (fast, ~5–10%
+//! accurate), hand the seed to conjugate gradients, and count how many
+//! digital iterations the analog pass saves at several accuracy targets.
+
+use amc_linalg::{generate, lu, metrics};
+use blockamc::engine::{CircuitEngine, CircuitEngineConfig};
+use blockamc::refine::{refine_with_cg, seed_quality};
+use blockamc::solver::{BlockAmcSolver, Stages};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 96;
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let a = generate::wishart_default(n, &mut rng)?;
+    let b = generate::random_vector(n, &mut rng);
+    let x_ref = lu::solve(&a, &b)?;
+
+    // Analog pass.
+    let engine = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 8);
+    let mut solver = BlockAmcSolver::new(engine, Stages::One);
+    let analog = solver.solve(&a, &b)?;
+    let seed_res = seed_quality(&a, &b, &analog.x)?;
+    println!(
+        "{n}x{n} Wishart system; analog BlockAMC seed: rel. error {:.3e}, \
+         relative residual {seed_res:.3e}",
+        metrics::relative_error(&x_ref, &analog.x)
+    );
+    println!(
+        "analog cost: {:.1} ns settling, {:.2} nJ\n",
+        analog.stats_delta.analog_time_s * 1e9,
+        analog.stats_delta.analog_energy_j * 1e9
+    );
+
+    println!("digital CG iterations to reach a target residual:");
+    println!("{:>12} {:>12} {:>12} {:>8}", "tolerance", "cold start", "analog seed", "saved");
+    for tol in [1e-4, 1e-6, 1e-8, 1e-10] {
+        let outcome = refine_with_cg(&a, &b, &analog.x, tol, 100_000)?;
+        println!(
+            "{tol:>12.0e} {:>12} {:>12} {:>8}",
+            outcome.iterations_cold,
+            outcome.iterations_with_seed,
+            outcome.iterations_saved()
+        );
+    }
+    println!(
+        "\nthe analog seed buys a constant head start (its ~{:.0}% accuracy),\n\
+         which matters most at loose tolerances — exactly the regime where\n\
+         a preconditioner pays for itself every solve.",
+        100.0 * seed_res
+    );
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Workspace root crate for the BlockAMC reproduction.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the library functionality
+//! lives in the workspace members:
+//!
+//! * [`amc_linalg`] — dense/sparse numerics,
+//! * [`amc_device`] — RRAM device and crossbar models,
+//! * [`amc_circuit`] — analog circuit simulation,
+//! * [`blockamc`] — the BlockAMC solver itself,
+//! * [`amc_arch`] — area/power/latency models.
+//!
+//! Run `cargo run --release -p amc-bench --bin repro -- all` to regenerate
+//! every figure of the paper, or start with
+//! `cargo run --release --example quickstart`.
+
+pub use amc_arch;
+pub use amc_circuit;
+pub use amc_device;
+pub use amc_linalg;
+pub use blockamc;

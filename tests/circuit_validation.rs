@@ -1,0 +1,125 @@
+//! Validation of the fast circuit models against the exact resistive-grid
+//! ground truth, across the device/circuit boundary.
+
+use amc_circuit::grid;
+use amc_circuit::interconnect::InterconnectModel;
+use amc_circuit::sim::{AnalogSimulator, SimConfig};
+use amc_device::array::ProgrammedMatrix;
+use amc_device::mapping::MappingConfig;
+use amc_device::variation::VariationModel;
+use amc_linalg::{generate, metrics, Matrix};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn program(a: &Matrix, seed: u64) -> ProgrammedMatrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    ProgrammedMatrix::program(
+        a,
+        &MappingConfig::paper_default(),
+        &VariationModel::None,
+        &mut rng,
+    )
+    .unwrap()
+}
+
+#[test]
+fn series_approximation_tracks_exact_grid_for_mvm() {
+    // Across several sizes and wire resistances, the O(mn) series model
+    // must stay within a small factor of the exact grid solve.
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for n in [4usize, 8, 16] {
+        let a = generate::wishart_default(n, &mut rng).unwrap();
+        let p = program(&a, n as u64);
+        let x = generate::random_vector(n, &mut rng);
+        for r_seg in [0.5, 1.0, 5.0] {
+            let exact = grid::mvm_exact(&p, &x, r_seg).unwrap();
+            let mut cfg = SimConfig::ideal();
+            cfg.interconnect = InterconnectModel::SeriesApprox { r_segment: r_seg };
+            let approx = AnalogSimulator::new(cfg).mvm(&p, &x).unwrap();
+            let err = metrics::relative_error_l2(&exact.volts, &approx.volts);
+            assert!(
+                err < 0.05,
+                "n={n} r={r_seg}: series vs exact diverged by {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn series_approximation_tracks_exact_grid_for_inv() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    for n in [4usize, 8] {
+        let a = generate::wishart_default(n, &mut rng).unwrap();
+        let p = program(&a, 10 + n as u64);
+        let b = generate::random_vector(n, &mut rng);
+        for r_seg in [0.5, 2.0] {
+            let exact = grid::inv_exact(&p, &b, r_seg).unwrap();
+            let mut cfg = SimConfig::ideal();
+            cfg.interconnect = InterconnectModel::SeriesApprox { r_segment: r_seg };
+            let approx = AnalogSimulator::new(cfg).inv(&p, &b).unwrap();
+            let err = metrics::relative_error_l2(&exact.volts, &approx.volts);
+            assert!(
+                err < 0.1,
+                "n={n} r={r_seg}: series vs exact diverged by {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_grid_converges_to_ideal_as_wires_vanish() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let a = generate::wishart_default(6, &mut rng).unwrap();
+    let p = program(&a, 30);
+    let b = generate::random_vector(6, &mut rng);
+    let ideal = AnalogSimulator::new(SimConfig::ideal()).inv(&p, &b).unwrap();
+    let mut prev_err = f64::INFINITY;
+    for r_seg in [10.0, 1.0, 0.1, 0.01] {
+        let exact = grid::inv_exact(&p, &b, r_seg).unwrap();
+        let err = metrics::relative_error_l2(&ideal.volts, &exact.volts);
+        assert!(
+            err < prev_err || err < 1e-9,
+            "error must shrink with wire resistance: r={r_seg} err={err} prev={prev_err}"
+        );
+        prev_err = err;
+    }
+    assert!(prev_err < 1e-4, "r=0.01 should be near-ideal, err={prev_err}");
+}
+
+#[test]
+fn grid_power_decreases_with_wire_resistance() {
+    // More series resistance, less current, less array power for the same
+    // drive voltages.
+    let g = Matrix::filled(4, 4, 1e-4);
+    let low = grid::ResistiveGrid::new(&g, 0.1)
+        .unwrap()
+        .solve(&[0.5; 4])
+        .unwrap();
+    let high = grid::ResistiveGrid::new(&g, 100.0)
+        .unwrap()
+        .solve(&[0.5; 4])
+        .unwrap();
+    assert!(high.power_w < low.power_w);
+    assert!(high.sense_currents[0] < low.sense_currents[0]);
+}
+
+#[test]
+fn wire_resistance_hurts_large_arrays_more() {
+    // The physical mechanism behind BlockAMC's Fig. 9 advantage: relative
+    // MVM error grows with array size at fixed segment resistance.
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let mut prev_err = 0.0;
+    for n in [4usize, 8, 16] {
+        let a = Matrix::filled(n, n, 1.0);
+        let p = program(&a, 40 + n as u64);
+        let x = generate::random_vector(n, &mut rng);
+        let ideal = AnalogSimulator::new(SimConfig::ideal()).mvm(&p, &x).unwrap();
+        let exact = grid::mvm_exact(&p, &x, 1.0).unwrap();
+        let err = metrics::relative_error_l2(&ideal.volts, &exact.volts);
+        assert!(
+            err > prev_err,
+            "n={n}: wire error must grow with size ({err} vs {prev_err})"
+        );
+        prev_err = err;
+    }
+}

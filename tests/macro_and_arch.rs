@@ -1,0 +1,140 @@
+//! Cross-crate consistency between the algorithm, the macro hardware
+//! model, the batch/pipeline layer, and the architecture cost model.
+
+use amc_arch::inventory::{component_counts, SolverKind};
+use amc_arch::latency::op_counts;
+use amc_circuit::opamp::OpAmpSpec;
+use amc_linalg::generate;
+use blockamc::converter::IoConfig;
+use blockamc::engine::NumericEngine;
+use blockamc::macro_model::{one_stage_schedule, ArrayId, MacroOp};
+use blockamc::solver::{BlockAmcSolver, Stages};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn macro_schedule_matches_executed_operations() {
+    // The static hardware schedule and the dynamic algorithm must agree
+    // on the op sequence: INV, MVM, INV, MVM, INV over A1,A3,A4s,A2,A1.
+    let schedule = one_stage_schedule();
+    let expected_ops = [
+        (MacroOp::Inv, ArrayId::A1),
+        (MacroOp::Mvm, ArrayId::A3),
+        (MacroOp::Inv, ArrayId::A4s),
+        (MacroOp::Mvm, ArrayId::A2),
+        (MacroOp::Inv, ArrayId::A1),
+    ];
+    for (s, (op, array)) in schedule.iter().zip(expected_ops) {
+        assert_eq!(s.op, op);
+        assert_eq!(s.array, array);
+    }
+
+    // Execute the algorithm and compare the dynamic counts.
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let a = generate::wishart_default(8, &mut rng).unwrap();
+    let b = generate::random_vector(8, &mut rng);
+    let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
+    let r = solver.solve(&a, &b).unwrap();
+    let inv_scheduled = schedule.iter().filter(|s| s.op == MacroOp::Inv).count();
+    let mvm_scheduled = schedule.iter().filter(|s| s.op == MacroOp::Mvm).count();
+    assert_eq!(r.stats_delta.inv_ops, inv_scheduled);
+    assert_eq!(r.stats_delta.mvm_ops, mvm_scheduled);
+}
+
+#[test]
+fn arch_op_counts_match_the_solver_facade() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let a = generate::wishart_default(16, &mut rng).unwrap();
+    let b = generate::random_vector(16, &mut rng);
+    for (kind, stages) in [
+        (SolverKind::OriginalAmc, Stages::Original),
+        (SolverKind::OneStage, Stages::One),
+    ] {
+        let mut solver = BlockAmcSolver::new(NumericEngine::new(), stages);
+        let r = solver.solve(&a, &b).unwrap();
+        let c = op_counts(kind);
+        assert_eq!(r.stats_delta.inv_ops, c.inv, "{kind:?} INV count");
+        assert_eq!(r.stats_delta.mvm_ops, c.mvm, "{kind:?} MVM count");
+    }
+}
+
+#[test]
+fn arch_array_count_matches_programmed_operands() {
+    // One-stage: the inventory says 4 arrays; a dense matrix programs
+    // exactly 4 operands (A1, A2, A3, A4s).
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let a = generate::wishart_default(16, &mut rng).unwrap();
+    let b = generate::random_vector(16, &mut rng);
+    let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
+    let r = solver.solve(&a, &b).unwrap();
+    let inv = component_counts(SolverKind::OneStage, 16).unwrap();
+    assert_eq!(r.stats_delta.program_ops, inv.arrays);
+
+    // Two-stage: 16 arrays for a dense matrix.
+    let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::Two);
+    let r = solver.solve(&a, &b).unwrap();
+    let inv = component_counts(SolverKind::TwoStage, 16).unwrap();
+    assert_eq!(r.stats_delta.program_ops, inv.arrays);
+}
+
+#[test]
+fn batch_pipeline_timing_consistent_with_macro_model() {
+    use blockamc::batch::{phase_settle_times, solve_batch};
+    use blockamc::macro_model::MacroTiming;
+    use blockamc::one_stage;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let a = generate::wishart_default(12, &mut rng).unwrap();
+    let batch: Vec<Vec<f64>> = (0..8).map(|_| generate::random_vector(12, &mut rng)).collect();
+    let spec = OpAmpSpec::ideal();
+    let mut engine = NumericEngine::new();
+    let mut prep = one_stage::prepare_matrix(&mut engine, &a).unwrap();
+    let out = solve_batch(
+        &mut engine,
+        &mut prep,
+        &a,
+        &batch,
+        &IoConfig::ideal(),
+        &spec,
+        1e-7,
+    )
+    .unwrap();
+    // Independent reconstruction of the timing from the macro model.
+    let phases = phase_settle_times(&a, &spec).unwrap();
+    let t = MacroTiming::from_phase_times(phases, 1e-7).unwrap();
+    assert_eq!(out.timing, t);
+    assert!(out.batch_time_pipelined_s < out.batch_time_unpipelined_s);
+    assert!(out.pipeline_speedup() > 1.0);
+}
+
+#[test]
+fn program_cost_of_blockamc_preprocessing_is_bounded() {
+    // The Schur pre-processing overhead: programming all four one-stage
+    // arrays costs no more than 2x programming the single original array
+    // (same total cells) in the row-parallel model.
+    use amc_device::mapping::{MappingConfig, MatrixMapping};
+    use amc_device::program_cost::{program_cost, ProgramCostModel};
+    use blockamc::partition::BlockPartition;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let a = generate::wishart_default(32, &mut rng).unwrap();
+    let cfg = MappingConfig::paper_default();
+    let model = ProgramCostModel::typical_rram();
+
+    let whole = MatrixMapping::new(&a, &cfg).unwrap();
+    let t_whole = program_cost(whole.g_pos(), 0.05, &model).unwrap().time_row_parallel_s
+        + program_cost(whole.g_neg(), 0.05, &model).unwrap().time_row_parallel_s;
+
+    let p = BlockPartition::halves(&a).unwrap();
+    let a4s = p.schur_complement().unwrap();
+    let mut t_blocks = 0.0;
+    for block in [&p.a1, &p.a2, &p.a3, &a4s] {
+        let m = MatrixMapping::new(block, &cfg).unwrap();
+        t_blocks += program_cost(m.g_pos(), 0.05, &model).unwrap().time_row_parallel_s;
+        t_blocks += program_cost(m.g_neg(), 0.05, &model).unwrap().time_row_parallel_s;
+    }
+    assert!(
+        t_blocks <= 2.0 * t_whole + 1e-12,
+        "blocks {t_blocks} vs whole {t_whole}"
+    );
+}

@@ -1,0 +1,105 @@
+//! Statistical trend tests: the qualitative claims of the paper's
+//! accuracy figures, checked at test-friendly sizes with enough trials to
+//! be stable.
+
+use amc_linalg::{generate, lu, metrics};
+use blockamc::engine::{CircuitEngine, CircuitEngineConfig};
+use blockamc::solver::{BlockAmcSolver, Stages};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Median relative error of a solver over `trials` Wishart draws.
+fn median_error(
+    n: usize,
+    stages: Stages,
+    config: CircuitEngineConfig,
+    trials: usize,
+    base_seed: u64,
+) -> f64 {
+    let mut errs = Vec::new();
+    for t in 0..trials {
+        let mut rng = ChaCha8Rng::seed_from_u64(base_seed + t as u64);
+        let a = generate::wishart_default(n, &mut rng).unwrap();
+        let b = generate::random_vector(n, &mut rng);
+        let x_ref = lu::solve(&a, &b).unwrap();
+        let engine = CircuitEngine::new(config, 1000 + t as u64);
+        let mut solver = BlockAmcSolver::new(engine, stages);
+        if let Ok(r) = solver.solve(&a, &b) {
+            errs.push(metrics::relative_error(&x_ref, &r.x));
+        }
+    }
+    metrics::ErrorStats::from_samples(&errs).median
+}
+
+#[test]
+fn blockamc_beats_original_under_variation() {
+    // Fig. 7(a) claim at a test-friendly size.
+    let cfg = CircuitEngineConfig::paper_variation();
+    let orig = median_error(32, Stages::Original, cfg, 15, 10);
+    let blk = median_error(32, Stages::One, cfg, 15, 10);
+    assert!(
+        blk <= orig * 1.05,
+        "BlockAMC should not lose under variation: blk={blk} orig={orig}"
+    );
+}
+
+#[test]
+fn blockamc_advantage_grows_with_interconnect() {
+    // Fig. 9 claim: adding wire resistance widens the gap.
+    let var_only = CircuitEngineConfig::paper_variation();
+    let full = CircuitEngineConfig::paper_full();
+    let gap_var = median_error(32, Stages::Original, var_only, 12, 20)
+        - median_error(32, Stages::One, var_only, 12, 20);
+    let gap_full = median_error(32, Stages::Original, full, 12, 20)
+        - median_error(32, Stages::One, full, 12, 20);
+    assert!(
+        gap_full >= gap_var * 0.8,
+        "interconnect should not erase the advantage: gap_full={gap_full} gap_var={gap_var}"
+    );
+    assert!(gap_full > 0.0, "BlockAMC must win under the full stack");
+}
+
+#[test]
+fn error_grows_with_size_under_full_nonidealities() {
+    // Both Figs. 7 and 9 show error increasing with matrix size.
+    let cfg = CircuitEngineConfig::paper_full();
+    let small = median_error(8, Stages::Original, cfg, 12, 30);
+    let large = median_error(64, Stages::Original, cfg, 12, 30);
+    assert!(
+        large > small,
+        "original-AMC error must grow with size: {small} -> {large}"
+    );
+}
+
+#[test]
+fn two_stage_matches_one_stage_accuracy_class() {
+    // Fig. 8(d): the two-stage solver's accuracy is similar to one-stage
+    // (the recursion does not blow the error up).
+    let cfg = CircuitEngineConfig::paper_variation();
+    let one = median_error(32, Stages::One, cfg, 12, 40);
+    let two = median_error(32, Stages::Two, cfg, 12, 40);
+    assert!(
+        two < one * 2.0,
+        "two-stage should stay in the same error class: two={two} one={one}"
+    );
+}
+
+#[test]
+fn lower_variation_means_lower_error() {
+    use amc_circuit::sim::SimConfig;
+    use amc_device::mapping::MappingConfig;
+    use amc_device::variation::VariationModel;
+    let mut errs = Vec::new();
+    for sigma in [0.01, 0.05, 0.10] {
+        let cfg = CircuitEngineConfig {
+            mapping: MappingConfig::paper_default(),
+            variation: VariationModel::Proportional { sigma_rel: sigma },
+            sim: SimConfig::ideal(),
+        };
+        errs.push(median_error(24, Stages::One, cfg, 12, 50));
+    }
+    assert!(
+        errs[0] < errs[1] && errs[1] < errs[2],
+        "error must be monotone in sigma: {errs:?}"
+    );
+}
