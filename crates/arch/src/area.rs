@@ -33,7 +33,11 @@ impl AreaBreakdown {
 /// # Errors
 ///
 /// Propagates parameter-validation and inventory errors.
-pub fn area_breakdown(kind: SolverKind, n: usize, params: &ComponentParams) -> Result<AreaBreakdown> {
+pub fn area_breakdown(
+    kind: SolverKind,
+    n: usize,
+    params: &ComponentParams,
+) -> Result<AreaBreakdown> {
     params.validate()?;
     let c = component_counts(kind, n)?;
     Ok(AreaBreakdown {
@@ -65,9 +69,21 @@ mod tests {
         let orig = at_512(SolverKind::OriginalAmc);
         let one = at_512(SolverKind::OneStage);
         let two = at_512(SolverKind::TwoStage);
-        assert!((orig.total() - 0.01577).abs() / 0.01577 < 0.01, "orig {}", orig.total());
-        assert!((one.total() - 0.00807).abs() / 0.00807 < 0.01, "one {}", one.total());
-        assert!((two.total() - 0.01383).abs() / 0.01383 < 0.01, "two {}", two.total());
+        assert!(
+            (orig.total() - 0.01577).abs() / 0.01577 < 0.01,
+            "orig {}",
+            orig.total()
+        );
+        assert!(
+            (one.total() - 0.00807).abs() / 0.00807 < 0.01,
+            "one {}",
+            one.total()
+        );
+        assert!(
+            (two.total() - 0.01383).abs() / 0.01383 < 0.01,
+            "two {}",
+            two.total()
+        );
     }
 
     #[test]

@@ -103,7 +103,10 @@ mod tests {
     #[test]
     fn calibrated_values_are_valid() {
         assert!(ComponentParams::calibrated_45nm().validate().is_ok());
-        assert_eq!(ComponentParams::default(), ComponentParams::calibrated_45nm());
+        assert_eq!(
+            ComponentParams::default(),
+            ComponentParams::calibrated_45nm()
+        );
     }
 
     #[test]

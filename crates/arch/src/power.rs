@@ -80,7 +80,11 @@ mod tests {
         // The Fig. 10(b) axis tops out around 140 mW; the calibrated
         // original solver draws 128 mW.
         let orig = at_512(SolverKind::OriginalAmc);
-        assert!((orig.total() - 0.128).abs() < 0.002, "total {}", orig.total());
+        assert!(
+            (orig.total() - 0.128).abs() < 0.002,
+            "total {}",
+            orig.total()
+        );
     }
 
     #[test]

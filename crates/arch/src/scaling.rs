@@ -117,12 +117,24 @@ mod tests {
         // At n = 512 the original AMC needs a 512-cell array — beyond the
         // manufacturable ceiling; one-stage BlockAMC just fits; two-stage
         // fits comfortably. This is the paper's entire premise.
-        assert!(!is_feasible(SolverKind::OriginalAmc, 512, PAPER_MAX_ARRAY_SIDE));
+        assert!(!is_feasible(
+            SolverKind::OriginalAmc,
+            512,
+            PAPER_MAX_ARRAY_SIDE
+        ));
         assert!(is_feasible(SolverKind::OneStage, 512, PAPER_MAX_ARRAY_SIDE));
         assert!(is_feasible(SolverKind::TwoStage, 512, PAPER_MAX_ARRAY_SIDE));
         // And at n = 1024 only the two-stage solver survives.
-        assert!(!is_feasible(SolverKind::OneStage, 1024, PAPER_MAX_ARRAY_SIDE));
-        assert!(is_feasible(SolverKind::TwoStage, 1024, PAPER_MAX_ARRAY_SIDE));
+        assert!(!is_feasible(
+            SolverKind::OneStage,
+            1024,
+            PAPER_MAX_ARRAY_SIDE
+        ));
+        assert!(is_feasible(
+            SolverKind::TwoStage,
+            1024,
+            PAPER_MAX_ARRAY_SIDE
+        ));
     }
 
     #[test]

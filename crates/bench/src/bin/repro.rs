@@ -46,7 +46,7 @@ fn main() {
     let cmds: Vec<&str> = args
         .iter()
         .map(String::as_str)
-        .filter(|a| !a.starts_with("--") && !a.parse::<usize>().is_ok())
+        .filter(|a| !a.starts_with("--") && a.parse::<usize>().is_err())
         .collect();
     let cmd = cmds.first().copied().unwrap_or("all");
 
@@ -170,13 +170,28 @@ fn ablation(opts: &Options) {
          per-device-relative reading:"
     );
     for (label, config) in [
-        ("relative 5% (reproduction)", CircuitEngineConfig::paper_variation()),
-        ("additive 0.05*G0 (literal)", CircuitEngineConfig::absolute_variation()),
+        (
+            "relative 5% (reproduction)",
+            CircuitEngineConfig::paper_variation(),
+        ),
+        (
+            "additive 0.05*G0 (literal)",
+            CircuitEngineConfig::absolute_variation(),
+        ),
     ] {
         let solvers = presets::original_vs_one_stage(config);
         let sizes: Vec<usize> = opts.sizes.iter().copied().filter(|&n| n <= 128).collect();
-        let points = accuracy_sweep(MatrixFamily::Wishart, &sizes, opts.trials.min(15), &solvers, 0xAB1);
-        print!("{}", render_sweep(&format!("  [{label}]"), &solvers, &points));
+        let points = accuracy_sweep(
+            MatrixFamily::Wishart,
+            &sizes,
+            opts.trials.min(15),
+            &solvers,
+            0xAB1,
+        );
+        print!(
+            "{}",
+            render_sweep(&format!("  [{label}]"), &solvers, &points)
+        );
     }
     println!(
         "-> the additive reading diverges with n (noise power ~ n * sigma^2 \
@@ -191,9 +206,8 @@ fn ablation(opts: &Options) {
     let x_ref = lu::solve(&a, &b).expect("reference");
     for levels in [8u32, 16, 32, 64, 256, 1024] {
         let mut mapping = MappingConfig::paper_default();
-        mapping.quantizer = Some(
-            Quantizer::new(mapping.g_min, mapping.g0, levels).expect("valid quantizer"),
-        );
+        mapping.quantizer =
+            Some(Quantizer::new(mapping.g_min, mapping.g0, levels).expect("valid quantizer"));
         let config = CircuitEngineConfig {
             mapping,
             variation: amc_device::variation::VariationModel::None,
@@ -271,7 +285,7 @@ fn fig6(opts: &Options) {
     banner("Fig. 6 — ideal mapping (finite-gain op-amps, no variation)");
     let n = opts.showcase_n;
     let config = CircuitEngineConfig::ideal_mapping();
-    let mut rng = ChaCha8Rng::seed_from_u64(0x_F16_6);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF166);
     let (a, b) = make_workload(MatrixFamily::Wishart, n, &mut rng);
 
     // (a) per-step BlockAMC vs numerical.
@@ -304,7 +318,13 @@ fn fig6(opts: &Options) {
 
     // (c) error vs size sweep.
     let solvers = presets::original_vs_one_stage(config);
-    let points = accuracy_sweep(MatrixFamily::Wishart, &opts.sizes, opts.trials, &solvers, 0x66);
+    let points = accuracy_sweep(
+        MatrixFamily::Wishart,
+        &opts.sizes,
+        opts.trials,
+        &solvers,
+        0x66,
+    );
     println!();
     print!(
         "{}",
@@ -321,7 +341,10 @@ fn fig6(opts: &Options) {
 fn fig7(opts: &Options) {
     banner("Fig. 7 — conductance variation σ = 0.05·G0");
     let config = CircuitEngineConfig::paper_variation();
-    for (family, tag) in [(MatrixFamily::Wishart, "(a)"), (MatrixFamily::Toeplitz, "(b)")] {
+    for (family, tag) in [
+        (MatrixFamily::Wishart, "(a)"),
+        (MatrixFamily::Toeplitz, "(b)"),
+    ] {
         let solvers = presets::original_vs_one_stage(config);
         let points = accuracy_sweep(family, &opts.sizes, opts.trials, &solvers, 0x77);
         print!(
@@ -343,7 +366,7 @@ fn fig8(opts: &Options) {
     banner("Fig. 8 — two-stage BlockAMC, σ = 0.05·G0");
     let n = opts.showcase_n;
     let config = CircuitEngineConfig::paper_variation();
-    let mut rng = ChaCha8Rng::seed_from_u64(0x_F16_8);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF168);
     let (a, b) = make_workload(MatrixFamily::Wishart, n, &mut rng);
     let x_ref = lu::solve(&a, &b).expect("reference solve");
 
@@ -373,7 +396,13 @@ fn fig8(opts: &Options) {
     }
 
     let solvers = presets::original_vs_two_stage(config);
-    let points = accuracy_sweep(MatrixFamily::Wishart, &opts.sizes, opts.trials, &solvers, 0x88);
+    let points = accuracy_sweep(
+        MatrixFamily::Wishart,
+        &opts.sizes,
+        opts.trials,
+        &solvers,
+        0x88,
+    );
     println!();
     print!(
         "{}",
@@ -390,7 +419,10 @@ fn fig8(opts: &Options) {
 fn fig9(opts: &Options) {
     banner("Fig. 9 — variation σ = 0.05·G0 + interconnect 1 Ω/segment");
     let config = CircuitEngineConfig::paper_full();
-    for (family, tag) in [(MatrixFamily::Wishart, "(a)"), (MatrixFamily::Toeplitz, "(b)")] {
+    for (family, tag) in [
+        (MatrixFamily::Wishart, "(a)"),
+        (MatrixFamily::Toeplitz, "(b)"),
+    ] {
         let solvers = presets::all_three(config);
         let points = accuracy_sweep(family, &opts.sizes, opts.trials, &solvers, 0x99);
         print!(

@@ -171,10 +171,7 @@ pub fn render_sweep(title: &str, solvers: &[SweepSolver], points: &[SweepPoint])
         for st in &p.stats {
             // Median first (robust to catastrophically conditioned draws),
             // mean in parentheses for comparison with the paper's curves.
-            out.push_str(&format!(
-                " {:>11.4} (mean {:>9.4})",
-                st.median, st.mean
-            ));
+            out.push_str(&format!(" {:>11.4} (mean {:>9.4})", st.median, st.mean));
         }
         out.push('\n');
     }
@@ -331,8 +328,7 @@ mod tests {
     fn step_trace_has_five_steps_under_finite_gain() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let (a, b) = make_workload(MatrixFamily::Wishart, 8, &mut rng);
-        let steps =
-            step_trace_comparison(&a, &b, CircuitEngineConfig::ideal_mapping(), 1).unwrap();
+        let steps = step_trace_comparison(&a, &b, CircuitEngineConfig::ideal_mapping(), 1).unwrap();
         assert_eq!(steps.len(), 5);
         for (name, err) in &steps {
             assert!(err.is_finite(), "{name} err={err}");

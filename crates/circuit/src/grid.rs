@@ -114,10 +114,12 @@ impl<'a> ResistiveGrid<'a> {
         let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(10 * m * n);
         let mut rhs = vec![0.0; total];
 
-        let stamp = |a: usize, b_node: Option<usize>, g_val: f64,
-                         triplets: &mut Vec<(usize, usize, f64)>,
-                         rhs: &mut Vec<f64>,
-                         v_fixed: f64| {
+        let stamp = |a: usize,
+                     b_node: Option<usize>,
+                     g_val: f64,
+                     triplets: &mut Vec<(usize, usize, f64)>,
+                     rhs: &mut Vec<f64>,
+                     v_fixed: f64| {
             // Conductance between unknown node `a` and either unknown `b`
             // or a fixed-voltage terminal.
             triplets.push((a, a, g_val));
@@ -133,9 +135,9 @@ impl<'a> ResistiveGrid<'a> {
             }
         };
 
-        for j in 0..n {
+        for (j, &v_driver) in v_drivers.iter().enumerate().take(n) {
             // Driver -> first BL node.
-            stamp(self.bl(0, j), None, gs, &mut triplets, &mut rhs, v_drivers[j]);
+            stamp(self.bl(0, j), None, gs, &mut triplets, &mut rhs, v_driver);
             // BL ladder.
             for i in 0..m.saturating_sub(1) {
                 stamp(
@@ -350,8 +352,13 @@ mod tests {
 
     fn program(a: &Matrix) -> ProgrammedMatrix {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        ProgrammedMatrix::program(a, &MappingConfig::paper_default(), &VariationModel::None, &mut rng)
-            .unwrap()
+        ProgrammedMatrix::program(
+            a,
+            &MappingConfig::paper_default(),
+            &VariationModel::None,
+            &mut rng,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -460,8 +467,7 @@ mod tests {
         let s12 = grid.solve(&sum).unwrap();
         for i in 0..3 {
             assert!(
-                (s12.sense_currents[i] - s1.sense_currents[i] - s2.sense_currents[i]).abs()
-                    < 1e-12
+                (s12.sense_currents[i] - s1.sense_currents[i] - s2.sense_currents[i]).abs() < 1e-12
             );
         }
     }

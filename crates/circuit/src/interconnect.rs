@@ -29,8 +29,10 @@ use crate::{CircuitError, Result};
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum InterconnectModel {
     /// Ideal wires (zero resistance).
+    #[default]
     Ideal,
     /// Accumulated series-resistance approximation with the given segment
     /// resistance in ohms.
@@ -87,12 +89,6 @@ impl InterconnectModel {
     /// Returns `true` if the model requires the exact grid solver.
     pub fn is_exact_grid(&self) -> bool {
         matches!(self, InterconnectModel::ExactGrid { .. })
-    }
-}
-
-impl Default for InterconnectModel {
-    fn default() -> Self {
-        InterconnectModel::Ideal
     }
 }
 
@@ -167,7 +163,11 @@ mod tests {
         // The farther cell from both driver and sense sees more resistance.
         assert!(e[(1, 0)] < e[(0, 1)]);
         // All effective conductances shrink.
-        assert!(e.as_slice().iter().zip(g.as_slice()).all(|(&ev, &gv)| ev < gv));
+        assert!(e
+            .as_slice()
+            .iter()
+            .zip(g.as_slice())
+            .all(|(&ev, &gv)| ev < gv));
     }
 
     #[test]

@@ -97,9 +97,8 @@ pub fn solve_inv(
         }
     }
     let rhs: Vec<f64> = v_in.iter().map(|&v| -v).collect();
-    let lu = LuFactor::new(&sys).map_err(|e| {
-        CircuitError::no_op_point(format!("INV feedback system is singular: {e}"))
-    })?;
+    let lu = LuFactor::new(&sys)
+        .map_err(|e| CircuitError::no_op_point(format!("INV feedback system is singular: {e}")))?;
     let volts = lu.solve(&rhs)?;
     Ok(InvSolution { volts })
 }

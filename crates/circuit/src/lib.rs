@@ -63,9 +63,9 @@
 
 mod error;
 pub mod grid;
-pub mod mna;
 pub mod interconnect;
 pub mod inv;
+pub mod mna;
 pub mod mvm;
 pub mod noise;
 pub mod opamp;

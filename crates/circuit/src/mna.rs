@@ -198,9 +198,8 @@ impl Netlist {
                 m[(o, row)] += 1.0;
             }
         }
-        let lu = LuFactor::new(&m).map_err(|e| {
-            CircuitError::no_op_point(format!("MNA system is singular: {e}"))
-        })?;
+        let lu = LuFactor::new(&m)
+            .map_err(|e| CircuitError::no_op_point(format!("MNA system is singular: {e}")))?;
         let sol = lu.solve(&rhs)?;
         let mut node_voltages = vec![0.0; self.node_count];
         node_voltages[1..].copy_from_slice(&sol[..nn]);

@@ -97,7 +97,10 @@ mod tests {
         let v_in = [0.4, -0.2];
         let sol = solve_mvm(&gp, &gn, g0, &v_in, GainModel::Ideal).unwrap();
         // v_out = -Ĝ v_in with Ĝ = [[1, -0.5], [0.25, 0.75]].
-        let expect = [-(1.0 * 0.4 + (-0.5) * (-0.2)), -(0.25 * 0.4 + 0.75 * (-0.2))];
+        let expect = [
+            -(1.0 * 0.4 + (-0.5) * (-0.2)),
+            -(0.25 * 0.4 + 0.75 * (-0.2)),
+        ];
         assert!(vector::approx_eq(&sol.volts, &expect, 1e-12));
     }
 

@@ -146,9 +146,9 @@ pub fn inv_thermal_noise(
         });
     }
     let n = g_pos.rows();
-    let g_hat = g_pos.sub_matrix(&g_neg)?.scaled(1.0 / g0);
-    let lu = LuFactor::new(&g_hat)
-        .map_err(|e| CircuitError::no_op_point(format!("INV noise: {e}")))?;
+    let g_hat = g_pos.sub_matrix(g_neg)?.scaled(1.0 / g0);
+    let lu =
+        LuFactor::new(&g_hat).map_err(|e| CircuitError::no_op_point(format!("INV noise: {e}")))?;
     let inv = lu.inverse()?;
     let mut noise = Vec::with_capacity(n);
     let mut bw_used = 0.0_f64;

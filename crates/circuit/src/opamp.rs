@@ -13,9 +13,11 @@ use crate::{CircuitError, Result};
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum GainModel {
     /// Infinite open-loop gain: the inverting input is a perfect virtual
     /// ground.
+    #[default]
     Ideal,
     /// Finite open-loop gain `a0` (V/V): the inverting input sits at
     /// `−v_out / a0`, producing a systematic computing error that grows
@@ -56,12 +58,6 @@ impl GainModel {
             GainModel::Ideal => 0.0,
             GainModel::Finite { a0 } => 1.0 / a0,
         }
-    }
-}
-
-impl Default for GainModel {
-    fn default() -> Self {
-        GainModel::Ideal
     }
 }
 

@@ -177,15 +177,11 @@ impl AnalogSimulator {
         let power_w = match self.config.interconnect {
             InterconnectModel::ExactGrid { r_segment } => {
                 let out = grid::mvm_exact(programmed, x, r_segment)?;
-                out.array_power_w
-                    + gp.rows() as f64 * self.config.opamp.static_power_w()
+                out.array_power_w + gp.rows() as f64 * self.config.opamp.static_power_w()
             }
             _ => power::mvm_power(&gp, &gn, g0, x, &volts, &self.config.opamp)?,
         };
-        let max_row = gp
-            .add_matrix(&gn)?
-            .norm_inf()
-            / g0;
+        let max_row = gp.add_matrix(&gn)?.norm_inf() / g0;
         let settle_time_s =
             timing::mvm_settle_time(max_row, &self.config.opamp, self.config.settle_epsilon)?;
         let scale = programmed.scale();

@@ -7,6 +7,11 @@
 //! sides against one prepared macro (arrays programmed once — matrices
 //! are nonvolatile) and reports both the solutions and the
 //! pipelined/unpipelined timing derived from the macro model.
+//!
+//! Each solve runs through the shared recursive cascade core (see
+//! [`crate::multi_stage`]); sharding a batch across *multiple*
+//! independently-programmed macros is a ROADMAP item the unified core
+//! now enables.
 
 use amc_circuit::opamp::OpAmpSpec;
 use amc_circuit::timing;
@@ -119,7 +124,9 @@ mod tests {
     fn setup(n: usize) -> (Matrix, Vec<Vec<f64>>) {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let a = generate::wishart_default(n, &mut rng).unwrap();
-        let batch = (0..4).map(|_| generate::random_vector(n, &mut rng)).collect();
+        let batch = (0..4)
+            .map(|_| generate::random_vector(n, &mut rng))
+            .collect();
         (a, batch)
     }
 
@@ -168,8 +175,9 @@ mod tests {
     fn pipelining_approaches_5x_for_long_batches() {
         let (a, _) = setup(8);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let batch: Vec<Vec<f64>> =
-            (0..50).map(|_| generate::random_vector(8, &mut rng)).collect();
+        let batch: Vec<Vec<f64>> = (0..50)
+            .map(|_| generate::random_vector(8, &mut rng))
+            .collect();
         let mut engine = NumericEngine::new();
         let mut prep = one_stage::prepare_matrix(&mut engine, &a).unwrap();
         let out = solve_batch(

@@ -43,10 +43,7 @@ pub struct Operand {
 enum OperandInner {
     /// Exact matrix with a cached LU factorization (built lazily on the
     /// first INV).
-    Numeric {
-        a: Matrix,
-        lu: Option<LuFactor>,
-    },
+    Numeric { a: Matrix, lu: Option<LuFactor> },
     /// Conductance-programmed crossbar pair.
     Circuit(ProgrammedMatrix),
 }
@@ -121,6 +118,26 @@ pub trait AmcEngine {
 
     /// Cumulative cost counters.
     fn stats(&self) -> EngineStats;
+}
+
+// A programmed operand is the leaf executor of the recursive cascade
+// core: its INV/MVM are the engine primitives themselves.
+impl<E: AmcEngine + ?Sized> crate::multi_stage::InvExec<E> for Operand {
+    fn inv_signed(
+        &mut self,
+        engine: &mut E,
+        b: &[f64],
+        _io: &crate::converter::IoConfig,
+        _log: &mut crate::multi_stage::TraceLog,
+    ) -> Result<Vec<f64>> {
+        engine.inv(self, b)
+    }
+}
+
+impl<E: AmcEngine + ?Sized> crate::multi_stage::MvmExec<E> for Operand {
+    fn mvm_signed(&mut self, engine: &mut E, x: &[f64]) -> Result<Vec<f64>> {
+        engine.mvm(self, x)
+    }
 }
 
 /// Exact digital engine (LU-based).

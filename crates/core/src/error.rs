@@ -51,7 +51,10 @@ impl fmt::Display for BlockAmcError {
                 write!(f, "shape mismatch in {op}: expected {expected}, got {got}")
             }
             BlockAmcError::OperandMismatch { engine } => {
-                write!(f, "operand was programmed by a different engine kind than {engine}")
+                write!(
+                    f,
+                    "operand was programmed by a different engine kind than {engine}"
+                )
             }
             BlockAmcError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             BlockAmcError::Device(e) => write!(f, "device error: {e}"),
@@ -113,9 +116,11 @@ mod tests {
     #[test]
     fn wraps_all_sources() {
         use std::error::Error;
-        assert!(BlockAmcError::from(amc_linalg::LinalgError::Singular { pivot: 0 })
-            .source()
-            .is_some());
+        assert!(
+            BlockAmcError::from(amc_linalg::LinalgError::Singular { pivot: 0 })
+                .source()
+                .is_some()
+        );
         assert!(BlockAmcError::from(amc_device::DeviceError::config("x"))
             .source()
             .is_some());

@@ -17,6 +17,12 @@
 //! yields the [`two_stage`] solver on quarter-size arrays, and
 //! [`multi_stage`] generalizes to arbitrary depth.
 //!
+//! All three are faces of **one recursive execution core**: the
+//! five-step cascade is implemented exactly once (in [`multi_stage`]),
+//! and the one-/two-stage solvers are depth-1/depth-2 trees with the
+//! macro and bus signal paths layered on — bit-identical to their
+//! multi-stage counterparts by property test.
+//!
 //! The algorithm is written once against the [`engine::AmcEngine`] trait:
 //!
 //! * [`engine::NumericEngine`] — exact digital solves (the paper's

@@ -243,22 +243,26 @@ mod tests {
         let arrays: Vec<ArrayId> = s.iter().map(|o| o.array).collect();
         assert_eq!(
             arrays,
-            vec![ArrayId::A1, ArrayId::A3, ArrayId::A4s, ArrayId::A2, ArrayId::A1]
+            vec![
+                ArrayId::A1,
+                ArrayId::A3,
+                ArrayId::A4s,
+                ArrayId::A2,
+                ArrayId::A1
+            ]
         );
     }
 
     #[test]
     fn timing_cycle_is_slowest_phase() {
-        let t =
-            MacroTiming::from_phase_times([1e-6, 2e-6, 5e-6, 2e-6, 1e-6], 1e-6).unwrap();
+        let t = MacroTiming::from_phase_times([1e-6, 2e-6, 5e-6, 2e-6, 1e-6], 1e-6).unwrap();
         assert_eq!(t.cycle_s, 5e-6);
         assert!((t.latency_s - 5.0 * 6e-6).abs() < 1e-18);
     }
 
     #[test]
     fn pipelining_improves_throughput() {
-        let t =
-            MacroTiming::from_phase_times([1e-6; 5], 0.5e-6).unwrap();
+        let t = MacroTiming::from_phase_times([1e-6; 5], 0.5e-6).unwrap();
         assert!(t.throughput_pipelined > t.throughput_unpipelined);
         // Pipelined: 1/(5·1µs) = 200k solves/s.
         assert!((t.throughput_pipelined - 2e5).abs() < 1.0);

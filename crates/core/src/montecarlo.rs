@@ -5,6 +5,10 @@
 //! device-variation draws (i.e. across manufactured parts), what fraction
 //! of solvers meets an accuracy specification? This module runs that
 //! analysis for any solver architecture and configuration.
+//!
+//! All architectures execute on the unified recursive cascade core
+//! ([`crate::multi_stage`]), so yield differences measured here isolate
+//! array count, size, and signal path — not implementation drift.
 
 use amc_linalg::{lu, metrics, Matrix};
 
@@ -51,6 +55,7 @@ impl YieldReport {
 ///   positive.
 /// * Propagates reference-solution failures (a singular workload matrix).
 ///   Per-trial analog failures are *counted*, not propagated.
+#[allow(clippy::too_many_arguments)] // established public API; a config struct would break callers
 pub fn yield_analysis(
     a: &Matrix,
     b: &[f64],
@@ -62,7 +67,9 @@ pub fn yield_analysis(
     engine_seed: u64,
 ) -> Result<YieldReport> {
     if trials == 0 {
-        return Err(BlockAmcError::config("yield analysis needs at least 1 trial"));
+        return Err(BlockAmcError::config(
+            "yield analysis needs at least 1 trial",
+        ));
     }
     if !(spec > 0.0 && spec.is_finite()) {
         return Err(BlockAmcError::config("spec must be positive and finite"));
@@ -108,7 +115,16 @@ pub fn compare_yields(
 ) -> Result<[YieldReport; 3]> {
     let io = IoConfig::ideal();
     Ok([
-        yield_analysis(a, b, Stages::Original, config, &io, spec, trials, engine_seed)?,
+        yield_analysis(
+            a,
+            b,
+            Stages::Original,
+            config,
+            &io,
+            spec,
+            trials,
+            engine_seed,
+        )?,
         yield_analysis(a, b, Stages::One, config, &io, spec, trials, engine_seed)?,
         yield_analysis(a, b, Stages::Two, config, &io, spec, trials, engine_seed)?,
     ])
@@ -208,15 +224,8 @@ mod tests {
     #[test]
     fn compare_yields_orders_architectures() {
         let (a, b) = workload(16);
-        let reports = compare_yields(
-            &a,
-            &b,
-            CircuitEngineConfig::paper_variation(),
-            0.1,
-            6,
-            1,
-        )
-        .unwrap();
+        let reports =
+            compare_yields(&a, &b, CircuitEngineConfig::paper_variation(), 0.1, 6, 1).unwrap();
         assert_eq!(reports.len(), 3);
         for r in &reports {
             assert_eq!(r.trials, 6);

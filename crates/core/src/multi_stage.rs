@@ -1,23 +1,401 @@
-//! Arbitrary-depth recursive BlockAMC (generalization of the paper's
-//! two-stage solver).
+//! Arbitrary-depth recursive BlockAMC — **the single execution core**.
 //!
 //! The paper notes that "for an arbitrarily sized matrix, it can be
 //! partitioned stage by stage, resulting eventually in small scale block
 //! matrices that can be accommodated in memory arrays", and Fig. 8(d)
 //! supports "the scalability of this method towards larger scale INV
 //! problems through deeper partitioning". This module implements that
-//! generalization: a partition *tree* of depth `d` whose leaves are
-//! engine-programmed arrays of size ≈ `n / 2^d`.
+//! generalization — and, since the one-stage and two-stage solvers are
+//! just depth-1 and depth-2 instances of the same five-step cascade,
+//! it also hosts the one implementation of that cascade
+//! ([`run_cascade`]) that [`crate::one_stage`] and [`crate::two_stage`]
+//! delegate to.
+//!
+//! The cascade is written once over two small traits:
+//!
+//! * [`InvExec`] — "something that can run a (signed) INV": a programmed
+//!   array ([`Operand`]), a prepared one-stage macro, or a deeper
+//!   partition-tree [`Node`];
+//! * [`MvmExec`] — "something that can run a (signed) MVM": a whole
+//!   array or a quadrant-tiled one ([`crate::two_stage::TiledMvm`]).
+//!
+//! What distinguishes the three public solvers is only their *signal
+//! path*, captured by [`StageIo`]:
+//!
+//! | Policy  | Entry   | Between steps        | Exit   | Used by |
+//! |---------|---------|----------------------|--------|---------|
+//! | `Macro` | DAC     | S&H cascades         | ADC    | [`crate::one_stage`] (and the inner macros of two-stage) |
+//! | `Bus`   | DAC     | ADC→DAC bus hops     | ADC    | [`crate::two_stage`] first stage |
+//! | `Pure`  | —       | — (ideal analog)     | —      | this module's [`Node`] recursion |
 //!
 //! MVM blocks are executed directly on engine arrays at their natural
-//! block size (forward partitioning of MVM is routine — refs. \[13\]–\[15\]
-//! of the paper — and orthogonal to the INV recursion studied here).
+//! block size by default (forward partitioning of MVM is routine —
+//! refs. \[13\]–\[15\] of the paper — and orthogonal to the INV
+//! recursion studied here); [`PartitionPlan::paper`] reproduces the
+//! paper's two-stage layout instead, tiling them into quadrants.
 
 use amc_linalg::{vector, Matrix};
 
+use crate::converter::IoConfig;
 use crate::engine::{AmcEngine, Operand};
+use crate::one_stage::{StepId, StepRecord};
 use crate::partition::BlockPartition;
+use crate::split_search::{self, SplitSearchOptions};
 use crate::{BlockAmcError, Result};
+
+// ---------------------------------------------------------------------
+// The execution core shared by all three solvers.
+// ---------------------------------------------------------------------
+
+/// Signal-path policy of one cascade level (see the module table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StageIo {
+    /// Ideal analog recursion: no converters, no hops.
+    Pure,
+    /// One reconfigurable macro: DAC at entry, S&H between steps, ADC at
+    /// exit, per-step trace records.
+    Macro,
+    /// Bus-connected macros (paper §III.C): every inter-macro value is
+    /// "converted and stored in the main memory, which in turn will be
+    /// converted back", i.e. crosses ADC then DAC.
+    Bus,
+}
+
+/// Trace sink threaded through a cascade.
+///
+/// `steps` collects the five [`StepRecord`]s of a `Macro`-policy
+/// cascade; `inner` collects the labeled child-macro traces a
+/// `Bus`-policy cascade captures for its step-3 (`"A4s"`) and step-5
+/// (`"A1"`) INV operations.
+#[derive(Debug, Default)]
+pub(crate) struct TraceLog {
+    enabled: bool,
+    pub(crate) steps: Vec<StepRecord>,
+    pub(crate) inner: Vec<(String, Vec<StepRecord>)>,
+}
+
+impl TraceLog {
+    fn new(enabled: bool) -> Self {
+        TraceLog {
+            enabled,
+            steps: Vec::new(),
+            inner: Vec::new(),
+        }
+    }
+
+    pub(crate) fn enabled() -> Self {
+        Self::new(true)
+    }
+
+    pub(crate) fn disabled() -> Self {
+        Self::new(false)
+    }
+
+    fn record(&mut self, step: StepId, input: &[f64], output: &[f64]) {
+        if self.enabled {
+            self.steps.push(StepRecord {
+                step,
+                input: input.to_vec(),
+                output: output.to_vec(),
+            });
+        }
+    }
+
+    fn capture_inner(&mut self, label: &str, sub: TraceLog) {
+        if self.enabled {
+            self.inner.push((label.to_string(), sub.steps));
+            self.inner.extend(sub.inner);
+        }
+    }
+}
+
+/// An executor of a signed INV: computes `−block⁻¹·b` (the AMC sign
+/// convention, so executors compose exactly like cascaded INV circuits).
+///
+/// Implemented by [`Operand`] (a single array), by
+/// [`crate::one_stage::PreparedOneStage`] (a whole macro), and by
+/// [`Node`] (a partition subtree).
+pub(crate) trait InvExec<E: AmcEngine + ?Sized> {
+    fn inv_signed(
+        &mut self,
+        engine: &mut E,
+        b: &[f64],
+        io: &IoConfig,
+        log: &mut TraceLog,
+    ) -> Result<Vec<f64>>;
+}
+
+/// An executor of a signed MVM: computes `−M·x`.
+///
+/// Implemented by [`Operand`] and [`crate::two_stage::TiledMvm`].
+pub(crate) trait MvmExec<E: AmcEngine + ?Sized> {
+    fn mvm_signed(&mut self, engine: &mut E, x: &[f64]) -> Result<Vec<f64>>;
+}
+
+/// Executes the paper's five-step algorithm (Fig. 2 / Algorithm 1) once,
+/// for every solver in the crate. Returns `−x` so that cascades compose.
+///
+/// Zero blocks (`a2`/`a3` = `None`) skip their MVM step entirely:
+/// `g_t`/`f_t` are zero and nothing is recorded, exactly as the hardware
+/// would leave those arrays unprogrammed.
+#[allow(clippy::too_many_arguments)] // the five-step dataflow really has this arity
+pub(crate) fn run_cascade<E, I, M>(
+    engine: &mut E,
+    split: usize,
+    a1: &mut I,
+    a4s: &mut I,
+    a2: Option<&mut M>,
+    a3: Option<&mut M>,
+    b: &[f64],
+    io: &IoConfig,
+    policy: StageIo,
+    log: &mut TraceLog,
+) -> Result<Vec<f64>>
+where
+    E: AmcEngine + ?Sized,
+    I: InvExec<E>,
+    M: MvmExec<E>,
+{
+    let bottom = b.len() - split;
+    // External inputs cross the DAC at macro/bus entries; the pure
+    // recursion stays analog.
+    let (f, g) = match policy {
+        StageIo::Pure => (b[..split].to_vec(), b[split..].to_vec()),
+        StageIo::Macro | StageIo::Bus => (io.apply_dac(&b[..split]), io.apply_dac(&b[split..])),
+    };
+    let bus = |v: &[f64]| io.apply_dac(&io.apply_adc(v));
+
+    // Step 1: INV(A1, f) -> −y_t = −A1⁻¹·f.
+    let neg_yt = match policy {
+        StageIo::Bus => {
+            let c1 = a1.inv_signed(engine, &f, io, &mut TraceLog::disabled())?;
+            bus(&c1)
+        }
+        _ => {
+            let out = a1.inv_signed(engine, &f, io, &mut TraceLog::disabled())?;
+            log.record(StepId::Inv1, &f, &out);
+            out
+        }
+    };
+
+    // Step 2: MVM(A3, −y_t) -> g_t (= −A3·(−y_t)).
+    let gt = match a3 {
+        Some(m) => {
+            let sh_input;
+            let input: &[f64] = match policy {
+                StageIo::Macro => {
+                    sh_input = io.apply_sh(&neg_yt);
+                    &sh_input
+                }
+                _ => &neg_yt,
+            };
+            let out = m.mvm_signed(engine, input)?;
+            match policy {
+                StageIo::Bus => bus(&out),
+                _ => {
+                    log.record(StepId::Mvm2, input, &out);
+                    out
+                }
+            }
+        }
+        None => vec![0.0; bottom],
+    };
+
+    // Step 3: INV(A4s, g_t − g) -> z (the bottom half of x).
+    let z = match policy {
+        StageIo::Bus => {
+            // The inner macro is handed the right-hand side g − g_t and
+            // returns +z, keeping its trace signals oriented exactly as
+            // the bus-connected architecture observes them.
+            let rhs3 = vector::sub(&g, &gt);
+            let mut sub = TraceLog::new(log.enabled);
+            let c3 = a4s.inv_signed(engine, &rhs3, io, &mut sub)?;
+            log.capture_inner("A4s", sub);
+            vector::neg(&c3)
+        }
+        _ => {
+            let input3 = match policy {
+                StageIo::Macro => vector::sub(&io.apply_sh(&gt), &g),
+                _ => vector::sub(&gt, &g),
+            };
+            let out = a4s.inv_signed(engine, &input3, io, &mut TraceLog::disabled())?;
+            log.record(StepId::Inv3, &input3, &out);
+            out
+        }
+    };
+    // The value step 4 consumes and the exit re-reads: the bus hop for
+    // inter-macro transfers, the raw analog z otherwise.
+    let z_held = match policy {
+        StageIo::Bus => bus(&z),
+        _ => z,
+    };
+
+    // Step 4: MVM(A2, z) -> −f_t = −A2·z.
+    let neg_ft = match a2 {
+        Some(m) => {
+            let sh_input;
+            let input: &[f64] = match policy {
+                StageIo::Macro => {
+                    sh_input = io.apply_sh(&z_held);
+                    &sh_input
+                }
+                _ => &z_held,
+            };
+            let out = m.mvm_signed(engine, input)?;
+            match policy {
+                StageIo::Bus => bus(&out),
+                _ => {
+                    log.record(StepId::Mvm4, input, &out);
+                    out
+                }
+            }
+        }
+        None => vec![0.0; split],
+    };
+
+    // Step 5: INV(A1, f − f_t) -> −y (the negated upper half of x),
+    // reusing the very same A1 executor as step 1 — the paper's "the A1
+    // array should be used twice", so both steps see one variation draw.
+    let input5 = match policy {
+        StageIo::Macro => vector::add(&f, &io.apply_sh(&neg_ft)),
+        _ => vector::add(&f, &neg_ft),
+    };
+    let c5 = match policy {
+        StageIo::Bus => {
+            let mut sub = TraceLog::new(log.enabled);
+            let c5 = a1.inv_signed(engine, &input5, io, &mut sub)?;
+            log.capture_inner("A1", sub);
+            c5
+        }
+        _ => {
+            let out = a1.inv_signed(engine, &input5, io, &mut TraceLog::disabled())?;
+            log.record(StepId::Inv5, &input5, &out);
+            out
+        }
+    };
+
+    // This node's "INV output" must be −x for the parent cascade:
+    // x = [y; z] with y = −c5, so −x = [c5; −z].
+    Ok(match policy {
+        StageIo::Pure => vector::concat(&c5, &vector::neg(&z_held)),
+        StageIo::Macro | StageIo::Bus => {
+            vector::concat(&io.apply_adc(&c5), &vector::neg(&io.apply_adc(&z_held)))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// The partition tree.
+// ---------------------------------------------------------------------
+
+/// An MVM block of a partition-tree node.
+#[derive(Debug, Clone)]
+pub(crate) enum MvmBlock {
+    /// The whole block programmed on one array.
+    Whole(Operand),
+    /// The block tiled into quadrants (the paper's layout); boxed to
+    /// keep the enum lean next to [`MvmBlock::Whole`].
+    Tiled(Box<QuadMvm>),
+}
+
+/// A quadrant decomposition of an MVM block whose tiles recurse while
+/// tiling levels remain — the multi-level generalization of the
+/// one-level [`crate::two_stage::TiledMvm`], so that a depth-`d` paper layout shrinks
+/// MVM arrays to the same size as its INV leaves. One level of
+/// quadrants over whole-array tiles is executed identically to
+/// [`crate::two_stage::TiledMvm`] (same quadrant order, zero-tile skipping, and partial
+/// sums), which is what makes the two-stage wrapper bit-equivalent to
+/// `PartitionPlan::paper(2)`.
+#[derive(Debug, Clone)]
+pub(crate) struct QuadMvm {
+    rows: usize,
+    cols: usize,
+    row_split: usize,
+    col_split: usize,
+    /// Quadrants in row-major order: `[top-left, top-right,
+    /// bottom-left, bottom-right]`; `None` marks a zero tile.
+    tiles: [Option<MvmBlock>; 4],
+}
+
+impl QuadMvm {
+    fn prepare<E: AmcEngine + ?Sized>(engine: &mut E, m: &Matrix, levels: usize) -> Result<Self> {
+        let (rows, cols) = m.shape();
+        let row_split = rows.div_ceil(2);
+        let col_split = cols.div_ceil(2);
+        let quadrants = [
+            m.block(0, 0, row_split, col_split)?,
+            m.block(0, col_split, row_split, cols - col_split)?,
+            m.block(row_split, 0, rows - row_split, col_split)?,
+            m.block(row_split, col_split, rows - row_split, cols - col_split)?,
+        ];
+        let mut tiles: [Option<MvmBlock>; 4] = [None, None, None, None];
+        for (slot, q) in tiles.iter_mut().zip(quadrants.iter()) {
+            *slot = prepare_mvm_tile(engine, q, levels - 1)?;
+        }
+        Ok(QuadMvm {
+            rows,
+            cols,
+            row_split,
+            col_split,
+            tiles,
+        })
+    }
+
+    fn mvm<E: AmcEngine + ?Sized>(&mut self, engine: &mut E, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(BlockAmcError::ShapeMismatch {
+                op: "quad_mvm",
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        let (xt, xb) = (&x[..self.col_split], &x[self.col_split..]);
+        let mut top = vec![0.0; self.row_split];
+        let mut bottom = vec![0.0; self.rows - self.row_split];
+        // Summing the tiles' signed outputs preserves the AMC sign,
+        // exactly as TiledMvm::mvm.
+        if let Some(t) = self.tiles[0].as_mut() {
+            vector::axpy(1.0, &t.mvm_signed(engine, xt)?, &mut top);
+        }
+        if let Some(t) = self.tiles[1].as_mut() {
+            vector::axpy(1.0, &t.mvm_signed(engine, xb)?, &mut top);
+        }
+        if let Some(t) = self.tiles[2].as_mut() {
+            vector::axpy(1.0, &t.mvm_signed(engine, xt)?, &mut bottom);
+        }
+        if let Some(t) = self.tiles[3].as_mut() {
+            vector::axpy(1.0, &t.mvm_signed(engine, xb)?, &mut bottom);
+        }
+        Ok(vector::concat(&top, &bottom))
+    }
+
+    fn max_tile_dim(&self) -> usize {
+        self.tiles
+            .iter()
+            .flatten()
+            .map(MvmBlock::max_array_dim)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl<E: AmcEngine + ?Sized> MvmExec<E> for MvmBlock {
+    fn mvm_signed(&mut self, engine: &mut E, x: &[f64]) -> Result<Vec<f64>> {
+        match self {
+            MvmBlock::Whole(op) => engine.mvm(op, x),
+            MvmBlock::Tiled(t) => t.mvm(engine, x),
+        }
+    }
+}
+
+impl MvmBlock {
+    fn max_array_dim(&self) -> usize {
+        match self {
+            MvmBlock::Whole(op) => op.shape().0.max(op.shape().1),
+            MvmBlock::Tiled(t) => t.max_tile_dim(),
+        }
+    }
+}
 
 /// A node of the prepared partition tree.
 #[derive(Debug, Clone)]
@@ -28,14 +406,98 @@ enum Node {
     /// over its children.
     Split {
         split: usize,
-        size: usize,
         a1: Box<Node>,
         a4s: Box<Node>,
         /// `None` for a zero block.
-        a2: Option<Operand>,
+        a2: Option<MvmBlock>,
         /// `None` for a zero block.
-        a3: Option<Operand>,
+        a3: Option<MvmBlock>,
     },
+}
+
+impl<E: AmcEngine + ?Sized> InvExec<E> for Node {
+    fn inv_signed(
+        &mut self,
+        engine: &mut E,
+        b: &[f64],
+        io: &IoConfig,
+        log: &mut TraceLog,
+    ) -> Result<Vec<f64>> {
+        match self {
+            Node::Leaf(op) => engine.inv(op, b),
+            Node::Split {
+                split,
+                a1,
+                a4s,
+                a2,
+                a3,
+            } => run_cascade(
+                engine,
+                *split,
+                a1.as_mut(),
+                a4s.as_mut(),
+                a2.as_mut(),
+                a3.as_mut(),
+                b,
+                io,
+                StageIo::Pure,
+                log,
+            ),
+        }
+    }
+}
+
+/// How a matrix is recursively partitioned onto arrays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionPlan {
+    /// Partitioning depth (0 = single array, 1 = one-stage, 2 =
+    /// two-stage INV recursion, …).
+    pub depth: usize,
+    /// Tile MVM blocks into quadrants wherever their level's INV blocks
+    /// are split further — the paper's two-stage layout (16 quarter-size
+    /// arrays at depth 2) instead of natural-size MVM arrays.
+    pub tile_mvm: bool,
+    /// How the split index is chosen at every node.
+    pub split: SplitRule,
+}
+
+/// Split-index selection rule of a [`PartitionPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SplitRule {
+    /// The paper's default `⌈n/2⌉` everywhere.
+    Halves,
+    /// Conditioning-driven per-node search (see [`crate::split_search`];
+    /// nodes smaller than 4 fall back to halves).
+    Searched(SplitSearchOptions),
+}
+
+impl PartitionPlan {
+    /// Natural-size MVM blocks and midpoint splits at the given depth —
+    /// the layout the plain [`prepare`] entry point uses.
+    pub fn depth(depth: usize) -> Self {
+        PartitionPlan {
+            depth,
+            tile_mvm: false,
+            split: SplitRule::Halves,
+        }
+    }
+
+    /// The paper's macro layout at the given depth: MVM blocks tiled
+    /// into quadrants. `PartitionPlan::paper(2)` is the two-stage
+    /// solver's exact array inventory.
+    pub fn paper(depth: usize) -> Self {
+        PartitionPlan {
+            depth,
+            tile_mvm: true,
+            split: SplitRule::Halves,
+        }
+    }
+
+    /// Replaces the split rule.
+    pub fn with_split_rule(mut self, split: SplitRule) -> Self {
+        self.split = split;
+        self
+    }
 }
 
 /// A matrix prepared for multi-stage BlockAMC solving.
@@ -43,7 +505,7 @@ enum Node {
 pub struct PreparedMultiStage {
     root: Node,
     n: usize,
-    depth: usize,
+    plan: PartitionPlan,
 }
 
 impl PreparedMultiStage {
@@ -55,21 +517,28 @@ impl PreparedMultiStage {
     /// Partitioning depth (0 = single array, 1 = one-stage, 2 = two-stage
     /// INV recursion, …).
     pub fn depth(&self) -> usize {
-        self.depth
+        self.plan.depth
     }
 
-    /// Largest array (leaf block) size in the tree.
+    /// The plan this tree was built with.
+    pub fn plan(&self) -> PartitionPlan {
+        self.plan
+    }
+
+    /// Largest array (leaf or MVM-tile) size in the tree.
     pub fn max_leaf_size(&self) -> usize {
         fn walk(node: &Node) -> usize {
             match node {
                 Node::Leaf(op) => op.shape().0.max(op.shape().1),
-                Node::Split { a1, a4s, a2, a3, .. } => {
+                Node::Split {
+                    a1, a4s, a2, a3, ..
+                } => {
                     let mut m = walk(a1).max(walk(a4s));
-                    if let Some(op) = a2 {
-                        m = m.max(op.shape().0.max(op.shape().1));
+                    if let Some(block) = a2 {
+                        m = m.max(block.max_array_dim());
                     }
-                    if let Some(op) = a3 {
-                        m = m.max(op.shape().0.max(op.shape().1));
+                    if let Some(block) = a3 {
+                        m = m.max(block.max_array_dim());
                     }
                     m
                 }
@@ -79,31 +548,53 @@ impl PreparedMultiStage {
     }
 }
 
+/// Programs one MVM block, tiling it into quadrants recursively for
+/// `levels` levels (0 = whole array). Tiling stops early at blocks
+/// thinner than 2 in either dimension.
+fn prepare_mvm_tile<E: AmcEngine + ?Sized>(
+    engine: &mut E,
+    m: &Matrix,
+    levels: usize,
+) -> Result<Option<MvmBlock>> {
+    if m.is_zero() {
+        return Ok(None);
+    }
+    let (rows, cols) = m.shape();
+    Ok(Some(if levels >= 1 && rows >= 2 && cols >= 2 {
+        MvmBlock::Tiled(Box::new(QuadMvm::prepare(engine, m, levels)?))
+    } else {
+        MvmBlock::Whole(engine.program(m)?)
+    }))
+}
+
 fn prepare_node<E: AmcEngine + ?Sized>(
     engine: &mut E,
     a: &Matrix,
     depth: usize,
+    plan: &PartitionPlan,
 ) -> Result<Node> {
     if depth == 0 || a.rows() < 2 {
         return Ok(Node::Leaf(engine.program(a)?));
     }
-    let p = BlockPartition::halves(a)?;
+    let p = match plan.split {
+        SplitRule::Halves => BlockPartition::halves(a)?,
+        SplitRule::Searched(opts) if a.rows() >= 4 => split_search::best_partition(a, &opts)?,
+        SplitRule::Searched(_) => BlockPartition::halves(a)?,
+    };
     let a4s = p.schur_complement()?;
-    let a1 = prepare_node(engine, &p.a1, depth - 1)?;
-    let a4s_node = prepare_node(engine, &a4s, depth - 1)?;
-    let a2 = if p.a2.is_zero() {
-        None
-    } else {
-        Some(engine.program(&p.a2)?)
-    };
-    let a3 = if p.a3.is_zero() {
-        None
-    } else {
-        Some(engine.program(&p.a3)?)
-    };
+    // Programming order mirrors one_stage::prepare (A1, A2, A3, A4s) so
+    // a depth-1 tree consumes the engine's variation stream identically
+    // to the one-stage macro — see tests/solver_equivalence.rs.
+    let a1 = prepare_node(engine, &p.a1, depth - 1, plan)?;
+    // In the paper layout, MVM blocks tile down to the same size as the
+    // INV leaves below them: one quadrant level per remaining INV split
+    // (depth 2 ⇒ one level, the two-stage inventory; deeper ⇒ recurse).
+    let tile_levels = if plan.tile_mvm { depth - 1 } else { 0 };
+    let a2 = prepare_mvm_tile(engine, &p.a2, tile_levels)?;
+    let a3 = prepare_mvm_tile(engine, &p.a3, tile_levels)?;
+    let a4s_node = prepare_node(engine, &a4s, depth - 1, plan)?;
     Ok(Node::Split {
         split: p.split,
-        size: p.size(),
         a1: Box::new(a1),
         a4s: Box::new(a4s_node),
         a2,
@@ -111,62 +602,16 @@ fn prepare_node<E: AmcEngine + ?Sized>(
     })
 }
 
-/// Computes `−block⁻¹·b` recursively (the AMC sign convention, so the
-/// recursion composes exactly like cascaded INV circuits).
-fn inv_signed<E: AmcEngine + ?Sized>(
-    engine: &mut E,
-    node: &mut Node,
-    b: &[f64],
-) -> Result<Vec<f64>> {
-    match node {
-        Node::Leaf(op) => engine.inv(op, b),
-        Node::Split {
-            split,
-            size,
-            a1,
-            a4s,
-            a2,
-            a3,
-        } => {
-            let split = *split;
-            let bottom = *size - split;
-            let f = &b[..split];
-            let g = &b[split..];
-            // Step 1: −y_t.
-            let neg_yt = inv_signed(engine, a1, f)?;
-            // Step 2: g_t = −A3·(−y_t).
-            let gt = match a3.as_mut() {
-                Some(op) => engine.mvm(op, &neg_yt)?,
-                None => vec![0.0; bottom],
-            };
-            // Step 3: z = −A4s⁻¹·(g_t − g).
-            let input3 = vector::sub(&gt, g);
-            let z = inv_signed(engine, a4s, &input3)?;
-            // Step 4: −f_t = −A2·z.
-            let neg_ft = match a2.as_mut() {
-                Some(op) => engine.mvm(op, &z)?,
-                None => vec![0.0; split],
-            };
-            // Step 5: −y = −A1⁻¹·(f − f_t).
-            let input5 = vector::add(f, &neg_ft);
-            let neg_y = inv_signed(engine, a1, &input5)?;
-            // This node's "INV output" must be −x for the parent cascade:
-            // x = [y; z] with y = −neg_y, so −x = [neg_y; −z].
-            Ok(vector::concat(&neg_y, &vector::neg(&z)))
-        }
-    }
-}
-
-/// Partitions `a` recursively to `depth` and programs all leaves.
+/// Partitions `a` according to `plan` and programs all arrays.
 ///
 /// # Errors
 ///
-/// Partitioning, Schur, and programming failures. `depth` may exceed
-/// `log2(n)`; recursion stops early at 1×1 blocks.
-pub fn prepare<E: AmcEngine + ?Sized>(
+/// Partitioning, Schur, and programming failures. `plan.depth` may
+/// exceed `log2(n)`; recursion stops early at 1×1 blocks.
+pub fn prepare_plan<E: AmcEngine + ?Sized>(
     engine: &mut E,
     a: &Matrix,
-    depth: usize,
+    plan: &PartitionPlan,
 ) -> Result<PreparedMultiStage> {
     if !a.is_square() {
         return Err(BlockAmcError::ShapeMismatch {
@@ -177,9 +622,23 @@ pub fn prepare<E: AmcEngine + ?Sized>(
     }
     Ok(PreparedMultiStage {
         n: a.rows(),
-        root: prepare_node(engine, a, depth)?,
-        depth,
+        root: prepare_node(engine, a, plan.depth, plan)?,
+        plan: *plan,
     })
+}
+
+/// Partitions `a` recursively to `depth` and programs all leaves
+/// (midpoint splits, natural-size MVM blocks).
+///
+/// # Errors
+///
+/// Same conditions as [`prepare_plan`].
+pub fn prepare<E: AmcEngine + ?Sized>(
+    engine: &mut E,
+    a: &Matrix,
+    depth: usize,
+) -> Result<PreparedMultiStage> {
+    prepare_plan(engine, a, &PartitionPlan::depth(depth))
 }
 
 /// Solves `A·x = b` with the prepared partition tree.
@@ -199,7 +658,10 @@ pub fn solve<E: AmcEngine + ?Sized>(
             got: b.len(),
         });
     }
-    let neg_x = inv_signed(engine, &mut prepared.root, b)?;
+    let neg_x =
+        prepared
+            .root
+            .inv_signed(engine, b, &IoConfig::ideal(), &mut TraceLog::disabled())?;
     Ok(vector::neg(&neg_x))
 }
 
@@ -253,9 +715,56 @@ mod tests {
         assert_eq!(d1.max_leaf_size(), 16);
         let d2 = prepare(&mut engine, &a, 2).unwrap();
         assert_eq!(d2.max_leaf_size(), 16); // MVM blocks stay at n/2
-        // INV leaves shrink though: count leaves of size 8.
+                                            // INV leaves shrink though: count leaves of size 8.
         let d3 = prepare(&mut engine, &a, 3).unwrap();
         assert_eq!(d3.depth(), 3);
+    }
+
+    #[test]
+    fn paper_plan_tiles_mvm_blocks() {
+        // The paper: a two-stage solve of n uses 16 quarter-size arrays.
+        let (a, b) = workload(16, 3);
+        let mut engine = NumericEngine::new();
+        let mut prep = prepare_plan(&mut engine, &a, &PartitionPlan::paper(2)).unwrap();
+        assert_eq!(engine.stats().program_ops, 16);
+        assert_eq!(prep.max_leaf_size(), 4);
+        let x = solve(&mut engine, &mut prep, &b).unwrap();
+        let x_ref = lu::solve(&a, &b).unwrap();
+        assert!(metrics::relative_error(&x_ref, &x) < 1e-8);
+    }
+
+    #[test]
+    fn paper_plan_tiling_recurses_with_depth() {
+        // Deeper paper layouts shrink MVM tiles along with the INV
+        // leaves: at depth d every array is n/2^d on a side.
+        let (a, b) = workload(32, 8);
+        let x_ref = lu::solve(&a, &b).unwrap();
+        for depth in 1..=4usize {
+            let mut engine = NumericEngine::new();
+            let mut prep = prepare_plan(&mut engine, &a, &PartitionPlan::paper(depth)).unwrap();
+            assert_eq!(
+                prep.max_leaf_size(),
+                32 >> depth,
+                "depth {depth} array size"
+            );
+            let x = solve(&mut engine, &mut prep, &b).unwrap();
+            assert!(
+                metrics::relative_error(&x_ref, &x) < 1e-8,
+                "depth {depth} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn searched_splits_still_solve() {
+        let (a, b) = workload(12, 11);
+        let mut engine = NumericEngine::new();
+        let plan = PartitionPlan::depth(2)
+            .with_split_rule(SplitRule::Searched(SplitSearchOptions::default()));
+        let mut prep = prepare_plan(&mut engine, &a, &plan).unwrap();
+        let x = solve(&mut engine, &mut prep, &b).unwrap();
+        let x_ref = lu::solve(&a, &b).unwrap();
+        assert!(metrics::relative_error(&x_ref, &x) < 1e-8);
     }
 
     #[test]

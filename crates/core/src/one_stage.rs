@@ -25,6 +25,7 @@ use amc_linalg::{vector, Matrix};
 
 use crate::converter::IoConfig;
 use crate::engine::{AmcEngine, Operand};
+use crate::multi_stage::{run_cascade, InvExec, StageIo, TraceLog};
 use crate::partition::BlockPartition;
 use crate::Result;
 
@@ -163,6 +164,11 @@ pub fn prepare_matrix<E: AmcEngine + ?Sized>(
 
 /// Executes the five-step algorithm for one right-hand side.
 ///
+/// The cascade itself lives in the recursive execution core
+/// ([`crate::multi_stage::run_cascade`]); this wrapper contributes the
+/// macro signal path (DAC entry, S&H hops, ADC exit), the per-step
+/// trace, and the digital negation of the upper solution half.
+///
 /// # Errors
 ///
 /// * [`crate::BlockAmcError::ShapeMismatch`] if `b.len()` differs from the
@@ -182,77 +188,38 @@ pub fn solve<E: AmcEngine + ?Sized>(
             got: b.len(),
         });
     }
-    let split = prepared.split;
-    let bottom = prepared.n - split;
-    // External inputs enter through the DAC.
-    let f = io.apply_dac(&b[..split]);
-    let g = io.apply_dac(&b[split..]);
-    let mut trace = Vec::with_capacity(5);
-
-    // Step 1: INV(A1, f) -> −y_t.
-    let neg_yt = engine.inv(&mut prepared.a1, &f)?;
-    trace.push(StepRecord {
-        step: StepId::Inv1,
-        input: f.clone(),
-        output: neg_yt.clone(),
-    });
-
-    // Step 2: MVM(A3, −y_t) -> g_t (= −A3·(−y_t)).
-    let gt = match prepared.a3.as_mut() {
-        Some(a3) => {
-            let input = io.apply_sh(&neg_yt);
-            let out = engine.mvm(a3, &input)?;
-            trace.push(StepRecord {
-                step: StepId::Mvm2,
-                input,
-                output: out.clone(),
-            });
-            out
-        }
-        None => vec![0.0; bottom],
-    };
-
-    // Step 3: INV(A4s, g_t − g) -> z (the bottom half of x).
-    let input3 = vector::sub(&io.apply_sh(&gt), &g);
-    let z = engine.inv(&mut prepared.a4s, &input3)?;
-    trace.push(StepRecord {
-        step: StepId::Inv3,
-        input: input3,
-        output: z.clone(),
-    });
-
-    // Step 4: MVM(A2, z) -> −f_t.
-    let neg_ft = match prepared.a2.as_mut() {
-        Some(a2) => {
-            let input = io.apply_sh(&z);
-            let out = engine.mvm(a2, &input)?;
-            trace.push(StepRecord {
-                step: StepId::Mvm4,
-                input,
-                output: out.clone(),
-            });
-            out
-        }
-        None => vec![0.0; split],
-    };
-
-    // Step 5: INV(A1, f + (−f_t)) -> −y (the negated upper half of x).
-    let input5 = vector::add(&f, &io.apply_sh(&neg_ft));
-    let neg_y = engine.inv(&mut prepared.a1, &input5)?;
-    trace.push(StepRecord {
-        step: StepId::Inv5,
-        input: input5,
-        output: neg_y.clone(),
-    });
-
-    // Solution recovery through the ADC; the upper half is negated in the
-    // digital domain.
-    let upper = vector::neg(&io.apply_adc(&neg_y));
-    let lower = io.apply_adc(&z);
+    let mut log = TraceLog::enabled();
+    let neg_x = prepared.inv_signed(engine, b, io, &mut log)?;
     Ok(OneStageSolution {
-        x: vector::concat(&upper, &lower),
-        trace,
+        x: vector::neg(&neg_x),
+        trace: log.steps,
     })
+}
+
+// A prepared macro is itself an INV executor: this is what lets the
+// two-stage solver (and any deeper bus-connected layout) cascade whole
+// macros exactly like single arrays.
+impl<E: AmcEngine + ?Sized> InvExec<E> for PreparedOneStage {
+    fn inv_signed(
+        &mut self,
+        engine: &mut E,
+        b: &[f64],
+        io: &IoConfig,
+        log: &mut TraceLog,
+    ) -> Result<Vec<f64>> {
+        run_cascade(
+            engine,
+            self.split,
+            &mut self.a1,
+            &mut self.a4s,
+            self.a2.as_mut(),
+            self.a3.as_mut(),
+            b,
+            io,
+            StageIo::Macro,
+            log,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,10 @@
 //! overhead). When `A2` or `A3` is a zero block, `A4s = A4` and the
 //! pre-processing is free — [`BlockPartition::schur_complement`]
 //! implements that shortcut.
+//!
+//! Partitioning is applied recursively by [`crate::multi_stage`]; the
+//! split index per node is either the midpoint or chosen by
+//! [`crate::split_search`] (see `SplitRule`).
 
 use amc_linalg::{lu::LuFactor, Matrix};
 
@@ -192,10 +196,9 @@ mod tests {
         let p = BlockPartition::halves(&a).unwrap();
         let s = p.schur_complement().unwrap();
         let a1_inv = lu::inverse(&p.a1).unwrap();
-        let expect = p
-            .a4
-            .sub_matrix(&p.a3.matmul(&a1_inv).unwrap().matmul(&p.a2).unwrap())
-            .unwrap();
+        let expect =
+            p.a4.sub_matrix(&p.a3.matmul(&a1_inv).unwrap().matmul(&p.a2).unwrap())
+                .unwrap();
         assert!(s.approx_eq(&expect, 1e-12));
     }
 

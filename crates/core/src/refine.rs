@@ -104,7 +104,7 @@ mod tests {
         let (a, b) = spd_workload(8, 1);
         let x = lu::solve(&a, &b).unwrap();
         assert!(seed_quality(&a, &b, &x).unwrap() < 1e-12);
-        assert!(seed_quality(&a, &b, &vec![0.0; 8]).unwrap() > 0.99);
+        assert!(seed_quality(&a, &b, &[0.0; 8]).unwrap() > 0.99);
     }
 
     #[test]
@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn zero_seed_equals_cold_start() {
         let (a, b) = spd_workload(12, 3);
-        let out = refine_with_cg(&a, &b, &vec![0.0; 12], 1e-8, 10_000).unwrap();
+        let out = refine_with_cg(&a, &b, &[0.0; 12], 1e-8, 10_000).unwrap();
         assert_eq!(out.iterations_with_seed, out.iterations_cold);
         assert_eq!(out.iterations_saved(), 0);
     }

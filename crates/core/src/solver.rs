@@ -2,7 +2,10 @@
 //!
 //! [`BlockAmcSolver`] bundles an engine, a solver architecture
 //! ([`Stages`]), and a signal-path configuration, and exposes a single
-//! `solve` call. The paper's three compared solvers map to:
+//! `solve` call. Every architecture below executes on the same
+//! recursive cascade core ([`crate::multi_stage::run_cascade`]); they
+//! differ only in tree depth and signal path. The paper's three
+//! compared solvers map to:
 //!
 //! * `Stages::Original` — the baseline: one INV circuit with a single
 //!   full-size array,
@@ -245,9 +248,7 @@ mod tests {
         let (a, _) = workload(8, 5);
         let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
         assert!(solver.solve(&a, &[1.0; 3]).is_err());
-        assert!(solver
-            .solve(&Matrix::zeros(2, 3), &[1.0, 1.0])
-            .is_err());
+        assert!(solver.solve(&Matrix::zeros(2, 3), &[1.0, 1.0]).is_err());
     }
 
     #[test]
@@ -255,12 +256,11 @@ mod tests {
         let (a, b) = workload(8, 6);
         let x_ref = lu::solve(&a, &b).unwrap();
         let mut ideal = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
-        let mut coarse = BlockAmcSolver::new(NumericEngine::new(), Stages::One)
-            .with_io(IoConfig {
-                dac: Some(crate::converter::Converter::new(4, 1.0).unwrap()),
-                adc: Some(crate::converter::Converter::new(4, 1.0).unwrap()),
-                sh_droop: 0.0,
-            });
+        let mut coarse = BlockAmcSolver::new(NumericEngine::new(), Stages::One).with_io(IoConfig {
+            dac: Some(crate::converter::Converter::new(4, 1.0).unwrap()),
+            adc: Some(crate::converter::Converter::new(4, 1.0).unwrap()),
+            sh_droop: 0.0,
+        });
         let e_ideal = metrics::relative_error(&x_ref, &ideal.solve(&a, &b).unwrap().x);
         let e_coarse = metrics::relative_error(&x_ref, &coarse.solve(&a, &b).unwrap().x);
         assert!(e_ideal < 1e-9);

@@ -105,8 +105,24 @@ pub fn rank_splits(
     for &s in candidates {
         scores.push(score_split(a, s, opts)?);
     }
-    scores.sort_by(|x, y| x.score.partial_cmp(&y.score).unwrap_or(std::cmp::Ordering::Equal));
+    scores.sort_by(|x, y| {
+        x.score
+            .partial_cmp(&y.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     Ok(scores)
+}
+
+/// Convenience for the recursive solvers: runs [`best_split`] and
+/// partitions the matrix at the winner (used by
+/// [`crate::multi_stage::SplitRule::Searched`]).
+///
+/// # Errors
+///
+/// Propagates [`best_split`] and partitioning failures.
+pub fn best_partition(a: &Matrix, opts: &SplitSearchOptions) -> Result<BlockPartition> {
+    let score = best_split(a, opts)?;
+    BlockPartition::new(a, score.split)
 }
 
 /// Picks the best split among a default candidate set (quartile points
@@ -215,8 +231,8 @@ mod tests {
 
     #[test]
     fn chosen_split_actually_solves_well() {
-        use crate::engine::NumericEngine;
         use crate::converter::IoConfig;
+        use crate::engine::NumericEngine;
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let a = generate::wishart_default(12, &mut rng).unwrap();
         let b = generate::random_vector(12, &mut rng);

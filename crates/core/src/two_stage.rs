@@ -18,6 +18,7 @@ use amc_linalg::{vector, Matrix};
 
 use crate::converter::IoConfig;
 use crate::engine::{AmcEngine, Operand};
+use crate::multi_stage::{run_cascade, MvmExec, StageIo, TraceLog};
 use crate::one_stage::{self, PreparedOneStage};
 use crate::partition::BlockPartition;
 use crate::{BlockAmcError, Result};
@@ -114,6 +115,13 @@ impl TiledMvm {
     }
 }
 
+// A tiled matrix is an MVM executor for the recursive cascade core.
+impl<E: AmcEngine + ?Sized> MvmExec<E> for TiledMvm {
+    fn mvm_signed(&mut self, engine: &mut E, x: &[f64]) -> Result<Vec<f64>> {
+        self.mvm(engine, x)
+    }
+}
+
 /// A fully prepared two-stage solver: inner one-stage macros for the INV
 /// blocks, tiled arrays for the MVM blocks.
 #[derive(Debug, Clone)]
@@ -178,10 +186,14 @@ pub fn prepare<E: AmcEngine + ?Sized>(engine: &mut E, a: &Matrix) -> Result<Prep
     }
     let p = BlockPartition::halves(a)?;
     let a4s = p.schur_complement()?;
-    // Second stage: the INV blocks become one-stage macros.
+    // Programming follows the canonical recursive order (A1, A2, A3,
+    // A4s) used by one_stage::prepare and the multi-stage tree, so the
+    // engine's variation stream is consumed identically to an
+    // equivalent depth-2 paper-layout tree — see
+    // tests/solver_equivalence.rs.
+    // Second stage: the INV blocks become one-stage macros; the MVM
+    // blocks are tiled.
     let a1_inner = one_stage::prepare_matrix(engine, &p.a1)?;
-    let a4s_inner = one_stage::prepare_matrix(engine, &a4s)?;
-    // MVM blocks are tiled.
     let a2 = if p.a2.is_zero() {
         None
     } else {
@@ -192,6 +204,7 @@ pub fn prepare<E: AmcEngine + ?Sized>(engine: &mut E, a: &Matrix) -> Result<Prep
     } else {
         Some(TiledMvm::prepare(engine, &p.a3)?)
     };
+    let a4s_inner = one_stage::prepare_matrix(engine, &a4s)?;
     Ok(PreparedTwoStage {
         split: p.split,
         n: p.size(),
@@ -226,49 +239,25 @@ pub fn solve<E: AmcEngine + ?Sized>(
             got: b.len(),
         });
     }
-    let split = prepared.split;
-    let bottom = prepared.n - split;
-    let f = io.apply_dac(&b[..split]);
-    let g = io.apply_dac(&b[split..]);
-    let mut inner_traces = Vec::new();
-
-    // Inter-macro hop: ADC out of one macro, DAC into the next.
-    let bus = |v: &[f64], io: &IoConfig| -> Vec<f64> { io.apply_dac(&io.apply_adc(v)) };
-
-    // Step 1: y_t = A1⁻¹·f via the inner one-stage macro; the cascade
-    // needs −y_t.
-    let sol1 = one_stage::solve(engine, &mut prepared.a1, &f, io)?;
-    let neg_yt = bus(&vector::neg(&sol1.x), io);
-
-    // Step 2: g_t = −A3·(−y_t) via tiled MVM.
-    let gt = match prepared.a3.as_mut() {
-        Some(a3) => bus(&a3.mvm(engine, &neg_yt)?, io),
-        None => vec![0.0; bottom],
-    };
-
-    // Step 3: z = A4s⁻¹·(g − g_t) via the inner macro (solve with RHS
-    // g − g_t directly; the inner macro handles its own signs).
-    let rhs3 = vector::sub(&g, &gt);
-    let sol3 = one_stage::solve(engine, &mut prepared.a4s, &rhs3, io)?;
-    let z = bus(&sol3.x, io);
-    inner_traces.push(("A4s".to_string(), sol3.trace));
-
-    // Step 4: −f_t = −A2·z via tiled MVM.
-    let neg_ft = match prepared.a2.as_mut() {
-        Some(a2) => bus(&a2.mvm(engine, &z)?, io),
-        None => vec![0.0; split],
-    };
-
-    // Step 5: y = A1⁻¹·(f − f_t) via the inner macro.
-    let rhs5 = vector::add(&f, &neg_ft);
-    let sol5 = one_stage::solve(engine, &mut prepared.a1, &rhs5, io)?;
-    inner_traces.push(("A1".to_string(), sol5.trace));
-    let y = io.apply_adc(&sol5.x);
-    let z_out = io.apply_adc(&z);
-
+    // The five steps live in the recursive execution core; `Bus` policy
+    // inserts the ADC→DAC hop on every inter-macro value and captures
+    // the step-3/step-5 inner-macro traces.
+    let mut log = TraceLog::enabled();
+    let neg_x = run_cascade(
+        engine,
+        prepared.split,
+        &mut prepared.a1,
+        &mut prepared.a4s,
+        prepared.a2.as_mut(),
+        prepared.a3.as_mut(),
+        b,
+        io,
+        StageIo::Bus,
+        &mut log,
+    )?;
     Ok(TwoStageSolution {
-        x: vector::concat(&y, &z_out),
-        inner_traces,
+        x: vector::neg(&neg_x),
+        inner_traces: log.inner,
     })
 }
 

@@ -76,11 +76,26 @@ fn step_signs_match_the_papers_flow_chart() {
     let sol = one_stage::solve(&mut engine, &mut prep, &b, &IoConfig::ideal()).unwrap();
 
     assert_eq!(sol.trace.len(), 5);
-    assert!(vector::approx_eq(&sol.trace[0].output, &vector::neg(&y_t), 1e-10), "step 1 = −y_t");
-    assert!(vector::approx_eq(&sol.trace[1].output, &g_t, 1e-10), "step 2 = g_t");
-    assert!(vector::approx_eq(&sol.trace[2].output, &z, 1e-10), "step 3 = z");
-    assert!(vector::approx_eq(&sol.trace[3].output, &vector::neg(&f_t), 1e-10), "step 4 = −f_t");
-    assert!(vector::approx_eq(&sol.trace[4].output, &vector::neg(&y), 1e-10), "step 5 = −y");
+    assert!(
+        vector::approx_eq(&sol.trace[0].output, &vector::neg(&y_t), 1e-10),
+        "step 1 = −y_t"
+    );
+    assert!(
+        vector::approx_eq(&sol.trace[1].output, &g_t, 1e-10),
+        "step 2 = g_t"
+    );
+    assert!(
+        vector::approx_eq(&sol.trace[2].output, &z, 1e-10),
+        "step 3 = z"
+    );
+    assert!(
+        vector::approx_eq(&sol.trace[3].output, &vector::neg(&f_t), 1e-10),
+        "step 4 = −f_t"
+    );
+    assert!(
+        vector::approx_eq(&sol.trace[4].output, &vector::neg(&y), 1e-10),
+        "step 5 = −y"
+    );
     // Final solution assembles [y; z].
     assert!(vector::approx_eq(&sol.x, &vector::concat(&y, &z), 1e-10));
 }
@@ -97,7 +112,10 @@ fn step_inputs_match_the_papers_flow_chart() {
 
     // Step 1 input is f; step 3 input is g_t − g (the "−g_s" of eq. 3);
     // step 5 input is f − f_t (the "f_s").
-    assert!(vector::approx_eq(&sol.trace[0].input, &f, 0.0), "step 1 input = f");
+    assert!(
+        vector::approx_eq(&sol.trace[0].input, &f, 0.0),
+        "step 1 input = f"
+    );
     let gt = &sol.trace[1].output;
     assert!(
         vector::approx_eq(&sol.trace[2].input, &vector::sub(gt, &g), 1e-12),

@@ -88,12 +88,7 @@ impl DriftModel {
     ///
     /// * [`DeviceError::InvalidConfig`] for invalid parameters or a
     ///   non-finite/negative elapsed time.
-    pub fn apply<R: Rng + ?Sized>(
-        &self,
-        g: &Matrix,
-        t_s: f64,
-        rng: &mut R,
-    ) -> Result<Matrix> {
+    pub fn apply<R: Rng + ?Sized>(&self, g: &Matrix, t_s: f64, rng: &mut R) -> Result<Matrix> {
         self.validate()?;
         if !(t_s.is_finite() && t_s >= 0.0) {
             return Err(DeviceError::config("elapsed time must be non-negative"));
@@ -211,6 +206,8 @@ mod tests {
         assert!(m.validate().is_err());
         let g = Matrix::filled(2, 2, 1e-4);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        assert!(DriftModel::typical_rram().apply(&g, -1.0, &mut rng).is_err());
+        assert!(DriftModel::typical_rram()
+            .apply(&g, -1.0, &mut rng)
+            .is_err());
     }
 }

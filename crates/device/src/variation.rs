@@ -16,8 +16,10 @@ use crate::{DeviceError, Result};
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum VariationModel {
     /// Ideal programming: the stored conductance equals the target.
+    #[default]
     None,
     /// Additive Gaussian noise with standard deviation `sigma` siemens,
     /// independent of the target value. The paper uses
@@ -68,12 +70,8 @@ impl VariationModel {
         let ok = match *self {
             VariationModel::None => true,
             VariationModel::Gaussian { sigma } => sigma.is_finite() && sigma >= 0.0,
-            VariationModel::Proportional { sigma_rel } => {
-                sigma_rel.is_finite() && sigma_rel >= 0.0
-            }
-            VariationModel::Lognormal { sigma_log } => {
-                sigma_log.is_finite() && sigma_log >= 0.0
-            }
+            VariationModel::Proportional { sigma_rel } => sigma_rel.is_finite() && sigma_rel >= 0.0,
+            VariationModel::Lognormal { sigma_log } => sigma_log.is_finite() && sigma_log >= 0.0,
         };
         if ok {
             Ok(())
@@ -103,20 +101,10 @@ impl VariationModel {
         let value = match *self {
             VariationModel::None => target,
             VariationModel::Gaussian { sigma } => target + sigma * normal(rng),
-            VariationModel::Proportional { sigma_rel } => {
-                target * (1.0 + sigma_rel * normal(rng))
-            }
-            VariationModel::Lognormal { sigma_log } => {
-                target * (sigma_log * normal(rng)).exp()
-            }
+            VariationModel::Proportional { sigma_rel } => target * (1.0 + sigma_rel * normal(rng)),
+            VariationModel::Lognormal { sigma_log } => target * (sigma_log * normal(rng)).exp(),
         };
         value.max(0.0)
-    }
-}
-
-impl Default for VariationModel {
-    fn default() -> Self {
-        VariationModel::None
     }
 }
 
@@ -217,7 +205,9 @@ mod tests {
         }
         .validate()
         .is_err());
-        assert!(VariationModel::Lognormal { sigma_log: 0.1 }.validate().is_ok());
+        assert!(VariationModel::Lognormal { sigma_log: 0.1 }
+            .validate()
+            .is_ok());
         assert!(VariationModel::None.validate().is_ok());
         assert!(VariationModel::default().is_none());
     }

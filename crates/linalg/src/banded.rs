@@ -198,14 +198,14 @@ impl BandedMatrix {
             });
         }
         let mut y = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let j_lo = i.saturating_sub(self.lower);
             let j_hi = (i + self.upper).min(self.n - 1);
             let mut s = 0.0;
-            for j in j_lo..=j_hi {
-                s += self.data[self.idx(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(j_hi + 1).skip(j_lo) {
+                s += self.data[self.idx(i, j)] * xj;
             }
-            y[i] = s;
+            *yi = s;
         }
         Ok(y)
     }
@@ -238,7 +238,11 @@ impl BandedMatrix {
         let n = self.n;
         let mut work = self.clone();
         let mut x = b.to_vec();
-        let scale = self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1.0);
+        let scale = self
+            .data
+            .iter()
+            .fold(0.0_f64, |m, v| m.max(v.abs()))
+            .max(1.0);
         // Elimination.
         for k in 0..n {
             let pivot = work.data[work.idx(k, k)];
@@ -263,8 +267,8 @@ impl BandedMatrix {
         for i in (0..n).rev() {
             let j_hi = (i + self.upper).min(n - 1);
             let mut s = x[i];
-            for j in (i + 1)..=j_hi {
-                s -= work.data[work.idx(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(j_hi + 1).skip(i + 1) {
+                s -= work.data[work.idx(i, j)] * xj;
             }
             x[i] = s / work.data[work.idx(i, i)];
         }

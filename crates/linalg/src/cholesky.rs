@@ -98,16 +98,16 @@ impl CholeskyFactor {
         let mut x = b.to_vec();
         for i in 0..n {
             let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.l[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                sum -= self.l[(i, j)] * xj;
             }
             x[i] = sum / self.l[(i, i)];
         }
         // Lᵀ·x = y
         for i in (0..n).rev() {
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.l[(j, i)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.l[(j, i)] * xj;
             }
             x[i] = sum / self.l[(i, i)];
         }
@@ -133,8 +133,7 @@ mod tests {
     use crate::vector;
 
     fn spd_sample() -> Matrix {
-        Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
-            .unwrap()
+        Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]]).unwrap()
     }
 
     #[test]

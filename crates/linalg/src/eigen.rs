@@ -62,8 +62,7 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
             }
         }
         if off <= tol {
-            let mut pairs: Vec<(f64, usize)> =
-                (0..n).map(|k| (m[(k, k)], k)).collect();
+            let mut pairs: Vec<(f64, usize)> = (0..n).map(|k| (m[(k, k)], k)).collect();
             pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             let values: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
             let mut vectors = Matrix::zeros(n, n);
@@ -259,7 +258,9 @@ mod tests {
         let cond_est = lu.cond_estimate(a.norm_one());
         let cond_true = e.values.last().unwrap() / e.values.first().unwrap();
         // The 1-norm estimate should be within a modest factor of truth.
-        assert!(cond_est > cond_true * 0.1 && cond_est < cond_true * 10.0,
-            "estimate {cond_est} vs true {cond_true}");
+        assert!(
+            cond_est > cond_true * 0.1 && cond_est < cond_true * 10.0,
+            "estimate {cond_est} vs true {cond_true}"
+        );
     }
 }

@@ -148,7 +148,11 @@ pub fn random_toeplitz<R: Rng + ?Sized>(n: usize, dominance: f64, rng: &mut R) -
         col[k] *= decay;
         row[k] *= decay;
     }
-    let off_sum: f64 = col[1..].iter().chain(row[1..].iter()).map(|v| v.abs()).sum();
+    let off_sum: f64 = col[1..]
+        .iter()
+        .chain(row[1..].iter())
+        .map(|v| v.abs())
+        .sum();
     let d = dominance * off_sum.max(1.0);
     col[0] = d;
     row[0] = d;
@@ -221,7 +225,9 @@ pub fn random_spd_toeplitz<R: Rng + ?Sized>(
         return Err(LinalgError::invalid("kernel length must be positive"));
     }
     if !(ridge.is_finite() && ridge >= 0.0) {
-        return Err(LinalgError::invalid("ridge must be finite and non-negative"));
+        return Err(LinalgError::invalid(
+            "ridge must be finite and non-negative",
+        ));
     }
     let k = kernel_len.min(n);
     let w: Vec<f64> = (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect();
@@ -330,7 +336,12 @@ mod tests {
         let m = gaussian(100, 100, &mut r);
         let n = (m.rows() * m.cols()) as f64;
         let mean: f64 = m.as_slice().iter().sum::<f64>() / n;
-        let var: f64 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let var: f64 = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "variance {var}");
     }
@@ -429,8 +440,12 @@ mod tests {
         let small = random_spd_toeplitz(8, 8, 0.0, &mut r).unwrap();
         let mut r = rng(13);
         let large = random_spd_toeplitz(128, 8, 0.0, &mut r).unwrap();
-        let cs = LuFactor::new(&small).unwrap().cond_estimate(small.norm_one());
-        let cl = LuFactor::new(&large).unwrap().cond_estimate(large.norm_one());
+        let cs = LuFactor::new(&small)
+            .unwrap()
+            .cond_estimate(small.norm_one());
+        let cl = LuFactor::new(&large)
+            .unwrap()
+            .cond_estimate(large.norm_one());
         assert!(cl >= cs, "cond small {cs} vs large {cl}");
     }
 

@@ -56,7 +56,7 @@ impl JacobiPrecond {
     /// zero (the preconditioner would be singular).
     pub fn new(a: &CsrMatrix) -> Result<Self> {
         let diag = a.diag();
-        if diag.iter().any(|&d| d == 0.0) {
+        if diag.contains(&0.0) {
             return Err(LinalgError::invalid(
                 "jacobi preconditioner requires a non-zero diagonal",
             ));
@@ -69,7 +69,10 @@ impl JacobiPrecond {
 
 impl Preconditioner for JacobiPrecond {
     fn apply(&self, r: &[f64]) -> Vec<f64> {
-        r.iter().zip(&self.inv_diag).map(|(&ri, &di)| ri * di).collect()
+        r.iter()
+            .zip(&self.inv_diag)
+            .map(|(&ri, &di)| ri * di)
+            .collect()
     }
 }
 
@@ -608,8 +611,14 @@ mod tests {
         // residual is not parallel to b — like a noisy AMC seed solution.
         let mut seed: Vec<f64> = x_true.iter().map(|v| v * (1.0 + 1e-6)).collect();
         seed[0] += 1e-6;
-        let warm = conjugate_gradient(&a, &b, Some(&seed), &IdentityPrecond, IterOptions::default())
-            .unwrap();
+        let warm = conjugate_gradient(
+            &a,
+            &b,
+            Some(&seed),
+            &IdentityPrecond,
+            IterOptions::default(),
+        )
+        .unwrap();
         assert!(
             warm.iterations < cold.iterations,
             "warm {} vs cold {}",
@@ -644,7 +653,7 @@ mod tests {
     fn richardson_fails_cleanly_when_not_converging() {
         let a = poisson(5);
         let b = vec![1.0; 5];
-        let err = richardson_refine(&a, &b, &vec![0.0; 5], |_| vec![0.0; 5], 1e-12, 3);
+        let err = richardson_refine(&a, &b, &[0.0; 5], |_| vec![0.0; 5], 1e-12, 3);
         assert!(matches!(err, Err(LinalgError::ConvergenceFailure { .. })));
     }
 
@@ -652,8 +661,9 @@ mod tests {
     fn solvers_validate_shapes() {
         let a = poisson(4);
         let badb = vec![1.0; 3];
-        assert!(conjugate_gradient(&a, &badb, None, &IdentityPrecond, IterOptions::default())
-            .is_err());
+        assert!(
+            conjugate_gradient(&a, &badb, None, &IdentityPrecond, IterOptions::default()).is_err()
+        );
         assert!(bicgstab(&a, &badb, None, &IdentityPrecond, IterOptions::default()).is_err());
         let b = vec![1.0; 4];
         assert!(conjugate_gradient(
@@ -669,8 +679,14 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero_immediately() {
         let a = poisson(6);
-        let rep = conjugate_gradient(&a, &[0.0; 6], None, &IdentityPrecond, IterOptions::default())
-            .unwrap();
+        let rep = conjugate_gradient(
+            &a,
+            &[0.0; 6],
+            None,
+            &IdentityPrecond,
+            IterOptions::default(),
+        )
+        .unwrap();
         assert_eq!(rep.iterations, 0);
         assert!(rep.x.iter().all(|&v| v == 0.0));
     }

@@ -47,8 +47,8 @@
 
 pub mod banded;
 pub mod cholesky;
-mod error;
 pub mod eigen;
+mod error;
 pub mod generate;
 pub mod iterative;
 pub mod lu;

@@ -121,16 +121,16 @@ impl LuFactor {
         let mut x: Vec<f64> = self.perm.iter().map(|&pi| b[pi]).collect();
         for i in 1..n {
             let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                sum -= self.lu[(i, j)] * xj;
             }
             x[i] = sum;
         }
         // Back substitution: U·x = y.
         for i in (0..n).rev() {
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.lu[(i, j)] * xj;
             }
             x[i] = sum / self.lu[(i, i)];
         }
@@ -201,7 +201,10 @@ impl LuFactor {
             // Sign vector and transpose-solve direction via solving with the
             // sign pattern (uses A rather than Aᵀ: adequate for an estimate
             // on the symmetric-ish matrices this workspace handles).
-            let z: Vec<f64> = y.iter().map(|&v| if v >= 0.0 { 1.0 } else { -1.0 }).collect();
+            let z: Vec<f64> = y
+                .iter()
+                .map(|&v| if v >= 0.0 { 1.0 } else { -1.0 })
+                .collect();
             let w = match self.solve(&z) {
                 Ok(w) => w,
                 Err(_) => return f64::INFINITY,
@@ -266,8 +269,8 @@ mod tests {
 
     #[test]
     fn solves_known_system() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]).unwrap();
         let x_true = [1.0, -2.0, 3.0];
         let b = a.matvec(&x_true).unwrap();
         let x = solve(&a, &b).unwrap();
@@ -295,7 +298,10 @@ mod tests {
     #[test]
     fn detects_singular_matrix() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
-        assert!(matches!(LuFactor::new(&a), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            LuFactor::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]

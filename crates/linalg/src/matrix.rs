@@ -214,7 +214,9 @@ impl Matrix {
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "column index out of bounds");
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Returns the main diagonal as a vector.
@@ -300,8 +302,7 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate().take(self.rows) {
             if xi == 0.0 {
                 continue;
             }
@@ -429,7 +430,8 @@ impl Matrix {
         }
         let mut out = Matrix::zeros(rows, cols);
         for i in 0..rows {
-            let src = &self.data[(row0 + i) * self.cols + col0..(row0 + i) * self.cols + col0 + cols];
+            let src =
+                &self.data[(row0 + i) * self.cols + col0..(row0 + i) * self.cols + col0 + cols];
             out.data[i * cols..(i + 1) * cols].copy_from_slice(src);
         }
         Ok(out)
@@ -600,7 +602,8 @@ impl Add<&Matrix> for &Matrix {
     /// Panics if the shapes differ; use [`Matrix::add_matrix`] for a fallible
     /// version.
     fn add(self, rhs: &Matrix) -> Matrix {
-        self.add_matrix(rhs).expect("matrix addition shape mismatch")
+        self.add_matrix(rhs)
+            .expect("matrix addition shape mismatch")
     }
 }
 
@@ -612,7 +615,8 @@ impl Sub<&Matrix> for &Matrix {
     /// Panics if the shapes differ; use [`Matrix::sub_matrix`] for a fallible
     /// version.
     fn sub(self, rhs: &Matrix) -> Matrix {
-        self.sub_matrix(rhs).expect("matrix subtraction shape mismatch")
+        self.sub_matrix(rhs)
+            .expect("matrix subtraction shape mismatch")
     }
 }
 
@@ -624,7 +628,8 @@ impl Mul<&Matrix> for &Matrix {
     /// Panics if the shapes are incompatible; use [`Matrix::matmul`] for a
     /// fallible version.
     fn mul(self, rhs: &Matrix) -> Matrix {
-        self.matmul(rhs).expect("matrix multiplication shape mismatch")
+        self.matmul(rhs)
+            .expect("matrix multiplication shape mismatch")
     }
 }
 
@@ -714,7 +719,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]

@@ -114,13 +114,13 @@ impl QrFactor {
         for k in 0..n {
             // v = [1, qr[k+1.., k]]
             let mut dot = y[k];
-            for i in (k + 1)..m {
-                dot += self.qr[(i, k)] * y[i];
+            for (i, &yi) in y.iter().enumerate().take(m).skip(k + 1) {
+                dot += self.qr[(i, k)] * yi;
             }
             let s = self.betas[k] * dot;
             y[k] -= s;
-            for i in (k + 1)..m {
-                y[i] -= s * self.qr[(i, k)];
+            for (i, yi) in y.iter_mut().enumerate().take(m).skip(k + 1) {
+                *yi -= s * self.qr[(i, k)];
             }
         }
         y
@@ -147,8 +147,8 @@ impl QrFactor {
         let mut x = y[..n].to_vec();
         for i in (0..n).rev() {
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.qr[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.qr[(i, j)] * xj;
             }
             x[i] = sum / self.qr[(i, i)];
         }
@@ -208,13 +208,7 @@ mod tests {
     #[test]
     fn least_squares_fits_line() {
         // Points (0,1), (1,3), (2,5), (3,7.2): near-perfect line 1 + 2t.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
         let y = [1.0, 3.0, 5.0, 7.2];
         let qr = QrFactor::new(&a).unwrap();
         let c = qr.solve_least_squares(&y).unwrap();

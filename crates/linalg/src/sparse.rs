@@ -43,7 +43,11 @@ impl CsrMatrix {
     ///
     /// Returns [`LinalgError::InvalidArgument`] if any index is out of
     /// bounds or the matrix is empty.
-    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(usize, usize, f64)]) -> Result<Self> {
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self> {
         if nrows == 0 || ncols == 0 {
             return Err(LinalgError::invalid("matrix must be non-empty"));
         }
@@ -56,7 +60,7 @@ impl CsrMatrix {
         }
         // Count entries per row (before dedup).
         let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
-        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sorted.sort_by_key(|a| (a.0, a.1));
 
         let mut indptr = vec![0usize; nrows + 1];
         let mut indices = Vec::with_capacity(sorted.len());
@@ -199,8 +203,7 @@ impl CsrMatrix {
 
     /// Returns the transposed matrix.
     pub fn transpose(&self) -> CsrMatrix {
-        let triplets: Vec<(usize, usize, f64)> =
-            self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        let triplets: Vec<(usize, usize, f64)> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
         CsrMatrix::from_triplets(self.ncols, self.nrows, &triplets)
             .expect("transpose produced invalid triplets")
     }
@@ -214,7 +217,13 @@ mod tests {
         CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 4.0), (0, 2, 1.0), (1, 1, 5.0), (2, 0, 2.0), (2, 2, 3.0)],
+            &[
+                (0, 0, 4.0),
+                (0, 2, 1.0),
+                (1, 1, 5.0),
+                (2, 0, 2.0),
+                (2, 2, 3.0),
+            ],
         )
         .unwrap()
     }
@@ -278,7 +287,7 @@ mod tests {
         assert_eq!(entries[0], (0, 0, 4.0));
         assert_eq!(entries.len(), 5);
         let mut sorted = entries.clone();
-        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sorted.sort_by_key(|a| (a.0, a.1));
         assert_eq!(entries, sorted);
     }
 }

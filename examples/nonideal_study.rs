@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("mean relative error over {trials} trials, {n}x{n} Wishart");
     println!("rows: variation σ_rel; columns: wire resistance (Ω/segment)\n");
 
-    for (label, stages) in [("Original AMC", Stages::Original), ("BlockAMC", Stages::One)] {
+    for (label, stages) in [
+        ("Original AMC", Stages::Original),
+        ("BlockAMC", Stages::One),
+    ] {
         println!("{label}:");
         print!("{:>7}", "σ \\ r");
         for w in wires {

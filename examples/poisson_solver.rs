@@ -13,13 +13,13 @@
 //! (b) the paper's remedy — use the analog result as a seed and polish it
 //! with a few digital refinement iterations.
 
+use amc_circuit::sim::SimConfig;
+use amc_device::mapping::MappingConfig;
+use amc_device::variation::VariationModel;
 use amc_linalg::{generate, lu, metrics};
 use blockamc::engine::{CircuitEngine, CircuitEngineConfig, NumericEngine};
 use blockamc::refine::refine_with_cg;
 use blockamc::solver::{BlockAmcSolver, Stages};
-use amc_device::mapping::MappingConfig;
-use amc_device::variation::VariationModel;
-use amc_circuit::sim::SimConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 32; // interior grid points; κ ≈ (n/π)² ≈ 104

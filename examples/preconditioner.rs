@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("digital CG iterations to reach a target residual:");
-    println!("{:>12} {:>12} {:>12} {:>8}", "tolerance", "cold start", "analog seed", "saved");
+    println!(
+        "{:>12} {:>12} {:>12} {:>8}",
+        "tolerance", "cold start", "analog seed", "saved"
+    );
     for tol in [1e-4, 1e-6, 1e-8, 1e-10] {
         let outcome = refine_with_cg(&a, &b, &analog.x, tol, 100_000)?;
         println!(

@@ -72,7 +72,9 @@ fn exact_grid_converges_to_ideal_as_wires_vanish() {
     let a = generate::wishart_default(6, &mut rng).unwrap();
     let p = program(&a, 30);
     let b = generate::random_vector(6, &mut rng);
-    let ideal = AnalogSimulator::new(SimConfig::ideal()).inv(&p, &b).unwrap();
+    let ideal = AnalogSimulator::new(SimConfig::ideal())
+        .inv(&p, &b)
+        .unwrap();
     let mut prev_err = f64::INFINITY;
     for r_seg in [10.0, 1.0, 0.1, 0.01] {
         let exact = grid::inv_exact(&p, &b, r_seg).unwrap();
@@ -83,7 +85,10 @@ fn exact_grid_converges_to_ideal_as_wires_vanish() {
         );
         prev_err = err;
     }
-    assert!(prev_err < 1e-4, "r=0.01 should be near-ideal, err={prev_err}");
+    assert!(
+        prev_err < 1e-4,
+        "r=0.01 should be near-ideal, err={prev_err}"
+    );
 }
 
 #[test]
@@ -113,7 +118,9 @@ fn wire_resistance_hurts_large_arrays_more() {
         let a = Matrix::filled(n, n, 1.0);
         let p = program(&a, 40 + n as u64);
         let x = generate::random_vector(n, &mut rng);
-        let ideal = AnalogSimulator::new(SimConfig::ideal()).mvm(&p, &x).unwrap();
+        let ideal = AnalogSimulator::new(SimConfig::ideal())
+            .mvm(&p, &x)
+            .unwrap();
         let exact = grid::mvm_exact(&p, &x, 1.0).unwrap();
         let err = metrics::relative_error_l2(&ideal.volts, &exact.volts);
         assert!(

@@ -37,10 +37,7 @@ fn every_architecture_solves_every_family_exactly_with_numeric_engine() {
                 let mut solver = BlockAmcSolver::new(NumericEngine::new(), stages);
                 let r = solver.solve(&a, &b).unwrap();
                 let err = metrics::relative_error(&x_ref, &r.x);
-                assert!(
-                    err < 1e-7,
-                    "{family} n={n} {stages:?}: err={err}"
-                );
+                assert!(err < 1e-7, "{family} n={n} {stages:?}: err={err}");
             }
         }
     }
@@ -94,8 +91,7 @@ fn full_nonideal_stack_runs_end_to_end_with_converters() {
     let (a, b) = wishart_workload(16, 4);
     let x_ref = lu::solve(&a, &b).unwrap();
     let engine = CircuitEngine::new(CircuitEngineConfig::paper_full(), 11);
-    let mut solver =
-        BlockAmcSolver::new(engine, Stages::One).with_io(IoConfig::default_8bit());
+    let mut solver = BlockAmcSolver::new(engine, Stages::One).with_io(IoConfig::default_8bit());
     let r = solver.solve(&a, &b).unwrap();
     let err = metrics::relative_error(&x_ref, &r.x);
     assert!(err.is_finite());
@@ -124,7 +120,10 @@ fn multi_stage_depth_increases_program_count_but_not_error_with_numeric_engine()
     for depth in 1..=3 {
         let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::Multi(depth));
         let r = solver.solve(&a, &b).unwrap();
-        assert!(metrics::relative_error(&x_ref, &r.x) < 1e-8, "depth {depth}");
+        assert!(
+            metrics::relative_error(&x_ref, &r.x) < 1e-8,
+            "depth {depth}"
+        );
         assert!(
             r.stats_delta.program_ops > prev_programs,
             "deeper partitioning must use more arrays"

@@ -85,7 +85,9 @@ fn batch_pipeline_timing_consistent_with_macro_model() {
 
     let mut rng = ChaCha8Rng::seed_from_u64(4);
     let a = generate::wishart_default(12, &mut rng).unwrap();
-    let batch: Vec<Vec<f64>> = (0..8).map(|_| generate::random_vector(12, &mut rng)).collect();
+    let batch: Vec<Vec<f64>> = (0..8)
+        .map(|_| generate::random_vector(12, &mut rng))
+        .collect();
     let spec = OpAmpSpec::ideal();
     let mut engine = NumericEngine::new();
     let mut prep = one_stage::prepare_matrix(&mut engine, &a).unwrap();
@@ -122,16 +124,24 @@ fn program_cost_of_blockamc_preprocessing_is_bounded() {
     let model = ProgramCostModel::typical_rram();
 
     let whole = MatrixMapping::new(&a, &cfg).unwrap();
-    let t_whole = program_cost(whole.g_pos(), 0.05, &model).unwrap().time_row_parallel_s
-        + program_cost(whole.g_neg(), 0.05, &model).unwrap().time_row_parallel_s;
+    let t_whole = program_cost(whole.g_pos(), 0.05, &model)
+        .unwrap()
+        .time_row_parallel_s
+        + program_cost(whole.g_neg(), 0.05, &model)
+            .unwrap()
+            .time_row_parallel_s;
 
     let p = BlockPartition::halves(&a).unwrap();
     let a4s = p.schur_complement().unwrap();
     let mut t_blocks = 0.0;
     for block in [&p.a1, &p.a2, &p.a3, &a4s] {
         let m = MatrixMapping::new(block, &cfg).unwrap();
-        t_blocks += program_cost(m.g_pos(), 0.05, &model).unwrap().time_row_parallel_s;
-        t_blocks += program_cost(m.g_neg(), 0.05, &model).unwrap().time_row_parallel_s;
+        t_blocks += program_cost(m.g_pos(), 0.05, &model)
+            .unwrap()
+            .time_row_parallel_s;
+        t_blocks += program_cost(m.g_neg(), 0.05, &model)
+            .unwrap()
+            .time_row_parallel_s;
     }
     assert!(
         t_blocks <= 2.0 * t_whole + 1e-12,

@@ -63,8 +63,8 @@ fn blockamc_advantage_grows_with_interconnect() {
 fn error_grows_with_size_under_full_nonidealities() {
     // Both Figs. 7 and 9 show error increasing with matrix size.
     let cfg = CircuitEngineConfig::paper_full();
-    let small = median_error(8, Stages::Original, cfg, 12, 30);
-    let large = median_error(64, Stages::Original, cfg, 12, 30);
+    let small = median_error(8, Stages::Original, cfg, 32, 30);
+    let large = median_error(64, Stages::Original, cfg, 32, 30);
     assert!(
         large > small,
         "original-AMC error must grow with size: {small} -> {large}"

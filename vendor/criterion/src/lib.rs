@@ -1,0 +1,209 @@
+//! Minimal offline stand-in for the `criterion` 0.5 API surface this
+//! workspace's benches use: [`Criterion::benchmark_group`],
+//! `bench_with_input` / `bench_function`, [`BenchmarkId`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros, and [`black_box`].
+//!
+//! Instead of criterion's statistical analysis it runs a short
+//! warm-up, then times a fixed-duration measurement loop and prints
+//! mean iteration time — enough to compare orders of magnitude and to
+//! keep `cargo bench` runnable offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, like upstream's `black_box`.
+pub use std::hint::black_box;
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            _name: name.to_string(),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.measurement, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    _name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes the statistical sample count; this harness has no
+    /// sampling statistics, so the call is accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with `input`, labeling the result with `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.to_string(), self.criterion.measurement, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmarks a function with no explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.to_string(), self.criterion.measurement, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, measurement: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        measurement,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("  {label}: no iterations recorded");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+    println!(
+        "  {label}: {:.3} µs/iter ({} iters)",
+        per_iter * 1e6,
+        bencher.iters
+    );
+}
+
+/// Times a closure in a measurement loop.
+pub struct Bencher {
+    measurement: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call (also primes lazy state).
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement {
+                self.iters = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+        }
+    }
+}
+
+/// A benchmark label with an attached parameter, like upstream.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Declares a group of benchmark functions, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, like upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("smoke");
+        let mut count = 0u64;
+        group.bench_with_input(BenchmarkId::new("inc", 1), &1u64, |b, &step| {
+            b.iter(|| {
+                count += step;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn id_formats_with_parameter() {
+        assert_eq!(BenchmarkId::new("solve", 64).to_string(), "solve/64");
+    }
+}

@@ -1,0 +1,93 @@
+//! Distributions: the [`Distribution`] trait and the [`Standard`]
+//! distribution, mirroring `rand::distributions`.
+
+/// A type that can produce values of `T` from a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "standard" distribution: uniform over the natural domain of the
+/// type (`[0, 1)` for floats, all values for integers, fair coin for
+/// `bool`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits, as upstream: uniform on [0, 1).
+        let bits = rng.next_u64() >> 11;
+        bits as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let bits = rng.next_u32() >> 8;
+        bits as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32,
+    i16 => next_u32,
+    i32 => next_u32,
+    i64 => next_u64,
+    isize => next_u64
+);
+
+#[cfg(test)]
+mod tests {
+
+    use crate::{Rng, RngCore};
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(20);
+            self.0
+        }
+    }
+
+    #[test]
+    fn floats_stay_in_unit_interval() {
+        let mut rng = Counter(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = Counter(5);
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((3500..6500).contains(&trues), "trues={trues}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Minimal offline facade for `serde`.
+//!
+//! The workspace's `serde` features only *derive* `Serialize` /
+//! `Deserialize` on plain data types; nothing in-tree serializes
+//! through a format crate yet. This facade therefore ships the two
+//! traits as markers plus derive macros emitting marker impls, which
+//! keeps every `#[cfg_attr(feature = "serde", …)]` compiling offline.
+//! When a real serializer is needed, replace this vendored crate with
+//! upstream serde — the attribute surface is identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_primitives {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_primitives!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}

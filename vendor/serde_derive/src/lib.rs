@@ -1,0 +1,45 @@
+//! Derive macros for the offline `serde` facade: they emit marker-trait
+//! impls (`impl serde::Serialize for T {}`), which is all the facade's
+//! traits require.
+//!
+//! Implemented without `syn`: the macro scans the item's tokens for the
+//! type name following the `struct` / `enum` keyword. Generic types are
+//! not supported (none of the workspace's serde-derived types are
+//! generic).
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde facade derives support only non-generic structs and enums");
+}
+
+/// Derives the facade's marker `Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the facade's marker `Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
