@@ -16,9 +16,14 @@ fn bench_depth(c: &mut Criterion) {
     let (a, b) = make_workload(MatrixFamily::Wishart, n, &mut rng);
     for depth in 0..=3usize {
         group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |bencher, &d| {
+            let stages = if d == 0 {
+                Stages::Original
+            } else {
+                Stages::Multi(d)
+            };
             bencher.iter(|| {
                 let engine = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 1);
-                let mut solver = BlockAmcSolver::new(engine, Stages::Multi(d));
+                let mut solver = BlockAmcSolver::new(engine, stages);
                 std::hint::black_box(solver.solve(&a, &b).expect("solve"));
             });
         });

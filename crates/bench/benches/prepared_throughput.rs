@@ -1,0 +1,91 @@
+//! Benches for the prepared-solver facade (paper §III.B amortization):
+//!
+//! * multi-RHS throughput of one `PreparedSolver` (arrays programmed
+//!   once) vs the reprogram-per-solve convenience path, and
+//! * a depth sweep (d = 1..4) of the per-level `Bus` signal plan — the
+//!   ROADMAP's "deeper-than-2 partitioning benchmarks" with every
+//!   inter-macro value crossing the ADC→DAC data bus.
+
+use amc_bench::{make_workload, MatrixFamily};
+use blockamc::converter::IoConfig;
+use blockamc::engine::{CircuitEngine, CircuitEngineConfig};
+use blockamc::solver::{SignalPlan, SolverConfig, Stages};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const RHS_PER_MATRIX: usize = 16;
+
+fn bench_prepared_vs_reprogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prepared_multi_rhs");
+    group.sample_size(10);
+    let n = 32;
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let (a, _) = make_workload(MatrixFamily::Wishart, n, &mut rng);
+    let batch: Vec<Vec<f64>> = (0..RHS_PER_MATRIX)
+        .map(|_| amc_linalg::generate::random_vector(n, &mut rng))
+        .collect();
+    let config = CircuitEngineConfig::paper_variation();
+    for stages in [Stages::One, Stages::Two] {
+        let label = format!("{stages:?}");
+        group.bench_with_input(
+            BenchmarkId::new("prepare_once", &label),
+            &stages,
+            |bencher, &stages| {
+                bencher.iter(|| {
+                    let mut solver = SolverConfig::builder()
+                        .stages(stages)
+                        .capture_trace(false)
+                        .build(CircuitEngine::new(config, 1))
+                        .expect("valid config");
+                    let mut prepared = solver.prepare(&a).expect("prepare");
+                    std::hint::black_box(prepared.solve_batch(&batch).expect("batch"));
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reprogram_per_solve", &label),
+            &stages,
+            |bencher, &stages| {
+                bencher.iter(|| {
+                    let mut solver = SolverConfig::builder()
+                        .stages(stages)
+                        .capture_trace(false)
+                        .build(CircuitEngine::new(config, 1))
+                        .expect("valid config");
+                    for b in &batch {
+                        std::hint::black_box(solver.solve(&a, b).expect("solve"));
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bus_depth_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bus_plan_depth");
+    group.sample_size(10);
+    let n = 32;
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let (a, b) = make_workload(MatrixFamily::Wishart, n, &mut rng);
+    let config = CircuitEngineConfig::paper_variation();
+    for depth in 1..=4usize {
+        group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |bencher, &d| {
+            let plan = SignalPlan::uniform_bus(d, IoConfig::default_8bit());
+            bencher.iter(|| {
+                let mut solver = SolverConfig::builder()
+                    .stages(Stages::Multi(d))
+                    .signal_plan(plan.clone())
+                    .capture_trace(false)
+                    .build(CircuitEngine::new(config, 1))
+                    .expect("valid config");
+                std::hint::black_box(solver.solve(&a, &b).expect("solve"));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prepared_vs_reprogram, bench_bus_depth_sweep);
+criterion_main!(benches);

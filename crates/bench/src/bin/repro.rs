@@ -104,8 +104,8 @@ fn main() {
 /// Monte-Carlo yield: fraction of manufactured parts (variation draws)
 /// meeting an accuracy spec, per architecture.
 fn yield_report(opts: &Options) {
-    use blockamc::converter::IoConfig;
     use blockamc::montecarlo::yield_analysis;
+    use blockamc::solver::SolverConfig;
 
     banner("Yield — parts meeting an accuracy spec across variation draws");
     let n = 64;
@@ -120,12 +120,15 @@ fn yield_report(opts: &Options) {
     for spec in [0.05, 0.08, 0.12, 0.20] {
         let mut cols = Vec::new();
         for stages in [Stages::Original, Stages::One, Stages::Two] {
+            let solver = SolverConfig::builder()
+                .stages(stages)
+                .finish()
+                .expect("valid architecture");
             match yield_analysis(
                 &a,
                 &b,
-                stages,
+                &solver,
                 CircuitEngineConfig::paper_variation(),
-                &IoConfig::ideal(),
                 spec,
                 trials,
                 0x41E1D,
@@ -226,7 +229,14 @@ fn ablation(opts: &Options) {
 
     banner("Ablation C — partitioning depth (numeric engine, n = 64)");
     for depth in 0..=4usize {
-        let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::Multi(depth));
+        // Depth 0 is the single-array baseline (`Multi(0)` is rejected
+        // by config validation).
+        let stages = if depth == 0 {
+            Stages::Original
+        } else {
+            Stages::Multi(depth)
+        };
+        let mut solver = BlockAmcSolver::new(NumericEngine::new(), stages);
         match solver.solve(&a, &b) {
             Ok(r) => println!(
                 "  depth {depth}: rel. error {:.3e}, {:>3} arrays programmed, {} INV + {} MVM ops",

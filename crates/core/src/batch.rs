@@ -4,24 +4,23 @@
 //! algorithm … improv\[es\] the throughput of the system" (paper §III.B):
 //! while problem *k* drains through steps 3–5, problem *k+1* can already
 //! occupy the earlier phases. This module solves a batch of right-hand
-//! sides against one prepared macro (arrays programmed once — matrices
-//! are nonvolatile) and reports both the solutions and the
+//! sides against one prepared facade solver (arrays programmed once —
+//! matrices are nonvolatile) and reports both the solutions and the
 //! pipelined/unpipelined timing derived from the macro model.
 //!
-//! Each solve runs through the shared recursive cascade core (see
-//! [`crate::multi_stage`]); sharding a batch across *multiple*
-//! independently-programmed macros is a ROADMAP item the unified core
-//! now enables.
+//! Batches run through [`crate::solver::PreparedSolver::solve_batch`],
+//! so any architecture and per-level signal plan the facade supports can
+//! be batched; sharding a batch across *multiple* independently-prepared
+//! solvers is a ROADMAP item the prepared facade now enables.
 
 use amc_circuit::opamp::OpAmpSpec;
 use amc_circuit::timing;
 use amc_linalg::Matrix;
 
-use crate::converter::IoConfig;
 use crate::engine::AmcEngine;
 use crate::macro_model::MacroTiming;
-use crate::one_stage::{self, PreparedOneStage};
-use crate::{BlockAmcError, Result};
+use crate::solver::BlockAmcSolver;
+use crate::Result;
 
 /// Result of a batch solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,32 +72,34 @@ pub fn phase_settle_times(a: &Matrix, opamp: &OpAmpSpec) -> Result<[f64; 5]> {
     Ok([inv1, mvm2, inv3, mvm4, inv1])
 }
 
-/// Solves a batch of right-hand sides against one prepared one-stage
-/// macro and derives the pipeline timing.
+/// Prepares `a` once on the facade solver, solves every right-hand side
+/// of `batch` against the programmed arrays, and derives the pipeline
+/// timing; `conversion_s` is the DAC/ADC conversion time.
 ///
-/// `a` must be the matrix `prepared` was built from (used only for the
-/// timing estimate); `conversion_s` is the DAC/ADC conversion time.
+/// The timing model describes the one-stage macro's five phases (the
+/// midpoint partition of `a`), matching the paper's pipelining analysis;
+/// the solutions honour whatever architecture and signal plan `solver`
+/// is configured with.
 ///
 /// # Errors
 ///
-/// * [`BlockAmcError::InvalidConfig`] for an empty batch.
-/// * Shape and engine failures per solve.
-pub fn solve_batch<E: AmcEngine + ?Sized>(
-    engine: &mut E,
-    prepared: &mut PreparedOneStage,
+/// * [`crate::BlockAmcError::InvalidConfig`] for an empty batch.
+/// * Preparation, shape, and engine failures per solve.
+pub fn solve_batch<E: AmcEngine>(
+    solver: &mut BlockAmcSolver<E>,
     a: &Matrix,
     batch: &[Vec<f64>],
-    io: &IoConfig,
     opamp: &OpAmpSpec,
     conversion_s: f64,
 ) -> Result<BatchSolution> {
+    // Reject before programming: a failed call must not consume the
+    // engine's variation stream or pollute its stats.
     if batch.is_empty() {
-        return Err(BlockAmcError::config("batch must contain at least one RHS"));
+        return Err(crate::BlockAmcError::config(
+            "batch must contain at least one RHS",
+        ));
     }
-    let mut solutions = Vec::with_capacity(batch.len());
-    for b in batch {
-        solutions.push(one_stage::solve(engine, prepared, b, io)?.x);
-    }
+    let solutions = solver.prepare(a)?.solve_batch(batch)?;
     let phases = phase_settle_times(a, opamp)?;
     let timing = MacroTiming::from_phase_times(phases, conversion_s)?;
     let k = batch.len() as f64;
@@ -117,6 +118,7 @@ pub fn solve_batch<E: AmcEngine + ?Sized>(
 mod tests {
     use super::*;
     use crate::engine::NumericEngine;
+    use crate::solver::Stages;
     use amc_linalg::{generate, lu, vector};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -130,21 +132,15 @@ mod tests {
         (a, batch)
     }
 
+    fn one_stage_solver() -> BlockAmcSolver<NumericEngine> {
+        BlockAmcSolver::new(NumericEngine::new(), Stages::One)
+    }
+
     #[test]
     fn batch_solutions_match_individual_solves() {
         let (a, batch) = setup(12);
-        let mut engine = NumericEngine::new();
-        let mut prep = one_stage::prepare_matrix(&mut engine, &a).unwrap();
-        let out = solve_batch(
-            &mut engine,
-            &mut prep,
-            &a,
-            &batch,
-            &IoConfig::ideal(),
-            &OpAmpSpec::ideal(),
-            1e-7,
-        )
-        .unwrap();
+        let mut solver = one_stage_solver();
+        let out = solve_batch(&mut solver, &a, &batch, &OpAmpSpec::ideal(), 1e-7).unwrap();
         assert_eq!(out.solutions.len(), 4);
         for (b, x) in batch.iter().zip(&out.solutions) {
             let x_ref = lu::solve(&a, b).unwrap();
@@ -155,20 +151,25 @@ mod tests {
     #[test]
     fn arrays_programmed_once_for_the_whole_batch() {
         let (a, batch) = setup(8);
-        let mut engine = NumericEngine::new();
-        let mut prep = one_stage::prepare_matrix(&mut engine, &a).unwrap();
-        let _ = solve_batch(
-            &mut engine,
-            &mut prep,
-            &a,
-            &batch,
-            &IoConfig::ideal(),
-            &OpAmpSpec::ideal(),
-            0.0,
-        )
-        .unwrap();
-        assert_eq!(engine.stats().program_ops, 4); // A1, A2, A3, A4s once
-        assert_eq!(engine.stats().inv_ops, 3 * 4); // 3 INVs per solve
+        let mut solver = one_stage_solver();
+        let _ = solve_batch(&mut solver, &a, &batch, &OpAmpSpec::ideal(), 0.0).unwrap();
+        assert_eq!(solver.engine().stats().program_ops, 4); // A1, A2, A3, A4s once
+        assert_eq!(solver.engine().stats().inv_ops, 3 * 4); // 3 INVs per solve
+    }
+
+    #[test]
+    fn batch_runs_any_architecture() {
+        // The pre-redesign API could only batch the one-stage module
+        // path; the facade routing batches deeper cascades too.
+        let (a, batch) = setup(16);
+        let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::Two);
+        let out = solve_batch(&mut solver, &a, &batch, &OpAmpSpec::ideal(), 0.0).unwrap();
+        for (b, x) in batch.iter().zip(&out.solutions) {
+            let x_ref = lu::solve(&a, b).unwrap();
+            assert!(vector::approx_eq(x, &x_ref, 1e-8));
+        }
+        // 16 quarter-size arrays, programmed once for the whole batch.
+        assert_eq!(solver.engine().stats().program_ops, 16);
     }
 
     #[test]
@@ -178,18 +179,8 @@ mod tests {
         let batch: Vec<Vec<f64>> = (0..50)
             .map(|_| generate::random_vector(8, &mut rng))
             .collect();
-        let mut engine = NumericEngine::new();
-        let mut prep = one_stage::prepare_matrix(&mut engine, &a).unwrap();
-        let out = solve_batch(
-            &mut engine,
-            &mut prep,
-            &a,
-            &batch,
-            &IoConfig::ideal(),
-            &OpAmpSpec::ideal(),
-            0.0,
-        )
-        .unwrap();
+        let mut solver = one_stage_solver();
+        let out = solve_batch(&mut solver, &a, &batch, &OpAmpSpec::ideal(), 0.0).unwrap();
         let speedup = out.pipeline_speedup();
         assert!(speedup > 3.0, "speedup {speedup}");
         assert!(speedup <= 5.0 + 1e-9);
@@ -204,19 +195,11 @@ mod tests {
     }
 
     #[test]
-    fn empty_batch_rejected() {
+    fn empty_batch_rejected_before_any_programming() {
         let (a, _) = setup(8);
-        let mut engine = NumericEngine::new();
-        let mut prep = one_stage::prepare_matrix(&mut engine, &a).unwrap();
-        assert!(solve_batch(
-            &mut engine,
-            &mut prep,
-            &a,
-            &[],
-            &IoConfig::ideal(),
-            &OpAmpSpec::ideal(),
-            0.0
-        )
-        .is_err());
+        let mut solver = one_stage_solver();
+        assert!(solve_batch(&mut solver, &a, &[], &OpAmpSpec::ideal(), 0.0).is_err());
+        // Validation precedes side effects: no arrays were programmed.
+        assert_eq!(solver.engine().stats().program_ops, 0);
     }
 }

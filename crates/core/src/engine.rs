@@ -127,7 +127,7 @@ impl<E: AmcEngine + ?Sized> crate::multi_stage::InvExec<E> for Operand {
         &mut self,
         engine: &mut E,
         b: &[f64],
-        _io: &crate::converter::IoConfig,
+        _path: crate::multi_stage::SignalPath<'_>,
         _log: &mut crate::multi_stage::TraceLog,
     ) -> Result<Vec<f64>> {
         engine.inv(self, b)

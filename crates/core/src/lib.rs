@@ -32,15 +32,22 @@
 //!   mapping, programming variation, wire resistance, finite op-amp gain,
 //!   and optional DAC/ADC quantization.
 //!
-//! [`solver::BlockAmcSolver`] is the high-level facade; [`macro_model`]
-//! describes the reconfigurable hardware macro (clock phases S0–S4,
-//! transmission-gate topologies, S&H pipelining) and its timing.
+//! [`solver::BlockAmcSolver`] is the high-level facade, configured
+//! through [`solver::SolverConfig::builder`]: pick an architecture
+//! ([`solver::Stages`]), a per-level signal-path plan
+//! ([`solver::SignalPlan`]), and a split rule ([`solver::SplitRule`]),
+//! then [`solver::BlockAmcSolver::prepare`] programs every array once
+//! and the returned [`solver::PreparedSolver`] amortizes that
+//! programming over any number of right-hand sides (§III.B).
+//! [`macro_model`] describes the reconfigurable hardware macro (clock
+//! phases S0–S4, transmission-gate topologies, S&H pipelining) and its
+//! timing.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use blockamc::engine::NumericEngine;
-//! use blockamc::solver::{BlockAmcSolver, Stages};
+//! use blockamc::solver::{SolverConfig, Stages};
 //! use amc_linalg::{generate, Matrix};
 //! use rand::SeedableRng;
 //!
@@ -49,13 +56,37 @@
 //! let a = generate::wishart_default(8, &mut rng)?;
 //! let b = generate::random_vector(8, &mut rng);
 //!
-//! let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
-//! let report = solver.solve(&a, &b)?;
+//! let mut solver = SolverConfig::builder()
+//!     .stages(Stages::One)
+//!     .build(NumericEngine::new())?;
+//!
+//! // Program the arrays once, then solve any number of right-hand sides.
+//! let mut prepared = solver.prepare(&a)?;
+//! let report = prepared.solve(&b)?;
 //! let residual = amc_linalg::vector::sub(&a.matvec(&report.x)?, &b);
 //! assert!(amc_linalg::vector::norm2(&residual) < 1e-9);
+//! assert_eq!(report.stats_delta.program_ops, 0); // arrays were reused
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Migrating from the module-level APIs
+//!
+//! The [`one_stage`] and [`two_stage`] modules remain available as the
+//! low-level execution layer (and as the reference the facade is pinned
+//! bit-identical to, see `tests/solver_equivalence.rs`), but new code
+//! should drive the facade instead — it subsumes them:
+//!
+//! | legacy call | builder equivalent |
+//! |-------------|--------------------|
+//! | `one_stage::prepare_matrix` + `one_stage::solve(.., io)` | `SolverConfig::builder().stages(Stages::One).io(io)` → `prepare` → `solve` |
+//! | `two_stage::prepare` + `two_stage::solve(.., io)` | `SolverConfig::builder().stages(Stages::Two).io(io)` → `prepare` → `solve` |
+//! | `multi_stage::prepare(depth)` + `multi_stage::solve` | `SolverConfig::builder().stages(Stages::Multi(depth))` → `prepare` → `solve` |
+//!
+//! The facade adds what the modules hard-wired: per-level signal plans
+//! ([`solver::SignalPlan`]), searched splits
+//! ([`solver::SplitRule::Searched`]), trace-capture control, and the
+//! prepare/solve split for multi-RHS workloads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -4,17 +4,17 @@
 //! hardware designer the more actionable statistic is *yield*: across
 //! device-variation draws (i.e. across manufactured parts), what fraction
 //! of solvers meets an accuracy specification? This module runs that
-//! analysis for any solver architecture and configuration.
+//! analysis for any facade [`SolverConfig`] — architecture, per-level
+//! signal plan, and split rule included.
 //!
-//! All architectures execute on the unified recursive cascade core
+//! All configurations execute on the unified recursive cascade core
 //! ([`crate::multi_stage`]), so yield differences measured here isolate
 //! array count, size, and signal path — not implementation drift.
 
 use amc_linalg::{lu, metrics, Matrix};
 
-use crate::converter::IoConfig;
 use crate::engine::{CircuitEngine, CircuitEngineConfig};
-use crate::solver::{BlockAmcSolver, Stages};
+use crate::solver::{BlockAmcSolver, SolverConfig, Stages};
 use crate::{BlockAmcError, Result};
 
 /// Result of a yield run.
@@ -43,25 +43,24 @@ impl YieldReport {
     }
 }
 
-/// Runs `trials` independent device-variation draws of one solver on a
-/// fixed workload and reports the pass fraction against `spec`.
+/// Runs `trials` independent device-variation draws of one solver
+/// configuration on a fixed workload and reports the pass fraction
+/// against `spec`.
 ///
 /// Each trial programs fresh arrays (a new "manufactured part") from
 /// `engine_seed + trial`, so results are reproducible.
 ///
 /// # Errors
 ///
-/// * [`BlockAmcError::InvalidConfig`] if `trials == 0` or `spec` is not
-///   positive.
+/// * [`BlockAmcError::InvalidConfig`] if `trials == 0`, `spec` is not
+///   positive, or `solver` is invalid for the workload size.
 /// * Propagates reference-solution failures (a singular workload matrix).
 ///   Per-trial analog failures are *counted*, not propagated.
-#[allow(clippy::too_many_arguments)] // established public API; a config struct would break callers
 pub fn yield_analysis(
     a: &Matrix,
     b: &[f64],
-    stages: Stages,
-    config: CircuitEngineConfig,
-    io: &IoConfig,
+    solver: &SolverConfig,
+    circuit: CircuitEngineConfig,
     spec: f64,
     trials: usize,
     engine_seed: u64,
@@ -74,13 +73,14 @@ pub fn yield_analysis(
     if !(spec > 0.0 && spec.is_finite()) {
         return Err(BlockAmcError::config("spec must be positive and finite"));
     }
+    solver.validate_for_size(a.rows())?;
     let x_ref = lu::solve(a, b)?;
     let mut errors = Vec::with_capacity(trials);
     let mut passing = 0usize;
     for t in 0..trials {
-        let engine = CircuitEngine::new(config, engine_seed.wrapping_add(t as u64));
-        let mut solver = BlockAmcSolver::new(engine, stages).with_io(*io);
-        if let Ok(report) = solver.solve(a, b) {
+        let engine = CircuitEngine::new(circuit, engine_seed.wrapping_add(t as u64));
+        let mut facade = BlockAmcSolver::from_config(engine, solver.clone());
+        if let Ok(report) = facade.solve(a, b) {
             let err = metrics::relative_error(&x_ref, &report.x);
             if err.is_finite() {
                 if err <= spec {
@@ -99,8 +99,9 @@ pub fn yield_analysis(
     })
 }
 
-/// Convenience: yields of all three architectures on one workload,
-/// in the paper's comparison order (original, one-stage, two-stage).
+/// Convenience: yields of all three architectures on one workload with
+/// default configurations, in the paper's comparison order (original,
+/// one-stage, two-stage).
 ///
 /// # Errors
 ///
@@ -113,21 +114,11 @@ pub fn compare_yields(
     trials: usize,
     engine_seed: u64,
 ) -> Result<[YieldReport; 3]> {
-    let io = IoConfig::ideal();
-    Ok([
-        yield_analysis(
-            a,
-            b,
-            Stages::Original,
-            config,
-            &io,
-            spec,
-            trials,
-            engine_seed,
-        )?,
-        yield_analysis(a, b, Stages::One, config, &io, spec, trials, engine_seed)?,
-        yield_analysis(a, b, Stages::Two, config, &io, spec, trials, engine_seed)?,
-    ])
+    let run = |stages: Stages| -> Result<YieldReport> {
+        let solver = SolverConfig::builder().stages(stages).finish()?;
+        yield_analysis(a, b, &solver, config, spec, trials, engine_seed)
+    };
+    Ok([run(Stages::Original)?, run(Stages::One)?, run(Stages::Two)?])
 }
 
 #[cfg(test)]
@@ -144,15 +135,21 @@ mod tests {
         (a, b)
     }
 
+    fn one_stage() -> SolverConfig {
+        SolverConfig::builder()
+            .stages(Stages::One)
+            .finish()
+            .unwrap()
+    }
+
     #[test]
     fn ideal_stack_yields_100_percent() {
         let (a, b) = workload(12);
         let r = yield_analysis(
             &a,
             &b,
-            Stages::One,
+            &one_stage(),
             CircuitEngineConfig::ideal(),
-            &IoConfig::ideal(),
             1e-6,
             5,
             0,
@@ -169,9 +166,8 @@ mod tests {
         let r = yield_analysis(
             &a,
             &b,
-            Stages::One,
+            &one_stage(),
             CircuitEngineConfig::paper_variation(),
-            &IoConfig::ideal(),
             1e-6, // far below the 5%-variation error floor
             6,
             0,
@@ -187,9 +183,8 @@ mod tests {
         let r = yield_analysis(
             &a,
             &b,
-            Stages::One,
+            &one_stage(),
             CircuitEngineConfig::paper_variation(),
-            &IoConfig::ideal(),
             0.5,
             6,
             0,
@@ -205,9 +200,8 @@ mod tests {
             yield_analysis(
                 &a,
                 &b,
-                Stages::One,
+                &one_stage(),
                 CircuitEngineConfig::paper_variation(),
-                &IoConfig::ideal(),
                 spec,
                 8,
                 3,
@@ -238,9 +232,8 @@ mod tests {
         assert!(yield_analysis(
             &a,
             &b,
-            Stages::One,
+            &one_stage(),
             CircuitEngineConfig::ideal(),
-            &IoConfig::ideal(),
             0.1,
             0,
             0
@@ -249,14 +242,22 @@ mod tests {
         assert!(yield_analysis(
             &a,
             &b,
-            Stages::One,
+            &one_stage(),
             CircuitEngineConfig::ideal(),
-            &IoConfig::ideal(),
             0.0,
             3,
             0
         )
         .is_err());
+        // An invalid solver config is rejected before any trial runs.
+        let bad = SolverConfig::builder()
+            .stages(Stages::Multi(5))
+            .finish()
+            .unwrap();
+        assert!(
+            yield_analysis(&a, &b, &bad, CircuitEngineConfig::ideal(), 0.1, 3, 0).is_err(),
+            "depth 5 must be rejected on an 8x8 workload"
+        );
     }
 
     #[test]
@@ -266,9 +267,8 @@ mod tests {
             yield_analysis(
                 &a,
                 &b,
-                Stages::One,
+                &one_stage(),
                 CircuitEngineConfig::paper_variation(),
-                &IoConfig::ideal(),
                 0.1,
                 4,
                 9,

@@ -8,25 +8,26 @@
 //! generalization — and, since the one-stage and two-stage solvers are
 //! just depth-1 and depth-2 instances of the same five-step cascade,
 //! it also hosts the one implementation of that cascade
-//! ([`run_cascade`]) that [`crate::one_stage`] and [`crate::two_stage`]
-//! delegate to.
+//! (`run_cascade`, crate-internal) that [`crate::one_stage`] and
+//! [`crate::two_stage`] delegate to.
 //!
 //! The cascade is written once over two small traits:
 //!
-//! * [`InvExec`] — "something that can run a (signed) INV": a programmed
+//! * `InvExec` — "something that can run a (signed) INV": a programmed
 //!   array ([`Operand`]), a prepared one-stage macro, or a deeper
-//!   partition-tree [`Node`];
-//! * [`MvmExec`] — "something that can run a (signed) MVM": a whole
+//!   partition-tree node;
+//! * `MvmExec` — "something that can run a (signed) MVM": a whole
 //!   array or a quadrant-tiled one ([`crate::two_stage::TiledMvm`]).
 //!
-//! What distinguishes the three public solvers is only their *signal
-//! path*, captured by [`StageIo`]:
+//! What distinguishes the solvers is only their *signal path*, captured
+//! per cascade level by [`LevelIo`] and assembled into a per-level
+//! [`SignalPlan`]:
 //!
 //! | Policy  | Entry   | Between steps        | Exit   | Used by |
 //! |---------|---------|----------------------|--------|---------|
 //! | `Macro` | DAC     | S&H cascades         | ADC    | [`crate::one_stage`] (and the inner macros of two-stage) |
 //! | `Bus`   | DAC     | ADC→DAC bus hops     | ADC    | [`crate::two_stage`] first stage |
-//! | `Pure`  | —       | — (ideal analog)     | —      | this module's [`Node`] recursion |
+//! | `Pure`  | —       | — (ideal analog)     | —      | this module's tree recursion (default) |
 //!
 //! MVM blocks are executed directly on engine arrays at their natural
 //! block size by default (forward partitioning of MVM is routine —
@@ -59,6 +60,170 @@ pub(crate) enum StageIo {
     /// "converted and stored in the main memory, which in turn will be
     /// converted back", i.e. crosses ADC then DAC.
     Bus,
+}
+
+/// Signal-path policy of one cascade level, with its converter
+/// configuration — the public, per-level generalization of the
+/// hard-wired Macro-at-leaf / Bus-at-two-stage layout.
+///
+/// A [`SignalPlan`] assigns one `LevelIo` to each cascade depth: the
+/// root cascade is level 0, its `A1`/`A4s` sub-solvers are level 1, and
+/// so on. Levels beyond the plan run [`LevelIo::Pure`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LevelIo {
+    /// Ideal analog recursion: no converters, no hops (the default for
+    /// levels a plan does not mention).
+    Pure,
+    /// A reconfigurable macro level: DAC at entry, S&H hops between the
+    /// five steps, ADC at exit, per-step trace records.
+    Macro(IoConfig),
+    /// A bus-connected level (paper §III.C): external inputs cross the
+    /// DAC, and every inter-macro value crosses ADC then DAC on its way
+    /// through main memory.
+    Bus(IoConfig),
+}
+
+impl LevelIo {
+    /// The converter configuration of this level (`None` for
+    /// [`LevelIo::Pure`]).
+    pub fn io(&self) -> Option<&IoConfig> {
+        match self {
+            LevelIo::Pure => None,
+            LevelIo::Macro(io) | LevelIo::Bus(io) => Some(io),
+        }
+    }
+
+    /// Splits into the internal cascade policy and the level's
+    /// converter configuration (ideal for `Pure`).
+    pub(crate) fn stage_io(&self) -> (StageIo, IoConfig) {
+        match self {
+            LevelIo::Pure => (StageIo::Pure, IoConfig::ideal()),
+            LevelIo::Macro(io) => (StageIo::Macro, *io),
+            LevelIo::Bus(io) => (StageIo::Bus, *io),
+        }
+    }
+
+    /// Validates the level's converter configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IoConfig::validate`] failures.
+    pub fn validate(&self) -> Result<()> {
+        match self.io() {
+            Some(io) => io.validate(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A per-level signal-path plan for a cascade of any depth.
+///
+/// Entry `k` of the plan is applied at cascade level `k` (the root is
+/// level 0); levels past the end of the plan run ideal analog
+/// ([`LevelIo::Pure`]). The paper's two solvers are the two smallest
+/// instances: the one-stage macro is `[Macro]` and the two-stage
+/// bus-connected architecture is `[Bus, Macro]` — see
+/// [`SignalPlan::paper`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SignalPlan {
+    levels: Vec<LevelIo>,
+}
+
+impl SignalPlan {
+    /// The fully analog plan: every level is [`LevelIo::Pure`].
+    pub fn pure() -> Self {
+        SignalPlan { levels: Vec::new() }
+    }
+
+    /// Builds a plan from explicit per-level entries (entry 0 = root).
+    pub fn from_levels(levels: Vec<LevelIo>) -> Self {
+        SignalPlan { levels }
+    }
+
+    /// The paper's architecture at the given depth: bus-connected levels
+    /// above, one macro level at the bottom of the cascade. `paper(1)`
+    /// is the one-stage macro (`[Macro]`), `paper(2)` the two-stage
+    /// bus-connected solver (`[Bus, Macro]`), `paper(3)` adds one more
+    /// bus hop (`[Bus, Bus, Macro]`), and so on. `paper(0)` treats the
+    /// single array as a macro (DAC in, ADC out).
+    pub fn paper(depth: usize, io: IoConfig) -> Self {
+        let mut levels = vec![LevelIo::Bus(io); depth.saturating_sub(1)];
+        levels.push(LevelIo::Macro(io));
+        SignalPlan { levels }
+    }
+
+    /// A bus hop at every one of `depth` levels — the configuration for
+    /// studying how many ADC/DAC crossings deep cascades tolerate.
+    /// `uniform_bus(0, ..)` is the empty (fully pure) plan.
+    pub fn uniform_bus(depth: usize, io: IoConfig) -> Self {
+        SignalPlan {
+            levels: vec![LevelIo::Bus(io); depth],
+        }
+    }
+
+    /// Replaces the entry at `level`, padding intermediate levels with
+    /// [`LevelIo::Pure`] if the plan is shorter.
+    pub fn with_level(mut self, level: usize, entry: LevelIo) -> Self {
+        if self.levels.len() <= level {
+            self.levels.resize(level + 1, LevelIo::Pure);
+        }
+        self.levels[level] = entry;
+        self
+    }
+
+    /// The explicit entries of the plan (levels beyond run `Pure`).
+    pub fn levels(&self) -> &[LevelIo] {
+        &self.levels
+    }
+
+    /// The entry applied at cascade level `k`.
+    pub fn level(&self, k: usize) -> LevelIo {
+        self.levels.get(k).copied().unwrap_or(LevelIo::Pure)
+    }
+
+    /// Validates every level's converter configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IoConfig::validate`] failures.
+    pub fn validate(&self) -> Result<()> {
+        for level in &self.levels {
+            level.validate()?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn path(&self) -> SignalPath<'_> {
+        SignalPath::new(&self.levels)
+    }
+}
+
+/// A borrowed suffix of a [`SignalPlan`], threaded down the cascade:
+/// the head entry is the current level's policy, the tail is what the
+/// `A1`/`A4s` sub-executors receive.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SignalPath<'a> {
+    levels: &'a [LevelIo],
+}
+
+impl<'a> SignalPath<'a> {
+    pub(crate) fn new(levels: &'a [LevelIo]) -> Self {
+        SignalPath { levels }
+    }
+
+    fn head(&self) -> LevelIo {
+        self.levels.first().copied().unwrap_or(LevelIo::Pure)
+    }
+
+    fn tail(&self) -> SignalPath<'a> {
+        SignalPath {
+            levels: if self.levels.is_empty() {
+                self.levels
+            } else {
+                &self.levels[1..]
+            },
+        }
+    }
 }
 
 /// Trace sink threaded through a cascade.
@@ -120,7 +285,7 @@ pub(crate) trait InvExec<E: AmcEngine + ?Sized> {
         &mut self,
         engine: &mut E,
         b: &[f64],
-        io: &IoConfig,
+        path: SignalPath<'_>,
         log: &mut TraceLog,
     ) -> Result<Vec<f64>>;
 }
@@ -135,6 +300,10 @@ pub(crate) trait MvmExec<E: AmcEngine + ?Sized> {
 /// Executes the paper's five-step algorithm (Fig. 2 / Algorithm 1) once,
 /// for every solver in the crate. Returns `−x` so that cascades compose.
 ///
+/// The head of `path` is this cascade's signal-path policy; the tail is
+/// handed to the `A1`/`A4s` executors, so a multi-level [`SignalPlan`]
+/// descends the tree one entry per stage.
+///
 /// Zero blocks (`a2`/`a3` = `None`) skip their MVM step entirely:
 /// `g_t`/`f_t` are zero and nothing is recorded, exactly as the hardware
 /// would leave those arrays unprogrammed.
@@ -147,8 +316,7 @@ pub(crate) fn run_cascade<E, I, M>(
     a2: Option<&mut M>,
     a3: Option<&mut M>,
     b: &[f64],
-    io: &IoConfig,
-    policy: StageIo,
+    path: SignalPath<'_>,
     log: &mut TraceLog,
 ) -> Result<Vec<f64>>
 where
@@ -156,6 +324,9 @@ where
     I: InvExec<E>,
     M: MvmExec<E>,
 {
+    let (policy, io) = path.head().stage_io();
+    let io = &io;
+    let inner = path.tail();
     let bottom = b.len() - split;
     // External inputs cross the DAC at macro/bus entries; the pure
     // recursion stays analog.
@@ -168,11 +339,11 @@ where
     // Step 1: INV(A1, f) -> −y_t = −A1⁻¹·f.
     let neg_yt = match policy {
         StageIo::Bus => {
-            let c1 = a1.inv_signed(engine, &f, io, &mut TraceLog::disabled())?;
+            let c1 = a1.inv_signed(engine, &f, inner, &mut TraceLog::disabled())?;
             bus(&c1)
         }
         _ => {
-            let out = a1.inv_signed(engine, &f, io, &mut TraceLog::disabled())?;
+            let out = a1.inv_signed(engine, &f, inner, &mut TraceLog::disabled())?;
             log.record(StepId::Inv1, &f, &out);
             out
         }
@@ -209,7 +380,7 @@ where
             // the bus-connected architecture observes them.
             let rhs3 = vector::sub(&g, &gt);
             let mut sub = TraceLog::new(log.enabled);
-            let c3 = a4s.inv_signed(engine, &rhs3, io, &mut sub)?;
+            let c3 = a4s.inv_signed(engine, &rhs3, inner, &mut sub)?;
             log.capture_inner("A4s", sub);
             vector::neg(&c3)
         }
@@ -218,7 +389,7 @@ where
                 StageIo::Macro => vector::sub(&io.apply_sh(&gt), &g),
                 _ => vector::sub(&gt, &g),
             };
-            let out = a4s.inv_signed(engine, &input3, io, &mut TraceLog::disabled())?;
+            let out = a4s.inv_signed(engine, &input3, inner, &mut TraceLog::disabled())?;
             log.record(StepId::Inv3, &input3, &out);
             out
         }
@@ -263,12 +434,12 @@ where
     let c5 = match policy {
         StageIo::Bus => {
             let mut sub = TraceLog::new(log.enabled);
-            let c5 = a1.inv_signed(engine, &input5, io, &mut sub)?;
+            let c5 = a1.inv_signed(engine, &input5, inner, &mut sub)?;
             log.capture_inner("A1", sub);
             c5
         }
         _ => {
-            let out = a1.inv_signed(engine, &input5, io, &mut TraceLog::disabled())?;
+            let out = a1.inv_signed(engine, &input5, inner, &mut TraceLog::disabled())?;
             log.record(StepId::Inv5, &input5, &out);
             out
         }
@@ -420,7 +591,7 @@ impl<E: AmcEngine + ?Sized> InvExec<E> for Node {
         &mut self,
         engine: &mut E,
         b: &[f64],
-        io: &IoConfig,
+        path: SignalPath<'_>,
         log: &mut TraceLog,
     ) -> Result<Vec<f64>> {
         match self {
@@ -439,8 +610,7 @@ impl<E: AmcEngine + ?Sized> InvExec<E> for Node {
                 a2.as_mut(),
                 a3.as_mut(),
                 b,
-                io,
-                StageIo::Pure,
+                path,
                 log,
             ),
         }
@@ -641,7 +811,8 @@ pub fn prepare<E: AmcEngine + ?Sized>(
     prepare_plan(engine, a, &PartitionPlan::depth(depth))
 }
 
-/// Solves `A·x = b` with the prepared partition tree.
+/// Solves `A·x = b` with the prepared partition tree and a fully analog
+/// signal path (every level [`LevelIo::Pure`]).
 ///
 /// # Errors
 ///
@@ -651,6 +822,24 @@ pub fn solve<E: AmcEngine + ?Sized>(
     prepared: &mut PreparedMultiStage,
     b: &[f64],
 ) -> Result<Vec<f64>> {
+    let (x, _) = solve_with_signal(engine, prepared, b, &SignalPlan::pure(), false)?;
+    Ok(x)
+}
+
+/// Solves `A·x = b` with a per-level [`SignalPlan`], returning the
+/// solution together with the trace log the cascade recorded (empty
+/// unless `capture` is set and the root level is `Macro`/`Bus`).
+///
+/// A depth-0 tree (single array) under a `Macro`/`Bus` root level runs
+/// as a single-array macro: DAC at entry, one INV, ADC at exit — the
+/// paper's "original AMC" baseline with its digital boundary.
+pub(crate) fn solve_with_signal<E: AmcEngine + ?Sized>(
+    engine: &mut E,
+    prepared: &mut PreparedMultiStage,
+    b: &[f64],
+    signal: &SignalPlan,
+    capture: bool,
+) -> Result<(Vec<f64>, TraceLog)> {
     if b.len() != prepared.n {
         return Err(BlockAmcError::ShapeMismatch {
             op: "multi_stage_solve",
@@ -658,11 +847,25 @@ pub fn solve<E: AmcEngine + ?Sized>(
             got: b.len(),
         });
     }
-    let neg_x =
-        prepared
-            .root
-            .inv_signed(engine, b, &IoConfig::ideal(), &mut TraceLog::disabled())?;
-    Ok(vector::neg(&neg_x))
+    signal.validate()?;
+    let mut log = if capture {
+        TraceLog::enabled()
+    } else {
+        TraceLog::disabled()
+    };
+    let path = signal.path();
+    let neg_x = match (&mut prepared.root, signal.level(0)) {
+        // A leaf root has no cascade to apply the boundary converters,
+        // so the macro/bus digital boundary is applied here.
+        (root @ Node::Leaf(_), LevelIo::Macro(io) | LevelIo::Bus(io)) => {
+            io.validate()?;
+            let input = io.apply_dac(b);
+            let out = root.inv_signed(engine, &input, path, &mut log)?;
+            io.apply_adc(&out)
+        }
+        (root, _) => root.inv_signed(engine, b, path, &mut log)?,
+    };
+    Ok((vector::neg(&neg_x), log))
 }
 
 #[cfg(test)]

@@ -20,12 +20,20 @@
 //! Signals cascade through sample-and-hold buffers between steps; external
 //! inputs (`f`, `g`) enter through the DAC and the solution parts (`z`,
 //! `−y`) leave through the ADC — see [`crate::converter::IoConfig`].
+//!
+//! **Migration note:** this module is the low-level execution layer.
+//! Prefer the builder facade —
+//! `SolverConfig::builder().stages(Stages::One).io(io)` followed by
+//! [`crate::solver::BlockAmcSolver::prepare`] — which is pinned
+//! bit-identical to these functions and adds searched splits, per-level
+//! signal plans, and multi-RHS batching (see the crate-level migration
+//! table).
 
 use amc_linalg::{vector, Matrix};
 
 use crate::converter::IoConfig;
 use crate::engine::{AmcEngine, Operand};
-use crate::multi_stage::{run_cascade, InvExec, StageIo, TraceLog};
+use crate::multi_stage::{run_cascade, InvExec, LevelIo, SignalPath, TraceLog};
 use crate::partition::BlockPartition;
 use crate::Result;
 
@@ -165,7 +173,7 @@ pub fn prepare_matrix<E: AmcEngine + ?Sized>(
 /// Executes the five-step algorithm for one right-hand side.
 ///
 /// The cascade itself lives in the recursive execution core
-/// ([`crate::multi_stage::run_cascade`]); this wrapper contributes the
+/// (`run_cascade` in [`crate::multi_stage`]); this wrapper contributes the
 /// macro signal path (DAC entry, S&H hops, ADC exit), the per-step
 /// trace, and the digital negation of the upper solution half.
 ///
@@ -189,7 +197,8 @@ pub fn solve<E: AmcEngine + ?Sized>(
         });
     }
     let mut log = TraceLog::enabled();
-    let neg_x = prepared.inv_signed(engine, b, io, &mut log)?;
+    let levels = [LevelIo::Macro(*io)];
+    let neg_x = prepared.inv_signed(engine, b, SignalPath::new(&levels), &mut log)?;
     Ok(OneStageSolution {
         x: vector::neg(&neg_x),
         trace: log.steps,
@@ -198,13 +207,15 @@ pub fn solve<E: AmcEngine + ?Sized>(
 
 // A prepared macro is itself an INV executor: this is what lets the
 // two-stage solver (and any deeper bus-connected layout) cascade whole
-// macros exactly like single arrays.
+// macros exactly like single arrays. The head of `path` is this macro's
+// signal-path policy (`Macro` when driven by [`solve`] or by a bus
+// level above it).
 impl<E: AmcEngine + ?Sized> InvExec<E> for PreparedOneStage {
     fn inv_signed(
         &mut self,
         engine: &mut E,
         b: &[f64],
-        io: &IoConfig,
+        path: SignalPath<'_>,
         log: &mut TraceLog,
     ) -> Result<Vec<f64>> {
         run_cascade(
@@ -215,8 +226,7 @@ impl<E: AmcEngine + ?Sized> InvExec<E> for PreparedOneStage {
             self.a2.as_mut(),
             self.a3.as_mut(),
             b,
-            io,
-            StageIo::Macro,
+            path,
             log,
         )
     }

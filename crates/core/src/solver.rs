@@ -1,24 +1,39 @@
 //! High-level solver facade.
 //!
-//! [`BlockAmcSolver`] bundles an engine, a solver architecture
-//! ([`Stages`]), and a signal-path configuration, and exposes a single
-//! `solve` call. Every architecture below executes on the same
-//! recursive cascade core ([`crate::multi_stage::run_cascade`]); they
-//! differ only in tree depth and signal path. The paper's three
-//! compared solvers map to:
+//! The facade is built in two steps. A [`SolverConfig`] — created
+//! through [`SolverConfig::builder`] — selects the architecture
+//! ([`Stages`]), the per-level signal path ([`SignalPlan`]), the split
+//! rule ([`SplitRule`]), and trace capture. Binding a config to an
+//! engine yields a [`BlockAmcSolver`], whose [`prepare`] programs every
+//! array of the partition tree **exactly once** and returns a
+//! [`PreparedSolver`] that solves any number of right-hand sides against
+//! those arrays — the paper's §III.B amortization: matrices are
+//! programmed into nonvolatile arrays once, then reused.
+//!
+//! Every architecture executes on the same recursive cascade core
+//! (`run_cascade` in [`crate::multi_stage`]); they differ only in tree
+//! depth and signal path. The paper's three compared solvers map to:
 //!
 //! * `Stages::Original` — the baseline: one INV circuit with a single
 //!   full-size array,
 //! * `Stages::One` — the one-stage BlockAMC macro (Fig. 4),
 //! * `Stages::Two` — the two-stage solver (Fig. 5),
-//! * `Stages::Multi(d)` — the depth-`d` generalization.
+//! * `Stages::Multi(d)` — the depth-`d` generalization, with a
+//!   paper-style signal plan (`Bus` hops above one `Macro` level) by
+//!   default.
+//!
+//! [`prepare`]: BlockAmcSolver::prepare
 
-use amc_linalg::{vector, Matrix};
+use amc_linalg::Matrix;
 
 use crate::converter::IoConfig;
 use crate::engine::{AmcEngine, EngineStats};
+use crate::multi_stage::{self, PreparedMultiStage};
 use crate::one_stage::StepRecord;
-use crate::{multi_stage, one_stage, two_stage, BlockAmcError, Result};
+use crate::{BlockAmcError, Result};
+
+pub use crate::multi_stage::{LevelIo, PartitionPlan, SignalPlan, SplitRule};
+pub use crate::split_search::SplitSearchOptions;
 
 /// Solver architecture selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,9 +45,257 @@ pub enum Stages {
     /// Two-stage BlockAMC: recursive partition, sixteen quarter-size
     /// arrays.
     Two,
-    /// Multi-stage BlockAMC at the given depth (`Multi(1)` ≈ `One` without
-    /// the converter boundary details; see [`crate::multi_stage`]).
+    /// Multi-stage BlockAMC at the given depth (`Multi(1)` is the
+    /// one-stage tree with natural-size MVM blocks; see
+    /// [`crate::multi_stage`]). `Multi(0)` is rejected by validation —
+    /// use [`Stages::Original`] for a single full-size array.
     Multi(usize),
+}
+
+impl Stages {
+    /// The partition-tree depth of this architecture.
+    pub fn depth(&self) -> usize {
+        match self {
+            Stages::Original => 0,
+            Stages::One => 1,
+            Stages::Two => 2,
+            Stages::Multi(d) => *d,
+        }
+    }
+}
+
+/// Complete configuration of a [`BlockAmcSolver`], independent of the
+/// engine: architecture, per-level signal path, split rule, and trace
+/// capture. Build one with [`SolverConfig::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverConfig {
+    stages: Stages,
+    signal: SignalPlan,
+    split: SplitRule,
+    capture_trace: bool,
+}
+
+impl SolverConfig {
+    /// Starts building a configuration (defaults: [`Stages::One`], an
+    /// ideal signal path in the architecture's paper layout, midpoint
+    /// splits, trace capture on).
+    pub fn builder() -> SolverConfigBuilder {
+        SolverConfigBuilder::default()
+    }
+
+    /// The architecture's default signal plan: the paper layout
+    /// ([`SignalPlan::paper`]) at the architecture's depth, carrying
+    /// `io` at every level.
+    pub fn default_signal_plan(stages: Stages, io: IoConfig) -> SignalPlan {
+        SignalPlan::paper(stages.depth(), io)
+    }
+
+    /// The configured architecture.
+    pub fn stages(&self) -> Stages {
+        self.stages
+    }
+
+    /// The per-level signal-path plan.
+    pub fn signal_plan(&self) -> &SignalPlan {
+        &self.signal
+    }
+
+    /// The split-index rule applied at every partition node.
+    pub fn split_rule(&self) -> SplitRule {
+        self.split
+    }
+
+    /// Whether solves record per-step signal traces.
+    pub fn capture_trace(&self) -> bool {
+        self.capture_trace
+    }
+
+    /// Validates the size-independent parts of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockAmcError::InvalidConfig`] for `Stages::Multi(0)`, an
+    /// invalid converter configuration in the signal plan, or a plan
+    /// with non-`Pure` entries deeper than the architecture's cascade
+    /// (which would otherwise be silently ignored).
+    pub fn validate(&self) -> Result<()> {
+        if self.stages == Stages::Multi(0) {
+            return Err(BlockAmcError::config(
+                "Stages::Multi(0) has no cascade; use Stages::Original \
+                 for a single full-size array",
+            ));
+        }
+        // Cascade levels run 0..depth (a depth-0 tree still honours a
+        // level-0 entry as its digital boundary); a converter entry
+        // past the deepest cascade level would never execute.
+        let deepest_entry = self
+            .signal
+            .levels()
+            .iter()
+            .rposition(|level| *level != LevelIo::Pure)
+            .map_or(0, |i| i + 1);
+        let cascade_levels = self.stages.depth().max(1);
+        if deepest_entry > cascade_levels {
+            return Err(BlockAmcError::config(format!(
+                "signal plan configures level {} but a {:?} solver has \
+                 only {cascade_levels} cascade level(s); the deeper \
+                 entries would be silently ignored",
+                deepest_entry - 1,
+                self.stages,
+            )));
+        }
+        self.signal.validate()
+    }
+
+    /// Validates the configuration against a concrete problem size.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockAmcError::InvalidConfig`] when the architecture cannot
+    /// partition an `n`-sized system (e.g. depth exceeding `log2(n)`).
+    pub fn validate_for_size(&self, n: usize) -> Result<()> {
+        self.validate()?;
+        if n == 0 {
+            return Err(BlockAmcError::config("cannot solve an empty 0x0 system"));
+        }
+        match self.stages {
+            Stages::Original => Ok(()),
+            Stages::One if n < 2 => Err(BlockAmcError::config(format!(
+                "one-stage BlockAMC requires n >= 2, got {n}"
+            ))),
+            Stages::Two if n < 4 => Err(BlockAmcError::config(format!(
+                "two-stage solver requires n >= 4, got {n}"
+            ))),
+            Stages::Multi(d) if (d as u32) > n.ilog2() => Err(BlockAmcError::config(format!(
+                "partition depth {d} exceeds log2({n}) = {}: blocks would \
+                 shrink below 1x1 before the cascade bottoms out",
+                n.ilog2()
+            ))),
+            _ => Ok(()),
+        }
+    }
+
+    /// The partition layout this configuration programs: the legacy
+    /// module layouts per architecture (natural-size MVM blocks for
+    /// `Original`/`One`/`Multi`, the paper's quadrant tiling for `Two`),
+    /// with the configured split rule.
+    pub fn partition_plan(&self) -> PartitionPlan {
+        let base = match self.stages {
+            Stages::Original => PartitionPlan::depth(0),
+            Stages::One => PartitionPlan::depth(1),
+            Stages::Two => PartitionPlan::paper(2),
+            Stages::Multi(d) => PartitionPlan::depth(d),
+        };
+        base.with_split_rule(self.split)
+    }
+}
+
+/// Builder for [`SolverConfig`] — the single configuration surface of
+/// the facade.
+///
+/// # Example
+///
+/// ```
+/// use blockamc::converter::IoConfig;
+/// use blockamc::engine::NumericEngine;
+/// use blockamc::solver::{SolverConfig, SplitRule, SplitSearchOptions, Stages};
+///
+/// # fn main() -> Result<(), blockamc::BlockAmcError> {
+/// let solver = SolverConfig::builder()
+///     .stages(Stages::Two)
+///     .io(IoConfig::default_8bit())
+///     .split_rule(SplitRule::Searched(SplitSearchOptions::default()))
+///     .build(NumericEngine::new())?;
+/// # let _ = solver;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SolverConfigBuilder {
+    stages: Stages,
+    io: IoConfig,
+    signal: Option<SignalPlan>,
+    split: SplitRule,
+    capture_trace: bool,
+}
+
+impl Default for SolverConfigBuilder {
+    fn default() -> Self {
+        SolverConfigBuilder {
+            stages: Stages::One,
+            io: IoConfig::ideal(),
+            signal: None,
+            split: SplitRule::Halves,
+            capture_trace: true,
+        }
+    }
+}
+
+impl SolverConfigBuilder {
+    /// Selects the architecture.
+    pub fn stages(mut self, stages: Stages) -> Self {
+        self.stages = stages;
+        self
+    }
+
+    /// Sets the DAC/ADC/S&H configuration used by the architecture's
+    /// default signal plan (ignored when [`signal_plan`] supplies an
+    /// explicit plan).
+    ///
+    /// [`signal_plan`]: SolverConfigBuilder::signal_plan
+    pub fn io(mut self, io: IoConfig) -> Self {
+        self.io = io;
+        self
+    }
+
+    /// Overrides the per-level signal plan (otherwise
+    /// [`SolverConfig::default_signal_plan`] of the selected
+    /// architecture is used).
+    pub fn signal_plan(mut self, signal: SignalPlan) -> Self {
+        self.signal = Some(signal);
+        self
+    }
+
+    /// Sets the split-index rule applied at every partition node.
+    pub fn split_rule(mut self, split: SplitRule) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// Enables or disables per-step signal-trace capture (on by
+    /// default).
+    pub fn capture_trace(mut self, capture: bool) -> Self {
+        self.capture_trace = capture;
+        self
+    }
+
+    /// Finishes the configuration without binding an engine.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockAmcError::InvalidConfig`] for nonsensical configurations
+    /// (see [`SolverConfig::validate`]).
+    pub fn finish(self) -> Result<SolverConfig> {
+        let config = SolverConfig {
+            stages: self.stages,
+            signal: self
+                .signal
+                .unwrap_or_else(|| SolverConfig::default_signal_plan(self.stages, self.io)),
+            split: self.split,
+            capture_trace: self.capture_trace,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Finishes the configuration and binds it to an engine.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SolverConfigBuilder::finish`].
+    pub fn build<E: AmcEngine>(self, engine: E) -> Result<BlockAmcSolver<E>> {
+        Ok(BlockAmcSolver::from_config(engine, self.finish()?))
+    }
 }
 
 /// Result of a facade solve.
@@ -44,13 +307,32 @@ pub struct SolveReport {
     pub stages: Stages,
     /// Engine name (`"numeric"` or `"circuit"`).
     pub engine: &'static str,
-    /// One-stage step trace when `stages == Stages::One`.
+    /// Per-step trace of the root cascade when trace capture is on and
+    /// the root level records per-step signals — a macro level (e.g.
+    /// `Stages::One`) or a pure analog cascade. Bus-connected roots
+    /// report [`SolveReport::inner_traces`] instead, and a depth-0 tree
+    /// has no cascade to trace.
     pub trace: Option<Vec<StepRecord>>,
-    /// Engine cost counters accumulated during this solve.
+    /// Labeled traces of the inner macros a bus-connected root captured
+    /// (e.g. the `"A4s"`/`"A1"` second-stage traces of `Stages::Two`).
+    pub inner_traces: Vec<(String, Vec<StepRecord>)>,
+    /// Engine cost counters accumulated during this solve (including
+    /// array programming for [`BlockAmcSolver::solve`]; excluding it for
+    /// [`PreparedSolver::solve`], which programs nothing).
     pub stats_delta: EngineStats,
 }
 
-/// Engine + architecture + signal path, ready to solve linear systems.
+fn stats_delta(before: &EngineStats, after: &EngineStats) -> EngineStats {
+    EngineStats {
+        program_ops: after.program_ops - before.program_ops,
+        inv_ops: after.inv_ops - before.inv_ops,
+        mvm_ops: after.mvm_ops - before.mvm_ops,
+        analog_time_s: after.analog_time_s - before.analog_time_s,
+        analog_energy_j: after.analog_energy_j - before.analog_energy_j,
+    }
+}
+
+/// Engine + configuration, ready to prepare and solve linear systems.
 ///
 /// # Example
 ///
@@ -68,26 +350,69 @@ pub struct SolveReport {
 /// # Ok(())
 /// # }
 /// ```
+///
+/// To amortize array programming across many right-hand sides, use
+/// [`BlockAmcSolver::prepare`]:
+///
+/// ```
+/// use blockamc::engine::{AmcEngine, NumericEngine};
+/// use blockamc::solver::{SolverConfig, Stages};
+/// use amc_linalg::Matrix;
+///
+/// # fn main() -> Result<(), blockamc::BlockAmcError> {
+/// let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]])?;
+/// let mut solver = SolverConfig::builder()
+///     .stages(Stages::One)
+///     .build(NumericEngine::new())?;
+/// let mut prepared = solver.prepare(&a)?;
+/// let r1 = prepared.solve(&[4.0, 3.0])?;
+/// let r2 = prepared.solve(&[3.0, 3.0])?;
+/// assert_eq!(r1.stats_delta.program_ops, 0); // arrays reused, not reprogrammed
+/// assert_eq!(r2.stats_delta.program_ops, 0);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct BlockAmcSolver<E: AmcEngine> {
     engine: E,
-    stages: Stages,
-    io: IoConfig,
+    config: SolverConfig,
 }
 
 impl<E: AmcEngine> BlockAmcSolver<E> {
-    /// Creates a solver with an ideal signal path.
+    /// Creates a solver with the architecture's default configuration
+    /// and an ideal signal path.
+    ///
+    /// Nonsensical architectures (e.g. `Stages::Multi(0)`) are rejected
+    /// when [`prepare`]/[`solve`] is called, keeping this constructor
+    /// infallible; use [`SolverConfig::builder`] to fail fast instead.
+    ///
+    /// [`prepare`]: BlockAmcSolver::prepare
+    /// [`solve`]: BlockAmcSolver::solve
     pub fn new(engine: E, stages: Stages) -> Self {
         BlockAmcSolver {
             engine,
-            stages,
-            io: IoConfig::ideal(),
+            config: SolverConfig {
+                stages,
+                signal: SolverConfig::default_signal_plan(stages, IoConfig::ideal()),
+                split: SplitRule::Halves,
+                capture_trace: true,
+            },
         }
     }
 
-    /// Sets the DAC/ADC/S&H configuration.
+    /// Binds a finished configuration to an engine.
+    pub fn from_config(engine: E, config: SolverConfig) -> Self {
+        BlockAmcSolver { engine, config }
+    }
+
+    /// Sets the DAC/ADC/S&H configuration, rebuilding the architecture's
+    /// default signal plan around it.
+    ///
+    /// Migration shim for the pre-builder API: prefer
+    /// `SolverConfig::builder().io(..)` (or an explicit
+    /// [`SignalPlan`]) in new code.
     pub fn with_io(mut self, io: IoConfig) -> Self {
-        self.io = io;
+        self.config.signal = SolverConfig::default_signal_plan(self.config.stages, io);
         self
     }
 
@@ -96,31 +421,65 @@ impl<E: AmcEngine> BlockAmcSolver<E> {
         &self.engine
     }
 
-    /// The configured architecture.
-    pub fn stages(&self) -> Stages {
-        self.stages
+    /// Consumes the solver and returns the engine.
+    pub fn into_engine(self) -> E {
+        self.engine
     }
 
-    /// Solves `A·x = b`.
-    ///
-    /// Arrays are (re)programmed on every call — each call models a fresh
-    /// hardware deployment, which is what the paper's Monte-Carlo
-    /// accuracy sweeps need. To amortize programming across many
-    /// right-hand sides, drive the [`crate::one_stage`] /
-    /// [`crate::two_stage`] module APIs directly.
+    /// The configured architecture.
+    pub fn stages(&self) -> Stages {
+        self.config.stages
+    }
+
+    /// Borrows the full configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Partitions `a` per the configuration and programs every array of
+    /// the partition tree **once**, returning a solver that reuses those
+    /// arrays — and therefore one fixed variation draw, as in hardware —
+    /// for any number of right-hand sides.
     ///
     /// # Errors
     ///
-    /// Shape mismatches, partitioning/Schur failures, and engine errors.
-    pub fn solve(&mut self, a: &Matrix, b: &[f64]) -> Result<SolveReport> {
+    /// Configuration validation ([`SolverConfig::validate_for_size`]),
+    /// shape, partitioning/Schur, and programming failures.
+    pub fn prepare(&mut self, a: &Matrix) -> Result<PreparedSolver<'_, E>> {
         if !a.is_square() {
             return Err(BlockAmcError::ShapeMismatch {
-                op: "solve (square matrix required)",
+                op: "prepare (square matrix required)",
                 expected: a.rows(),
                 got: a.cols(),
             });
         }
-        if b.len() != a.rows() {
+        self.config.validate_for_size(a.rows())?;
+        let plan = self.config.partition_plan();
+        let tree = multi_stage::prepare_plan(&mut self.engine, a, &plan)?;
+        Ok(PreparedSolver {
+            engine: &mut self.engine,
+            config: &self.config,
+            tree,
+        })
+    }
+
+    /// Solves `A·x = b`: a thin [`prepare`]-then-[`solve`] convenience.
+    ///
+    /// Arrays are (re)programmed on every call — each call models a
+    /// fresh hardware deployment, which is what the Monte-Carlo accuracy
+    /// sweeps need. To amortize programming across many right-hand
+    /// sides, call [`prepare`] once and solve through the returned
+    /// [`PreparedSolver`].
+    ///
+    /// [`prepare`]: BlockAmcSolver::prepare
+    /// [`solve`]: PreparedSolver::solve
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatches, configuration validation, partitioning/Schur
+    /// failures, and engine errors.
+    pub fn solve(&mut self, a: &Matrix, b: &[f64]) -> Result<SolveReport> {
+        if a.is_square() && b.len() != a.rows() {
             return Err(BlockAmcError::ShapeMismatch {
                 op: "solve",
                 expected: a.rows(),
@@ -128,49 +487,106 @@ impl<E: AmcEngine> BlockAmcSolver<E> {
             });
         }
         let before = self.engine.stats();
-        let (x, trace) = match self.stages {
-            Stages::Original => {
-                // Single INV circuit: DAC in, one INV, ADC out.
-                let mut op = self.engine.program(a)?;
-                let input = self.io.apply_dac(b);
-                let neg_x = self.engine.inv(&mut op, &input)?;
-                (vector::neg(&self.io.apply_adc(&neg_x)), None)
-            }
-            Stages::One => {
-                let mut prep = one_stage::prepare_matrix(&mut self.engine, a)?;
-                let sol = one_stage::solve(&mut self.engine, &mut prep, b, &self.io)?;
-                (sol.x, Some(sol.trace))
-            }
-            Stages::Two => {
-                let mut prep = two_stage::prepare(&mut self.engine, a)?;
-                let sol = two_stage::solve(&mut self.engine, &mut prep, b, &self.io)?;
-                (sol.x, None)
-            }
-            Stages::Multi(depth) => {
-                let mut prep = multi_stage::prepare(&mut self.engine, a, depth)?;
-                (multi_stage::solve(&mut self.engine, &mut prep, b)?, None)
-            }
+        let mut report = {
+            let mut prepared = self.prepare(a)?;
+            prepared.solve(b)?
         };
+        // The convenience path charges programming to the solve, exactly
+        // like the pre-builder facade did.
+        report.stats_delta = stats_delta(&before, &self.engine.stats());
+        Ok(report)
+    }
+}
+
+/// A partition tree whose arrays have been programmed once, bound to
+/// the engine and configuration that built it.
+///
+/// Obtained from [`BlockAmcSolver::prepare`]; solves any number of
+/// right-hand sides against the same programmed arrays (one variation
+/// draw, zero additional `program_ops`).
+#[derive(Debug)]
+pub struct PreparedSolver<'a, E: AmcEngine> {
+    engine: &'a mut E,
+    config: &'a SolverConfig,
+    tree: PreparedMultiStage,
+}
+
+impl<E: AmcEngine> PreparedSolver<'_, E> {
+    /// Problem size `n`.
+    pub fn size(&self) -> usize {
+        self.tree.size()
+    }
+
+    /// Partition-tree depth.
+    pub fn depth(&self) -> usize {
+        self.tree.depth()
+    }
+
+    /// Largest programmed array dimension in the tree.
+    pub fn max_array_size(&self) -> usize {
+        self.tree.max_leaf_size()
+    }
+
+    /// Borrows the engine (e.g. to read [`AmcEngine::stats`]).
+    pub fn engine(&self) -> &E {
+        self.engine
+    }
+
+    /// The configuration this solver was prepared under.
+    pub fn config(&self) -> &SolverConfig {
+        self.config
+    }
+
+    /// Solves `A·x = b` against the already-programmed arrays.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatches and engine failures.
+    pub fn solve(&mut self, b: &[f64]) -> Result<SolveReport> {
+        let before = self.engine.stats();
+        let (x, log) = multi_stage::solve_with_signal(
+            self.engine,
+            &mut self.tree,
+            b,
+            &self.config.signal,
+            self.config.capture_trace,
+        )?;
         let after = self.engine.stats();
+        let trace = (!log.steps.is_empty()).then_some(log.steps);
         Ok(SolveReport {
             x,
-            stages: self.stages,
+            stages: self.config.stages,
             engine: self.engine.name(),
             trace,
-            stats_delta: EngineStats {
-                program_ops: after.program_ops - before.program_ops,
-                inv_ops: after.inv_ops - before.inv_ops,
-                mvm_ops: after.mvm_ops - before.mvm_ops,
-                analog_time_s: after.analog_time_s - before.analog_time_s,
-                analog_energy_j: after.analog_energy_j - before.analog_energy_j,
-            },
+            inner_traces: log.inner,
+            stats_delta: stats_delta(&before, &after),
         })
+    }
+
+    /// Solves one right-hand side after another against the same
+    /// programmed arrays and returns the solutions in input order —
+    /// the multi-RHS workload the paper's §III.B pipelining serves.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockAmcError::InvalidConfig`] for an empty batch; per-solve
+    /// shape and engine failures.
+    pub fn solve_batch(&mut self, batch: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        if batch.is_empty() {
+            return Err(BlockAmcError::config("batch must contain at least one RHS"));
+        }
+        let mut solutions = Vec::with_capacity(batch.len());
+        for b in batch {
+            solutions.push(self.solve(b)?.x);
+        }
+        Ok(solutions)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::converter::Converter;
     use crate::engine::{CircuitEngine, CircuitEngineConfig, NumericEngine};
     use amc_linalg::{generate, lu, metrics};
     use rand::SeedableRng;
@@ -209,15 +625,77 @@ mod tests {
     }
 
     #[test]
+    fn two_stage_reports_inner_traces() {
+        let (a, b) = workload(8, 2);
+        let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::Two);
+        let report = solver.solve(&a, &b).unwrap();
+        assert!(report.trace.is_none());
+        assert_eq!(
+            report
+                .inner_traces
+                .iter()
+                .map(|t| t.0.as_str())
+                .collect::<Vec<_>>(),
+            ["A4s", "A1"]
+        );
+    }
+
+    #[test]
+    fn trace_capture_can_be_disabled() {
+        let (a, b) = workload(8, 2);
+        let mut solver = SolverConfig::builder()
+            .stages(Stages::One)
+            .capture_trace(false)
+            .build(NumericEngine::new())
+            .unwrap();
+        let report = solver.solve(&a, &b).unwrap();
+        assert!(report.trace.is_none());
+        assert!(report.inner_traces.is_empty());
+    }
+
+    #[test]
     fn stats_delta_counts_operations() {
         let (a, b) = workload(8, 3);
         let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
         let r1 = solver.solve(&a, &b).unwrap();
         assert_eq!(r1.stats_delta.inv_ops, 3);
         assert_eq!(r1.stats_delta.mvm_ops, 2);
+        assert_eq!(r1.stats_delta.program_ops, 4);
         // Second solve has its own delta, not cumulative.
         let r2 = solver.solve(&a, &b).unwrap();
         assert_eq!(r2.stats_delta.inv_ops, 3);
+        assert_eq!(r2.stats_delta.program_ops, 4);
+    }
+
+    #[test]
+    fn prepared_solver_programs_once_and_reuses_arrays() {
+        let (a, _) = workload(8, 3);
+        let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
+        let mut prepared = solver.prepare(&a).unwrap();
+        assert_eq!(prepared.engine().stats().program_ops, 4);
+        for seed in 0..3u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let b = generate::random_vector(8, &mut rng);
+            let r = prepared.solve(&b).unwrap();
+            assert_eq!(r.stats_delta.program_ops, 0);
+            assert_eq!(r.stats_delta.inv_ops, 3);
+            let x_ref = lu::solve(&a, &b).unwrap();
+            assert!(metrics::relative_error(&x_ref, &r.x) < 1e-9);
+        }
+        assert_eq!(prepared.engine().stats().program_ops, 4);
+    }
+
+    #[test]
+    fn prepared_solver_keeps_one_variation_draw() {
+        // Repeated solves on one PreparedSolver hit the same programmed
+        // (noisy) arrays: results are bit-identical, unlike re-preparing.
+        let (a, b) = workload(12, 9);
+        let engine = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 5);
+        let mut solver = BlockAmcSolver::new(engine, Stages::One);
+        let mut prepared = solver.prepare(&a).unwrap();
+        let x1 = prepared.solve(&b).unwrap().x;
+        let x2 = prepared.solve(&b).unwrap().x;
+        assert_eq!(x1, x2);
     }
 
     #[test]
@@ -252,18 +730,131 @@ mod tests {
     }
 
     #[test]
+    fn nonsensical_configs_rejected_with_clear_errors() {
+        // Multi(0) fails fast at build …
+        let err = SolverConfig::builder()
+            .stages(Stages::Multi(0))
+            .finish()
+            .unwrap_err();
+        assert!(err.to_string().contains("Multi(0)"), "{err}");
+        // … and at prepare through the infallible constructor.
+        let (a, b) = workload(8, 5);
+        let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::Multi(0));
+        assert!(solver.solve(&a, &b).is_err());
+        // Depth exceeding log2(n) names the bound instead of failing in
+        // the partitioner.
+        let mut deep = BlockAmcSolver::new(NumericEngine::new(), Stages::Multi(4));
+        let err = deep.solve(&a, &b).unwrap_err();
+        assert!(err.to_string().contains("log2"), "{err}");
+        // Architecture minimum sizes.
+        let (a2, _) = workload(2, 6);
+        let mut two = BlockAmcSolver::new(NumericEngine::new(), Stages::Two);
+        assert!(two.prepare(&a2).is_err());
+    }
+
+    #[test]
+    fn signal_plan_deeper_than_the_cascade_rejected() {
+        // A converter entry below the leaf level would never execute;
+        // that must be a loud error, not a silent drop.
+        let io = IoConfig::default_8bit();
+        let err = SolverConfig::builder()
+            .stages(Stages::One)
+            .signal_plan(SignalPlan::pure().with_level(1, LevelIo::Macro(io)))
+            .finish()
+            .unwrap_err();
+        assert!(err.to_string().contains("level 1"), "{err}");
+        // Trailing Pure padding is harmless and accepted.
+        assert!(SolverConfig::builder()
+            .stages(Stages::One)
+            .signal_plan(SignalPlan::from_levels(vec![
+                LevelIo::Macro(io),
+                LevelIo::Pure,
+                LevelIo::Pure,
+            ]))
+            .finish()
+            .is_ok());
+        // A depth-0 tree still honours its level-0 boundary entry.
+        assert!(SolverConfig::builder()
+            .stages(Stages::Original)
+            .io(io)
+            .finish()
+            .is_ok());
+    }
+
+    #[test]
     fn io_config_is_applied() {
         let (a, b) = workload(8, 6);
         let x_ref = lu::solve(&a, &b).unwrap();
         let mut ideal = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
         let mut coarse = BlockAmcSolver::new(NumericEngine::new(), Stages::One).with_io(IoConfig {
-            dac: Some(crate::converter::Converter::new(4, 1.0).unwrap()),
-            adc: Some(crate::converter::Converter::new(4, 1.0).unwrap()),
+            dac: Some(Converter::new(4, 1.0).unwrap()),
+            adc: Some(Converter::new(4, 1.0).unwrap()),
             sh_droop: 0.0,
         });
         let e_ideal = metrics::relative_error(&x_ref, &ideal.solve(&a, &b).unwrap().x);
         let e_coarse = metrics::relative_error(&x_ref, &coarse.solve(&a, &b).unwrap().x);
         assert!(e_ideal < 1e-9);
         assert!(e_coarse > 1e-3, "4-bit converters must hurt: {e_coarse}");
+    }
+
+    #[test]
+    fn multi_stage_no_longer_ignores_io() {
+        // The pre-builder facade silently dropped the IoConfig for
+        // Stages::Multi; the per-level plan applies it.
+        let (a, b) = workload(16, 7);
+        let x_ref = lu::solve(&a, &b).unwrap();
+        let coarse_io = IoConfig {
+            dac: Some(Converter::new(4, 1.0).unwrap()),
+            adc: Some(Converter::new(4, 1.0).unwrap()),
+            sh_droop: 0.0,
+        };
+        let mut coarse = SolverConfig::builder()
+            .stages(Stages::Multi(2))
+            .io(coarse_io)
+            .build(NumericEngine::new())
+            .unwrap();
+        let e = metrics::relative_error(&x_ref, &coarse.solve(&a, &b).unwrap().x);
+        assert!(e > 1e-3, "4-bit converters must reach Multi: {e}");
+    }
+
+    #[test]
+    fn searched_splits_work_through_the_facade() {
+        let (a, b) = workload(12, 8);
+        let x_ref = lu::solve(&a, &b).unwrap();
+        for stages in [Stages::One, Stages::Two, Stages::Multi(2)] {
+            let mut solver = SolverConfig::builder()
+                .stages(stages)
+                .split_rule(SplitRule::Searched(SplitSearchOptions::default()))
+                .build(NumericEngine::new())
+                .unwrap();
+            let r = solver.solve(&a, &b).unwrap();
+            assert!(
+                metrics::relative_error(&x_ref, &r.x) < 1e-8,
+                "{stages:?} diverged under searched splits"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_signal_plan_overrides_the_default() {
+        let (a, b) = workload(16, 10);
+        let x_ref = lu::solve(&a, &b).unwrap();
+        // Wide-range converters: quantization without clipping.
+        let bus_io = IoConfig {
+            dac: Some(Converter::new(12, 8.0).unwrap()),
+            adc: Some(Converter::new(12, 8.0).unwrap()),
+            sh_droop: 0.0,
+        };
+        let plan = SignalPlan::pure().with_level(1, LevelIo::Bus(bus_io));
+        let mut solver = SolverConfig::builder()
+            .stages(Stages::Multi(3))
+            .signal_plan(plan.clone())
+            .build(NumericEngine::new())
+            .unwrap();
+        assert_eq!(solver.config().signal_plan(), &plan);
+        let r = solver.solve(&a, &b).unwrap();
+        let e = metrics::relative_error(&x_ref, &r.x);
+        assert!(e > 1e-8, "12-bit bus hops at level 1 must quantize: {e}");
+        assert!(e < 1e-1, "but stay small: {e}");
     }
 }

@@ -13,12 +13,20 @@
 //! therefore pass through the ADC/DAC pair (quantized when an
 //! [`IoConfig`] with converters is supplied), unlike the intra-macro S&H
 //! cascades.
+//!
+//! **Migration note:** this module is the low-level execution layer.
+//! Prefer the builder facade —
+//! `SolverConfig::builder().stages(Stages::Two).io(io)` followed by
+//! [`crate::solver::BlockAmcSolver::prepare`] — which is pinned
+//! bit-identical to these functions and adds searched splits, per-level
+//! signal plans, and multi-RHS batching (see the crate-level migration
+//! table).
 
 use amc_linalg::{vector, Matrix};
 
 use crate::converter::IoConfig;
 use crate::engine::{AmcEngine, Operand};
-use crate::multi_stage::{run_cascade, MvmExec, StageIo, TraceLog};
+use crate::multi_stage::{run_cascade, LevelIo, MvmExec, SignalPath, TraceLog};
 use crate::one_stage::{self, PreparedOneStage};
 use crate::partition::BlockPartition;
 use crate::{BlockAmcError, Result};
@@ -243,6 +251,7 @@ pub fn solve<E: AmcEngine + ?Sized>(
     // inserts the ADC→DAC hop on every inter-macro value and captures
     // the step-3/step-5 inner-macro traces.
     let mut log = TraceLog::enabled();
+    let levels = [LevelIo::Bus(*io), LevelIo::Macro(*io)];
     let neg_x = run_cascade(
         engine,
         prepared.split,
@@ -251,8 +260,7 @@ pub fn solve<E: AmcEngine + ?Sized>(
         prepared.a2.as_mut(),
         prepared.a3.as_mut(),
         b,
-        io,
-        StageIo::Bus,
+        SignalPath::new(&levels),
         &mut log,
     )?;
     Ok(TwoStageSolution {

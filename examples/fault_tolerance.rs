@@ -17,7 +17,7 @@ use amc_device::mapping::MappingConfig;
 use amc_device::variation::VariationModel;
 use amc_linalg::{generate, lu, metrics};
 use blockamc::engine::{CircuitEngine, CircuitEngineConfig};
-use blockamc::solver::{BlockAmcSolver, Stages};
+use blockamc::solver::{SolverConfig, Stages};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     sim: SimConfig::ideal(),
                 };
                 let engine = CircuitEngine::new(config, 900 + t);
-                let mut solver = BlockAmcSolver::new(engine, stages);
+                let mut solver = SolverConfig::builder().stages(stages).build(engine)?;
                 if let Ok(r) = solver.solve(&a, &b) {
                     let e = metrics::relative_error(&x_ref, &r.x);
                     if e.is_finite() {

@@ -18,7 +18,7 @@
 
 use amc_linalg::{generate, lu, metrics, vector, Matrix};
 use blockamc::engine::{CircuitEngine, CircuitEngineConfig};
-use blockamc::solver::{BlockAmcSolver, Stages};
+use blockamc::solver::{SolverConfig, Stages};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -62,10 +62,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Digital reference.
     let w_ref = lu::solve(&gram, &s)?;
 
-    // Analog BlockAMC precoder with the paper's variation level.
+    // Analog BlockAMC precoder with the paper's variation level. The
+    // Gram matrix is programmed once (`prepare`) and reused for every
+    // symbol vector of the coherence interval — the paper's §III.B
+    // amortization, which is exactly the MIMO traffic pattern.
     let engine = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 9);
-    let mut solver = BlockAmcSolver::new(engine, Stages::One);
-    let report = solver.solve(&gram, &s)?;
+    let mut solver = SolverConfig::builder().stages(Stages::One).build(engine)?;
+    let mut precoder = solver.prepare(&gram)?;
+    let report = precoder.solve(&s)?;
     let err = metrics::relative_error(&w_ref, &report.x);
     println!("analog precoder rel. error vs digital ZF: {err:.3e}");
 
@@ -80,6 +84,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "analog settle time for the solve     : {:.1} ns",
         report.stats_delta.analog_time_s * 1e9
+    );
+
+    // Stream further symbol vectors through the same programmed arrays.
+    let symbols: Vec<Vec<f64>> = (0..4)
+        .map(|_| {
+            (0..2 * users)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect()
+        })
+        .collect();
+    let weights = precoder.solve_batch(&symbols)?;
+    println!(
+        "streamed {} more symbol vectors, zero arrays reprogrammed",
+        weights.len()
     );
 
     // The seed can be polished by a few digital refinement steps (the

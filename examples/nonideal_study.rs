@@ -17,7 +17,7 @@ use amc_device::mapping::MappingConfig;
 use amc_device::variation::VariationModel;
 use amc_linalg::{generate, lu, metrics};
 use blockamc::engine::{CircuitEngine, CircuitEngineConfig};
-use blockamc::solver::{BlockAmcSolver, Stages};
+use blockamc::solver::{SolverConfig, Stages};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     let b = generate::random_vector(n, &mut rng);
                     let x_ref = lu::solve(&a, &b)?;
                     let engine = CircuitEngine::new(config, 1000 + trial);
-                    let mut solver = BlockAmcSolver::new(engine, stages);
+                    let mut solver = SolverConfig::builder().stages(stages).build(engine)?;
                     if let Ok(r) = solver.solve(&a, &b) {
                         errs.push(metrics::relative_error(&x_ref, &r.x));
                     }

@@ -19,7 +19,7 @@ use amc_device::variation::VariationModel;
 use amc_linalg::{generate, lu, metrics};
 use blockamc::engine::{CircuitEngine, CircuitEngineConfig, NumericEngine};
 use blockamc::refine::refine_with_cg;
-use blockamc::solver::{BlockAmcSolver, Stages};
+use blockamc::solver::{SolverConfig, Stages};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 32; // interior grid points; κ ≈ (n/π)² ≈ 104
@@ -39,7 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("1-D Poisson, {n} interior points (tridiagonal SPD Toeplitz)\n");
 
     // Algorithm check with the exact engine.
-    let mut digital = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
+    let mut digital = SolverConfig::builder()
+        .stages(Stages::One)
+        .build(NumericEngine::new())?;
     println!(
         "BlockAMC + numeric engine: rel. error {:.3e}",
         metrics::relative_error(&u_ref, &digital.solve(&a, &b)?.x)
@@ -54,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sim: SimConfig::ideal(),
         };
         let engine = CircuitEngine::new(config, 3);
-        let mut solver = BlockAmcSolver::new(engine, Stages::One);
+        let mut solver = SolverConfig::builder().stages(Stages::One).build(engine)?;
         let r = solver.solve(&a, &b)?;
         println!(
             "  σ_rel = {sigma:>5.3}: rel. error {:.3e}",
@@ -69,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sim: SimConfig::ideal(),
     };
     let engine = CircuitEngine::new(config, 3);
-    let mut solver = BlockAmcSolver::new(engine, Stages::One);
+    let mut solver = SolverConfig::builder().stages(Stages::One).build(engine)?;
     let seed = solver.solve(&a, &b)?.x;
     let refined = refine_with_cg(&a, &b, &seed, 1e-12, 100_000)?;
     println!(

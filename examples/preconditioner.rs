@@ -13,7 +13,7 @@
 use amc_linalg::{generate, lu, metrics};
 use blockamc::engine::{CircuitEngine, CircuitEngineConfig};
 use blockamc::refine::{refine_with_cg, seed_quality};
-use blockamc::solver::{BlockAmcSolver, Stages};
+use blockamc::solver::{SolverConfig, Stages};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Analog pass.
     let engine = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 8);
-    let mut solver = BlockAmcSolver::new(engine, Stages::One);
+    let mut solver = SolverConfig::builder().stages(Stages::One).build(engine)?;
     let analog = solver.solve(&a, &b)?;
     let seed_res = seed_quality(&a, &b, &analog.x)?;
     println!(

@@ -6,11 +6,13 @@
 //!
 //! Builds a small Wishart system, solves it three ways — exact digital LU,
 //! an ideal analog BlockAMC, and a noisy analog BlockAMC with the paper's
-//! 5% conductance variation — and prints the relative errors.
+//! 5% conductance variation — and prints the relative errors. Then shows
+//! the point of the prepare/solve split: many right-hand sides against
+//! one programmed set of arrays.
 
 use amc_linalg::{generate, lu, metrics};
-use blockamc::engine::{CircuitEngine, CircuitEngineConfig, NumericEngine};
-use blockamc::solver::{BlockAmcSolver, Stages};
+use blockamc::engine::{AmcEngine, CircuitEngine, CircuitEngineConfig, NumericEngine};
+use blockamc::solver::{SolverConfig, Stages};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -25,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("solving a {n}x{n} Wishart system A·x = b\n");
 
     // BlockAMC with the exact numeric engine (algorithm check).
-    let mut digital = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
+    let mut digital = SolverConfig::builder()
+        .stages(Stages::One)
+        .build(NumericEngine::new())?;
     let r = digital.solve(&a, &b)?;
     println!(
         "BlockAMC + numeric engine : rel. error {:.3e} ({} INV + {} MVM ops)",
@@ -35,10 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // BlockAMC on an ideal analog stack (devices + circuits, no noise).
-    let mut ideal = BlockAmcSolver::new(
-        CircuitEngine::new(CircuitEngineConfig::ideal(), 1),
-        Stages::One,
-    );
+    let mut ideal = SolverConfig::builder()
+        .stages(Stages::One)
+        .build(CircuitEngine::new(CircuitEngineConfig::ideal(), 1))?;
     let r = ideal.solve(&a, &b)?;
     println!(
         "BlockAMC + ideal circuit  : rel. error {:.3e}",
@@ -46,10 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // BlockAMC with the paper's device variation (5% write accuracy).
-    let mut noisy = BlockAmcSolver::new(
-        CircuitEngine::new(CircuitEngineConfig::paper_variation(), 1),
-        Stages::One,
-    );
+    let mut noisy = SolverConfig::builder()
+        .stages(Stages::One)
+        .build(CircuitEngine::new(
+            CircuitEngineConfig::paper_variation(),
+            1,
+        ))?;
     let r = noisy.solve(&a, &b)?;
     let err = metrics::relative_error(&x_ref, &r.x);
     println!("BlockAMC + 5% variation   : rel. error {err:.3e}");
@@ -59,5 +64,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.stats_delta.analog_energy_j * 1e9,
     );
     println!("first solution entries: {:?}", &r.x[..4.min(n)]);
+
+    // The paper's amortization (§III.B): matrices live in nonvolatile
+    // arrays, so program once with `prepare` and stream right-hand sides
+    // through the `PreparedSolver` — zero reprogramming per solve.
+    let mut prepared = noisy.prepare(&a)?;
+    let programmed = prepared.engine().stats().program_ops;
+    let batch: Vec<Vec<f64>> = (0..8)
+        .map(|_| generate::random_vector(n, &mut rng))
+        .collect();
+    let solutions = prepared.solve_batch(&batch)?;
+    let reprogrammed = prepared.engine().stats().program_ops - programmed;
+    println!(
+        "\nprepared solver: {} right-hand sides solved on one programming \
+         pass ({reprogrammed} arrays reprogrammed during the batch)",
+        solutions.len(),
+    );
     Ok(())
 }

@@ -5,7 +5,6 @@ use amc_arch::inventory::{component_counts, SolverKind};
 use amc_arch::latency::op_counts;
 use amc_circuit::opamp::OpAmpSpec;
 use amc_linalg::generate;
-use blockamc::converter::IoConfig;
 use blockamc::engine::NumericEngine;
 use blockamc::macro_model::{one_stage_schedule, ArrayId, MacroOp};
 use blockamc::solver::{BlockAmcSolver, Stages};
@@ -81,7 +80,6 @@ fn arch_array_count_matches_programmed_operands() {
 fn batch_pipeline_timing_consistent_with_macro_model() {
     use blockamc::batch::{phase_settle_times, solve_batch};
     use blockamc::macro_model::MacroTiming;
-    use blockamc::one_stage;
 
     let mut rng = ChaCha8Rng::seed_from_u64(4);
     let a = generate::wishart_default(12, &mut rng).unwrap();
@@ -89,18 +87,8 @@ fn batch_pipeline_timing_consistent_with_macro_model() {
         .map(|_| generate::random_vector(12, &mut rng))
         .collect();
     let spec = OpAmpSpec::ideal();
-    let mut engine = NumericEngine::new();
-    let mut prep = one_stage::prepare_matrix(&mut engine, &a).unwrap();
-    let out = solve_batch(
-        &mut engine,
-        &mut prep,
-        &a,
-        &batch,
-        &IoConfig::ideal(),
-        &spec,
-        1e-7,
-    )
-    .unwrap();
+    let mut solver = BlockAmcSolver::new(NumericEngine::new(), Stages::One);
+    let out = solve_batch(&mut solver, &a, &batch, &spec, 1e-7).unwrap();
     // Independent reconstruction of the timing from the macro model.
     let phases = phase_settle_times(&a, &spec).unwrap();
     let t = MacroTiming::from_phase_times(phases, 1e-7).unwrap();

@@ -1,0 +1,227 @@
+//! Integration tests of the builder facade: prepare/solve split,
+//! per-level signal plans, and the amortization guarantee.
+//!
+//! The headline physical claim of the redesign: a multi-RHS workload
+//! driven through [`blockamc::solver::PreparedSolver`] programs each
+//! array exactly once (`EngineStats::program_ops` stays flat across
+//! solves), and repeated solves see one fixed variation draw — the
+//! paper's §III.B amortization of nonvolatile array programming.
+
+use amc_linalg::{generate, lu, metrics, vector, Matrix};
+use blockamc::converter::{Converter, IoConfig};
+use blockamc::engine::{AmcEngine, CircuitEngine, CircuitEngineConfig, NumericEngine};
+use blockamc::solver::{LevelIo, SignalPlan, SolverConfig, Stages};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn workload(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let a = generate::wishart_default(n, &mut rng).unwrap();
+    let b = generate::random_vector(n, &mut rng);
+    (a, b)
+}
+
+/// Diagonally dominant matrix and RHS with exactly-representable
+/// entries (same construction as `tests/io_signal_paths.rs`), so
+/// snapshot expectations are exact on every IEEE-754 platform.
+fn dyadic_workload(n: usize) -> (Matrix, Vec<f64>) {
+    let a = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            4.0
+        } else {
+            ((i * 3 + j * 5) % 7) as f64 * 0.125 - 0.375
+        }
+    });
+    let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64 * 0.25 - 0.5).collect();
+    (a, b)
+}
+
+#[test]
+fn multi_rhs_workload_programs_each_array_exactly_once() {
+    // Acceptance criterion: many right-hand sides, one programming pass.
+    let (a, _) = workload(16, 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let batch: Vec<Vec<f64>> = (0..16)
+        .map(|_| generate::random_vector(16, &mut rng))
+        .collect();
+    for (stages, arrays) in [(Stages::One, 4), (Stages::Two, 16)] {
+        let mut solver = SolverConfig::builder()
+            .stages(stages)
+            .build(NumericEngine::new())
+            .unwrap();
+        let mut prepared = solver.prepare(&a).unwrap();
+        assert_eq!(prepared.engine().stats().program_ops, arrays, "{stages:?}");
+        let solutions = prepared.solve_batch(&batch).unwrap();
+        assert_eq!(
+            prepared.engine().stats().program_ops,
+            arrays,
+            "{stages:?}: solving must not reprogram"
+        );
+        for (b, x) in batch.iter().zip(&solutions) {
+            let x_ref = lu::solve(&a, b).unwrap();
+            assert!(vector::approx_eq(x, &x_ref, 1e-8), "{stages:?}");
+        }
+    }
+}
+
+#[test]
+fn program_ops_stay_flat_across_repeated_solves() {
+    // Per-solve stats deltas report zero programming, under both engines.
+    let (a, b) = workload(12, 3);
+    let mut numeric = SolverConfig::builder()
+        .stages(Stages::One)
+        .build(NumericEngine::new())
+        .unwrap();
+    let mut prepared = numeric.prepare(&a).unwrap();
+    for _ in 0..5 {
+        let r = prepared.solve(&b).unwrap();
+        assert_eq!(r.stats_delta.program_ops, 0);
+        assert_eq!(r.stats_delta.inv_ops, 3);
+        assert_eq!(r.stats_delta.mvm_ops, 2);
+    }
+
+    let engine = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 7);
+    let mut analog = SolverConfig::builder()
+        .stages(Stages::Two)
+        .build(engine)
+        .unwrap();
+    let mut prepared = analog.prepare(&a).unwrap();
+    let baseline = prepared.engine().stats().program_ops;
+    let first = prepared.solve(&b).unwrap().x;
+    for _ in 0..3 {
+        // One variation draw: repeated solves are bit-identical.
+        assert_eq!(prepared.solve(&b).unwrap().x, first);
+    }
+    assert_eq!(prepared.engine().stats().program_ops, baseline);
+}
+
+#[test]
+fn prepared_solve_is_bit_identical_to_the_reprogramming_facade() {
+    // For an identically-seeded engine, going through prepare() once
+    // must consume the same variation stream as the convenience solve.
+    let (a, b) = workload(16, 4);
+    let config = CircuitEngineConfig::paper_variation();
+    let mut via_solve = SolverConfig::builder()
+        .stages(Stages::One)
+        .build(CircuitEngine::new(config, 11))
+        .unwrap();
+    let x_solve = via_solve.solve(&a, &b).unwrap().x;
+    let mut via_prepare = SolverConfig::builder()
+        .stages(Stages::One)
+        .build(CircuitEngine::new(config, 11))
+        .unwrap();
+    let x_prepare = via_prepare.prepare(&a).unwrap().solve(&b).unwrap().x;
+    assert_eq!(x_solve, x_prepare);
+}
+
+/// The non-ideal signal path of `tests/io_signal_paths.rs`: asymmetric
+/// converters plus S&H droop, so any dropped or doubled hop moves the
+/// snapshot.
+fn nonideal_io() -> IoConfig {
+    IoConfig {
+        dac: Some(Converter::new(8, 1.0).unwrap()),
+        adc: Some(Converter::new(6, 1.0).unwrap()),
+        sh_droop: 0.0625,
+    }
+}
+
+#[test]
+fn facade_one_and_two_stage_match_module_apis_under_nonideal_io() {
+    // The builder facade routes everything through the partition tree;
+    // these pins prove the tree reproduces the legacy module paths
+    // bit-for-bit *including* the quantized/drooped signal paths.
+    let (a, b) = dyadic_workload(8);
+
+    let mut engine = NumericEngine::new();
+    let mut prep = blockamc::one_stage::prepare_matrix(&mut engine, &a).unwrap();
+    let module_one = blockamc::one_stage::solve(&mut engine, &mut prep, &b, &nonideal_io())
+        .unwrap()
+        .x;
+    let mut facade_one = SolverConfig::builder()
+        .stages(Stages::One)
+        .io(nonideal_io())
+        .build(NumericEngine::new())
+        .unwrap();
+    assert_eq!(facade_one.solve(&a, &b).unwrap().x, module_one);
+
+    let mut engine = NumericEngine::new();
+    let mut prep = blockamc::two_stage::prepare(&mut engine, &a).unwrap();
+    let module_two = blockamc::two_stage::solve(&mut engine, &mut prep, &b, &nonideal_io())
+        .unwrap()
+        .x;
+    let mut facade_two = SolverConfig::builder()
+        .stages(Stages::Two)
+        .io(nonideal_io())
+        .build(NumericEngine::new())
+        .unwrap();
+    assert_eq!(facade_two.solve(&a, &b).unwrap().x, module_two);
+}
+
+#[test]
+fn depth3_cascade_with_bus_entry_at_level1_snapshot() {
+    // Acceptance criterion: a depth-3 cascade whose level-1 boundary
+    // crosses the data bus runs through the facade. The workload is
+    // dyadic and the engine exact, so the solution is pinned to the
+    // bit; a dropped or doubled ADC→DAC hop at level 1 moves it.
+    let (a, b) = dyadic_workload(8);
+    let plan = SignalPlan::pure().with_level(1, LevelIo::Bus(nonideal_io()));
+    let mut solver = SolverConfig::builder()
+        .stages(Stages::Multi(3))
+        .signal_plan(plan)
+        .build(NumericEngine::new())
+        .unwrap();
+    let mut prepared = solver.prepare(&a).unwrap();
+    assert_eq!(prepared.depth(), 3);
+    let r = prepared.solve(&b).unwrap();
+    // The pure root cascade records its five steps; the bus sits one
+    // level below it.
+    assert_eq!(r.trace.as_ref().map(Vec::len), Some(5));
+    let expected = [
+        -0.12698412698412698,
+        -0.031746031746031744,
+        0.12698412698412698,
+        -0.06349206349206349,
+        0.06349206349206349,
+        -0.12698412698412698,
+        0.0,
+        0.12698412698412698,
+    ];
+    assert_eq!(r.x, expected, "level-1 bus snapshot moved");
+    // Sanity: the coarse 6-bit hops perturb but do not destroy the
+    // solution.
+    let x_ref = lu::solve(&a, &b).unwrap();
+    let err = metrics::relative_error(&x_ref, &r.x);
+    assert!(err > 1e-6 && err < 0.5, "err={err}");
+}
+
+#[test]
+fn deep_paper_plan_applies_converters_at_every_level() {
+    // A depth-3 paper plan ([Bus, Bus, Macro]) must quantize harder
+    // than a depth-3 plan with converters only at the root, which in
+    // turn beats an unconverted (pure) plan — each additional
+    // bus/macro level adds ADC→DAC hops.
+    let (a, b) = workload(16, 9);
+    let x_ref = lu::solve(&a, &b).unwrap();
+    let io = IoConfig {
+        dac: Some(Converter::new(10, 4.0).unwrap()),
+        adc: Some(Converter::new(10, 4.0).unwrap()),
+        sh_droop: 0.0,
+    };
+    let err_with = |plan: SignalPlan| {
+        let mut solver = SolverConfig::builder()
+            .stages(Stages::Multi(3))
+            .signal_plan(plan)
+            .build(NumericEngine::new())
+            .unwrap();
+        metrics::relative_error(&x_ref, &solver.solve(&a, &b).unwrap().x)
+    };
+    let pure = err_with(SignalPlan::pure());
+    let root_only = err_with(SignalPlan::from_levels(vec![LevelIo::Macro(io)]));
+    let full_paper = err_with(SignalPlan::paper(3, io));
+    assert!(pure < 1e-10, "pure plan is exact: {pure}");
+    assert!(root_only > 1e-6, "root converters quantize: {root_only}");
+    assert!(
+        full_paper > root_only,
+        "per-level hops must add error: {full_paper} vs {root_only}"
+    );
+}

@@ -14,10 +14,17 @@
 //! (where bit-identity additionally requires that both sides program
 //! the same arrays in the same order, consuming the same variation
 //! draws from a fixed RNG seed).
+//!
+//! The builder facade (`SolverConfig::builder()` →
+//! `BlockAmcSolver::prepare` → `PreparedSolver::solve`) routes every
+//! architecture through the partition tree, so the same pinning applies
+//! one layer up: the facade must be bit-identical to the legacy module
+//! APIs it replaced.
 
 use blockamc::converter::IoConfig;
 use blockamc::engine::{AmcEngine, CircuitEngine, CircuitEngineConfig, NumericEngine};
 use blockamc::multi_stage::PartitionPlan;
+use blockamc::solver::{SolverConfig, Stages};
 use blockamc::{multi_stage, one_stage, two_stage};
 
 use amc_linalg::{generate, Matrix};
@@ -58,6 +65,15 @@ fn multi_stage_x<E: AmcEngine>(
 ) -> Vec<f64> {
     let mut prep = multi_stage::prepare_plan(&mut engine, a, plan).unwrap();
     multi_stage::solve(&mut engine, &mut prep, b).unwrap()
+}
+
+fn facade_x<E: AmcEngine>(engine: E, a: &Matrix, b: &[f64], stages: Stages) -> Vec<f64> {
+    let mut solver = SolverConfig::builder()
+        .stages(stages)
+        .build(engine)
+        .unwrap();
+    let mut prepared = solver.prepare(a).unwrap();
+    prepared.solve(b).unwrap().x
 }
 
 proptest! {
@@ -101,5 +117,50 @@ proptest! {
             &PartitionPlan::paper(2),
         );
         prop_assert_eq!(two, multi);
+    }
+
+    #[test]
+    fn prepared_facade_matches_one_stage_module_numeric((a, b, _) in workload()) {
+        let one = one_stage_x(NumericEngine::new(), &a, &b);
+        let facade = facade_x(NumericEngine::new(), &a, &b, Stages::One);
+        prop_assert_eq!(one, facade);
+    }
+
+    #[test]
+    fn prepared_facade_matches_one_stage_module_circuit((a, b, seed) in workload()) {
+        let cfg = CircuitEngineConfig::paper_variation();
+        let one = one_stage_x(CircuitEngine::new(cfg, seed), &a, &b);
+        let facade = facade_x(CircuitEngine::new(cfg, seed), &a, &b, Stages::One);
+        prop_assert_eq!(one, facade);
+    }
+
+    #[test]
+    fn prepared_facade_matches_two_stage_module_numeric((a, b, _) in workload()) {
+        let two = two_stage_x(NumericEngine::new(), &a, &b);
+        let facade = facade_x(NumericEngine::new(), &a, &b, Stages::Two);
+        prop_assert_eq!(two, facade);
+    }
+
+    #[test]
+    fn prepared_facade_matches_two_stage_module_circuit((a, b, seed) in workload()) {
+        let cfg = CircuitEngineConfig::paper_variation();
+        let two = two_stage_x(CircuitEngine::new(cfg, seed), &a, &b);
+        let facade = facade_x(CircuitEngine::new(cfg, seed), &a, &b, Stages::Two);
+        prop_assert_eq!(two, facade);
+    }
+
+    #[test]
+    fn prepared_facade_matches_multi_stage_module_circuit((a, b, seed) in workload()) {
+        // Depth bounded by the facade's log2(n) validation.
+        let depth = 2.min(a.rows().ilog2() as usize);
+        let cfg = CircuitEngineConfig::paper_variation();
+        let module = multi_stage_x(
+            CircuitEngine::new(cfg, seed),
+            &a,
+            &b,
+            &PartitionPlan::depth(depth),
+        );
+        let facade = facade_x(CircuitEngine::new(cfg, seed), &a, &b, Stages::Multi(depth));
+        prop_assert_eq!(module, facade);
     }
 }
