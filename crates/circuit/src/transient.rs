@@ -134,13 +134,16 @@ pub fn simulate_inv_settling(
     let equilibrium = lu.solve(&neg_in)?;
     let eq_norm = vector::norm_inf(&equilibrium).max(f64::MIN_POSITIVE);
 
-    // dv/dt = f(v) = −ω(Ĝ·v + v_in).
-    let f = |v: &[f64]| -> Vec<f64> {
-        let gv = g_hat.matvec(v).expect("shape checked above");
-        gv.iter()
-            .zip(v_in)
-            .map(|(&gvi, &bi)| -omega * (gvi + bi))
-            .collect()
+    // dv/dt = f(v) = −ω(Ĝ·v + v_in). The derivative is evaluated four
+    // times per RK4 step over thousands of steps, so it writes into a
+    // caller-provided slice through the borrowed matvec kernel instead
+    // of allocating two vectors per evaluation.
+    let mut gv = vec![0.0; n];
+    let mut eval_f = |v: &[f64], out: &mut [f64]| {
+        g_hat.matvec_into(v, &mut gv).expect("shape checked above");
+        for ((o, &gvi), &bi) in out.iter_mut().zip(&gv).zip(v_in) {
+            *o = -omega * (gvi + bi);
+        }
     };
 
     let steps = (opts.duration_s / opts.dt_s).ceil() as usize;
@@ -152,24 +155,31 @@ pub fn simulate_inv_settling(
     times.push(0.0);
     outputs.push(v.clone());
 
+    // RK4 scratch: stage vector and the four slopes, reused every step.
+    let mut stage = vec![0.0; n];
+    let (mut k1, mut k2, mut k3, mut k4) = (vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n]);
     for step in 1..=steps {
         let t = step as f64 * opts.dt_s;
         // RK4.
-        let k1 = f(&v);
-        let mut v2 = v.clone();
-        vector::axpy(opts.dt_s / 2.0, &k1, &mut v2);
-        let k2 = f(&v2);
-        let mut v3 = v.clone();
-        vector::axpy(opts.dt_s / 2.0, &k2, &mut v3);
-        let k3 = f(&v3);
-        let mut v4 = v.clone();
-        vector::axpy(opts.dt_s, &k3, &mut v4);
-        let k4 = f(&v4);
+        eval_f(&v, &mut k1);
+        stage.copy_from_slice(&v);
+        vector::axpy(opts.dt_s / 2.0, &k1, &mut stage);
+        eval_f(&stage, &mut k2);
+        stage.copy_from_slice(&v);
+        vector::axpy(opts.dt_s / 2.0, &k2, &mut stage);
+        eval_f(&stage, &mut k3);
+        stage.copy_from_slice(&v);
+        vector::axpy(opts.dt_s, &k3, &mut stage);
+        eval_f(&stage, &mut k4);
         for i in 0..n {
             v[i] += opts.dt_s / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
         }
 
-        let err = vector::norm_inf(&vector::sub(&v, &equilibrium)) / eq_norm;
+        let mut err = 0.0_f64;
+        for (&vi, &ei) in v.iter().zip(&equilibrium) {
+            err = err.max((vi - ei).abs());
+        }
+        let err = err / eq_norm;
         if err <= opts.epsilon {
             if settled_since.is_none() {
                 settled_since = Some(t);

@@ -46,6 +46,26 @@ impl BatchSolution {
             self.batch_time_unpipelined_s / self.batch_time_pipelined_s
         }
     }
+
+    /// Total batch latency when the batch is sharded across `workers`
+    /// independently-programmed macro instances, each pipelining its own
+    /// shard — the multi-macro extension of the paper's §III.B timing
+    /// model.
+    ///
+    /// The `k` right-hand sides are dealt as evenly as possible, so the
+    /// slowest macro processes `⌈k/workers⌉` of them: it fills its
+    /// five-phase pipe once (`latency_s`) and then retires one solution
+    /// per `cycle_s`. `workers` is clamped to at least 1; with more
+    /// workers than right-hand sides every macro solves at most one RHS
+    /// and the batch takes a single pipeline latency.
+    pub fn batch_time_parallel_s(&self, workers: usize) -> f64 {
+        let k = self.solutions.len();
+        if k == 0 {
+            return 0.0;
+        }
+        let per_macro = k.div_ceil(workers.max(1)) as f64;
+        self.timing.latency_s + (per_macro - 1.0) * self.timing.cycle_s
+    }
 }
 
 /// Estimates the five per-phase settle times of a one-stage macro for the
@@ -100,9 +120,20 @@ pub fn solve_batch<E: AmcEngine>(
         ));
     }
     let solutions = solver.prepare(a)?.solve_batch(batch)?;
+    assemble_solution(solutions, a, batch.len(), opamp, conversion_s)
+}
+
+/// Derives the pipeline timing and packs a [`BatchSolution`].
+fn assemble_solution(
+    solutions: Vec<Vec<f64>>,
+    a: &Matrix,
+    k: usize,
+    opamp: &OpAmpSpec,
+    conversion_s: f64,
+) -> Result<BatchSolution> {
     let phases = phase_settle_times(a, opamp)?;
     let timing = MacroTiming::from_phase_times(phases, conversion_s)?;
-    let k = batch.len() as f64;
+    let k = k as f64;
     // Pipelined: fill the 5-stage pipe once, then one result per cycle.
     let batch_time_pipelined_s = timing.latency_s + (k - 1.0) * timing.cycle_s;
     let batch_time_unpipelined_s = k * timing.latency_s;
@@ -112,6 +143,108 @@ pub fn solve_batch<E: AmcEngine>(
         batch_time_pipelined_s,
         batch_time_unpipelined_s,
     })
+}
+
+/// Number of shards dealt per worker: a few more shards than workers
+/// keeps the stealing pool balanced when solve times vary (deeper
+/// recursion on some shards, OS jitter) without shrinking shards into
+/// scheduling noise.
+const SHARDS_PER_WORKER: usize = 4;
+
+/// Parallel [`solve_batch`]: prepares `a` once, replicates the prepared
+/// solver across `workers` independently-owned macro instances
+/// ([`crate::solver::PreparedSolver::replicate`]), and shards the
+/// right-hand sides over a work-stealing pool (`amc_par`).
+///
+/// **Bit-identical to the serial path at every worker count.** Each
+/// replica carries a bitwise copy of the arrays programmed by the one
+/// `prepare` call — the same effective conductances, hence the same
+/// variation draw — so a right-hand side produces the same solution no
+/// matter which worker solves it, and the merged output (always in
+/// input order) equals `solve_batch`'s exactly. `workers == 1` runs
+/// the serial path itself.
+///
+/// Worker 0 drives the original prepared arrays directly, so only
+/// `workers − 1` replicas are cloned. As a consequence `solver`'s
+/// engine counters reflect the preparation plus whatever shards worker
+/// 0 happened to execute — a scheduling-dependent *count*; the
+/// solutions themselves are scheduling-independent. The replicas'
+/// engines are dropped after the merge.
+///
+/// # Errors
+///
+/// * [`crate::BlockAmcError::InvalidConfig`] for an empty batch or
+///   `workers == 0`.
+/// * Preparation, shape, and engine failures per solve.
+pub fn solve_batch_parallel<E: AmcEngine + Clone + Send>(
+    solver: &mut BlockAmcSolver<E>,
+    a: &Matrix,
+    batch: &[Vec<f64>],
+    opamp: &OpAmpSpec,
+    conversion_s: f64,
+    workers: usize,
+) -> Result<BatchSolution> {
+    if batch.is_empty() {
+        return Err(crate::BlockAmcError::config(
+            "batch must contain at least one RHS",
+        ));
+    }
+    if workers == 0 {
+        return Err(crate::BlockAmcError::config(
+            "parallel batch needs at least one worker",
+        ));
+    }
+    let mut prepared = solver.prepare(a)?;
+    if workers == 1 {
+        let solutions = prepared.solve_batch(batch)?;
+        return assemble_solution(solutions, a, batch.len(), opamp, conversion_s);
+    }
+    // Worker 0 owns the original programmed arrays; workers 1.. own
+    // bitwise replicas — `workers` solving instances, `workers − 1`
+    // copies.
+    let replicas = prepared.replicate(workers - 1);
+    let mut states: Vec<ShardWorker<'_, '_, E>> = Vec::with_capacity(workers);
+    states.push(ShardWorker::Original(&mut prepared));
+    states.extend(
+        replicas
+            .into_iter()
+            .map(|r| ShardWorker::Replica(Box::new(r))),
+    );
+    // Contiguous shards, several per worker; input order is restored by
+    // the index-preserving pool merge.
+    let shard_len = batch.len().div_ceil(workers * SHARDS_PER_WORKER).max(1);
+    let shards: Vec<&[Vec<f64>]> = batch.chunks(shard_len).collect();
+    let sharded = amc_par::map_with_states(&mut states, shards, |worker, _, shard| {
+        shard
+            .iter()
+            .map(|b| worker.solve_x(b))
+            .collect::<Result<Vec<_>>>()
+    });
+    let mut solutions = Vec::with_capacity(batch.len());
+    for shard in sharded {
+        solutions.extend(shard?);
+    }
+    assemble_solution(solutions, a, batch.len(), opamp, conversion_s)
+}
+
+/// A shard worker's solving instance: the caller's prepared solver
+/// (worker 0) or an owned replica (the rest). Either way the programmed
+/// array values are identical, which is what keeps sharding invisible
+/// in the output.
+enum ShardWorker<'p, 'e, E: AmcEngine> {
+    Original(&'p mut crate::solver::PreparedSolver<'e, E>),
+    /// Boxed: a replica owns engine + config + tree, far larger than
+    /// the borrow in [`ShardWorker::Original`].
+    Replica(Box<crate::solver::SolverReplica<E>>),
+}
+
+impl<E: AmcEngine> ShardWorker<'_, '_, E> {
+    fn solve_x(&mut self, b: &[f64]) -> Result<Vec<f64>> {
+        match self {
+            ShardWorker::Original(prepared) => prepared.solve(b).map(|r| r.x),
+            ShardWorker::Replica(replica) => replica.solve(b).map(|r| r.x),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -201,5 +334,64 @@ mod tests {
         assert!(solve_batch(&mut solver, &a, &[], &OpAmpSpec::ideal(), 0.0).is_err());
         // Validation precedes side effects: no arrays were programmed.
         assert_eq!(solver.engine().stats().program_ops, 0);
+    }
+
+    #[test]
+    fn parallel_batch_is_bit_identical_to_serial() {
+        use crate::engine::{CircuitEngine, CircuitEngineConfig};
+        let (a, _) = setup(16);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let batch: Vec<Vec<f64>> = (0..13)
+            .map(|_| generate::random_vector(16, &mut rng))
+            .collect();
+        // Variation makes solutions draw-dependent: identity across
+        // worker counts then proves the replicas share the draw.
+        let serial = {
+            let engine = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 7);
+            let mut solver = BlockAmcSolver::new(engine, Stages::One);
+            solve_batch(&mut solver, &a, &batch, &OpAmpSpec::ideal(), 0.0).unwrap()
+        };
+        for workers in [1usize, 2, 4] {
+            let engine = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 7);
+            let mut solver = BlockAmcSolver::new(engine, Stages::One);
+            let out =
+                solve_batch_parallel(&mut solver, &a, &batch, &OpAmpSpec::ideal(), 0.0, workers)
+                    .unwrap();
+            assert_eq!(out.solutions, serial.solutions, "workers={workers}");
+            assert_eq!(out.timing, serial.timing);
+        }
+    }
+
+    #[test]
+    fn parallel_batch_validates_inputs() {
+        let (a, batch) = setup(8);
+        let mut solver = one_stage_solver();
+        assert!(
+            solve_batch_parallel(&mut solver, &a, &batch, &OpAmpSpec::ideal(), 0.0, 0).is_err()
+        );
+        assert!(solve_batch_parallel(&mut solver, &a, &[], &OpAmpSpec::ideal(), 0.0, 2).is_err());
+    }
+
+    #[test]
+    fn parallel_timing_model_matches_hand_computation() {
+        let timing = MacroTiming::from_phase_times([1e-6; 5], 1e-6).unwrap();
+        let k = 10;
+        let sol = BatchSolution {
+            solutions: vec![vec![0.0]; k],
+            timing,
+            batch_time_pipelined_s: timing.latency_s + 9.0 * timing.cycle_s,
+            batch_time_unpipelined_s: 10.0 * timing.latency_s,
+        };
+        let (lat, cyc) = (timing.latency_s, timing.cycle_s);
+        // One macro: the pipelined time itself.
+        assert_eq!(sol.batch_time_parallel_s(1), sol.batch_time_pipelined_s);
+        // Two macros: slowest shard has ⌈10/2⌉ = 5 solves.
+        assert_eq!(sol.batch_time_parallel_s(2), lat + 4.0 * cyc);
+        // Three macros: ⌈10/3⌉ = 4 solves on the slowest.
+        assert_eq!(sol.batch_time_parallel_s(3), lat + 3.0 * cyc);
+        // More macros than RHS: a single pipeline latency.
+        assert_eq!(sol.batch_time_parallel_s(16), lat);
+        // workers = 0 is clamped to one macro.
+        assert_eq!(sol.batch_time_parallel_s(0), sol.batch_time_pipelined_s);
     }
 }

@@ -187,21 +187,24 @@ impl AmcEngine for NumericEngine {
         if lu.is_none() {
             *lu = Some(LuFactor::new(a)?);
         }
-        let x = lu
+        let mut x = lu
             .as_ref()
             .expect("factorization was just installed")
             .solve(b)?;
+        // Negate in place: the solve already handed us an owned vector.
+        amc_linalg::vector::neg_in_place(&mut x);
         self.stats.inv_ops += 1;
-        Ok(x.into_iter().map(|v| -v).collect())
+        Ok(x)
     }
 
     fn mvm(&mut self, operand: &mut Operand, x: &[f64]) -> Result<Vec<f64>> {
         let OperandInner::Numeric { a, .. } = &operand.inner else {
             return Err(BlockAmcError::OperandMismatch { engine: "numeric" });
         };
-        let y = a.matvec(x)?;
+        let mut y = a.matvec(x)?;
+        amc_linalg::vector::neg_in_place(&mut y);
         self.stats.mvm_ops += 1;
-        Ok(y.into_iter().map(|v| -v).collect())
+        Ok(y)
     }
 
     fn name(&self) -> &'static str {

@@ -14,7 +14,8 @@
 use amc_linalg::{lu, metrics, Matrix};
 
 use crate::engine::{CircuitEngine, CircuitEngineConfig};
-use crate::solver::{BlockAmcSolver, SolverConfig, Stages};
+use crate::multi_stage;
+use crate::solver::{SolverConfig, Stages};
 use crate::{BlockAmcError, Result};
 
 /// Result of a yield run.
@@ -48,7 +49,14 @@ impl YieldReport {
 /// against `spec`.
 ///
 /// Each trial programs fresh arrays (a new "manufactured part") from
-/// `engine_seed + trial`, so results are reproducible.
+/// its own ChaCha8 stream seeded `engine_seed + trial`, so results are
+/// reproducible — and independent of *where* a trial runs, which is
+/// what [`yield_analysis_parallel`] exploits.
+///
+/// Configuration validation, the reference solution, and partition
+/// planning are hoisted out of the trial loop: each trial pays only for
+/// what a new manufactured part pays for — programming its arrays and
+/// running the cascade.
 ///
 /// # Errors
 ///
@@ -65,31 +73,72 @@ pub fn yield_analysis(
     trials: usize,
     engine_seed: u64,
 ) -> Result<YieldReport> {
+    yield_analysis_parallel(a, b, solver, circuit, spec, trials, engine_seed, 1)
+}
+
+/// [`yield_analysis`] with the trials farmed out across `workers`
+/// work-stealing threads (`amc_par`).
+///
+/// **The report is bit-identical at every worker count**: trial `t`
+/// draws its part from the dedicated ChaCha8 stream `engine_seed + t`
+/// regardless of which worker executes it, and the per-trial errors are
+/// merged back in trial order before any statistic is computed.
+/// `workers == 1` runs inline on the calling thread.
+///
+/// # Errors
+///
+/// Same conditions as [`yield_analysis`], plus
+/// [`BlockAmcError::InvalidConfig`] for `workers == 0`.
+#[allow(clippy::too_many_arguments)] // mirrors yield_analysis + workers
+pub fn yield_analysis_parallel(
+    a: &Matrix,
+    b: &[f64],
+    solver: &SolverConfig,
+    circuit: CircuitEngineConfig,
+    spec: f64,
+    trials: usize,
+    engine_seed: u64,
+    workers: usize,
+) -> Result<YieldReport> {
     if trials == 0 {
         return Err(BlockAmcError::config(
             "yield analysis needs at least 1 trial",
         ));
     }
+    if workers == 0 {
+        return Err(BlockAmcError::config(
+            "yield analysis needs at least 1 worker",
+        ));
+    }
     if !(spec > 0.0 && spec.is_finite()) {
         return Err(BlockAmcError::config("spec must be positive and finite"));
     }
+    if b.len() != a.rows() {
+        return Err(BlockAmcError::ShapeMismatch {
+            op: "yield_analysis",
+            expected: a.rows(),
+            got: b.len(),
+        });
+    }
     solver.validate_for_size(a.rows())?;
     let x_ref = lu::solve(a, b)?;
-    let mut errors = Vec::with_capacity(trials);
-    let mut passing = 0usize;
-    for t in 0..trials {
-        let engine = CircuitEngine::new(circuit, engine_seed.wrapping_add(t as u64));
-        let mut facade = BlockAmcSolver::from_config(engine, solver.clone());
-        if let Ok(report) = facade.solve(a, b) {
-            let err = metrics::relative_error(&x_ref, &report.x);
-            if err.is_finite() {
-                if err <= spec {
-                    passing += 1;
-                }
-                errors.push(err);
-            }
-        }
-    }
+    // Hoisted per-run state: the partition plan and signal plan are
+    // trial-invariant; only array programming and the cascade run per
+    // trial.
+    let plan = solver.partition_plan();
+    let signal = solver.signal_plan();
+    let run_trial = |t: usize| -> Option<f64> {
+        let mut engine = CircuitEngine::new(circuit, engine_seed.wrapping_add(t as u64));
+        let mut tree = multi_stage::prepare_plan(&mut engine, a, &plan).ok()?;
+        let (x, _) =
+            multi_stage::solve_with_signal(&mut engine, &mut tree, b, signal, false).ok()?;
+        let err = metrics::relative_error(&x_ref, &x);
+        err.is_finite().then_some(err)
+    };
+    let per_trial: Vec<Option<f64>> =
+        amc_par::map_indexed(workers, (0..trials).collect(), |_, t| run_trial(t));
+    let errors: Vec<f64> = per_trial.into_iter().flatten().collect();
+    let passing = errors.iter().filter(|&&e| e <= spec).count();
     Ok(YieldReport {
         trials,
         completed: errors.len(),
@@ -258,6 +307,39 @@ mod tests {
             yield_analysis(&a, &b, &bad, CircuitEngineConfig::ideal(), 0.1, 3, 0).is_err(),
             "depth 5 must be rejected on an 8x8 workload"
         );
+    }
+
+    #[test]
+    fn parallel_report_is_identical_at_any_worker_count() {
+        let (a, b) = workload(12);
+        let run = |workers: usize| {
+            yield_analysis_parallel(
+                &a,
+                &b,
+                &one_stage(),
+                CircuitEngineConfig::paper_variation(),
+                0.1,
+                6,
+                17,
+                workers,
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        for workers in [2usize, 3, 4] {
+            assert_eq!(run(workers), serial, "workers={workers}");
+        }
+        assert!(yield_analysis_parallel(
+            &a,
+            &b,
+            &one_stage(),
+            CircuitEngineConfig::ideal(),
+            0.1,
+            3,
+            0,
+            0
+        )
+        .is_err());
     }
 
     #[test]

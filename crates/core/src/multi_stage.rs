@@ -373,22 +373,27 @@ where
     };
 
     // Step 3: INV(A4s, g_t − g) -> z (the bottom half of x).
+    // The owned g/g_t vectors die here, so the subtractions reuse their
+    // buffers instead of allocating per phase.
     let z = match policy {
         StageIo::Bus => {
             // The inner macro is handed the right-hand side g − g_t and
             // returns +z, keeping its trace signals oriented exactly as
             // the bus-connected architecture observes them.
-            let rhs3 = vector::sub(&g, &gt);
+            let mut rhs3 = g;
+            vector::sub_assign(&mut rhs3, &gt);
             let mut sub = TraceLog::new(log.enabled);
-            let c3 = a4s.inv_signed(engine, &rhs3, inner, &mut sub)?;
+            let mut c3 = a4s.inv_signed(engine, &rhs3, inner, &mut sub)?;
             log.capture_inner("A4s", sub);
-            vector::neg(&c3)
+            vector::neg_in_place(&mut c3);
+            c3
         }
         _ => {
-            let input3 = match policy {
-                StageIo::Macro => vector::sub(&io.apply_sh(&gt), &g),
-                _ => vector::sub(&gt, &g),
+            let mut input3 = match policy {
+                StageIo::Macro => io.apply_sh(&gt),
+                _ => gt,
             };
+            vector::sub_assign(&mut input3, &g);
             let out = a4s.inv_signed(engine, &input3, inner, &mut TraceLog::disabled())?;
             log.record(StepId::Inv3, &input3, &out);
             out
@@ -427,10 +432,12 @@ where
     // Step 5: INV(A1, f − f_t) -> −y (the negated upper half of x),
     // reusing the very same A1 executor as step 1 — the paper's "the A1
     // array should be used twice", so both steps see one variation draw.
-    let input5 = match policy {
-        StageIo::Macro => vector::add(&f, &io.apply_sh(&neg_ft)),
-        _ => vector::add(&f, &neg_ft),
+    // −f_t is owned and dead after this step; its buffer carries the sum.
+    let mut input5 = match policy {
+        StageIo::Macro => io.apply_sh(&neg_ft),
+        _ => neg_ft,
     };
+    vector::add_assign(&mut input5, &f);
     let c5 = match policy {
         StageIo::Bus => {
             let mut sub = TraceLog::new(log.enabled);
@@ -446,11 +453,19 @@ where
     };
 
     // This node's "INV output" must be −x for the parent cascade:
-    // x = [y; z] with y = −c5, so −x = [c5; −z].
+    // x = [y; z] with y = −c5, so −x = [c5; −z]. The tail buffer is
+    // negated in place before the single concat allocation.
     Ok(match policy {
-        StageIo::Pure => vector::concat(&c5, &vector::neg(&z_held)),
+        StageIo::Pure => {
+            let mut tail = z_held;
+            vector::neg_in_place(&mut tail);
+            vector::concat(&c5, &tail)
+        }
         StageIo::Macro | StageIo::Bus => {
-            vector::concat(&io.apply_adc(&c5), &vector::neg(&io.apply_adc(&z_held)))
+            let head = io.apply_adc(&c5);
+            let mut tail = io.apply_adc(&z_held);
+            vector::neg_in_place(&mut tail);
+            vector::concat(&head, &tail)
         }
     })
 }
@@ -854,7 +869,7 @@ pub(crate) fn solve_with_signal<E: AmcEngine + ?Sized>(
         TraceLog::disabled()
     };
     let path = signal.path();
-    let neg_x = match (&mut prepared.root, signal.level(0)) {
+    let mut x = match (&mut prepared.root, signal.level(0)) {
         // A leaf root has no cascade to apply the boundary converters,
         // so the macro/bus digital boundary is applied here.
         (root @ Node::Leaf(_), LevelIo::Macro(io) | LevelIo::Bus(io)) => {
@@ -865,7 +880,8 @@ pub(crate) fn solve_with_signal<E: AmcEngine + ?Sized>(
         }
         (root, _) => root.inv_signed(engine, b, path, &mut log)?,
     };
-    Ok((vector::neg(&neg_x), log))
+    vector::neg_in_place(&mut x);
+    Ok((x, log))
 }
 
 #[cfg(test)]

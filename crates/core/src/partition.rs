@@ -104,10 +104,13 @@ impl BlockPartition {
         if self.a2.is_zero() || self.a3.is_zero() {
             return Ok(self.a4.clone());
         }
+        // Fused kernel: streams A1⁻¹·A2 one column at a time into the
+        // A4 copy instead of materializing two intermediate matrices
+        // (see `LuFactor::schur_update_into`).
         let lu = LuFactor::new(&self.a1)?;
-        let a1_inv_a2 = lu.solve_matrix(&self.a2)?;
-        let correction = self.a3.matmul(&a1_inv_a2)?;
-        Ok(self.a4.sub_matrix(&correction)?)
+        let mut a4s = self.a4.clone();
+        lu.schur_update_into(&self.a2, &self.a3, &mut a4s)?;
+        Ok(a4s)
     }
 
     /// Splits a right-hand-side vector into `(f, g)` — the upper `split`

@@ -543,24 +543,37 @@ impl<E: AmcEngine> PreparedSolver<'_, E> {
     ///
     /// Shape mismatches and engine failures.
     pub fn solve(&mut self, b: &[f64]) -> Result<SolveReport> {
-        let before = self.engine.stats();
-        let (x, log) = multi_stage::solve_with_signal(
-            self.engine,
-            &mut self.tree,
-            b,
-            &self.config.signal,
-            self.config.capture_trace,
-        )?;
-        let after = self.engine.stats();
-        let trace = (!log.steps.is_empty()).then_some(log.steps);
-        Ok(SolveReport {
-            x,
-            stages: self.config.stages,
-            engine: self.engine.name(),
-            trace,
-            inner_traces: log.inner,
-            stats_delta: stats_delta(&before, &after),
-        })
+        solve_prepared(self.engine, self.config, &mut self.tree, b)
+    }
+
+    /// Clones this prepared solver into `n` independently owned
+    /// replicas — the "independently-programmed macro instances" the
+    /// parallel batch layer shards work across.
+    ///
+    /// Each replica owns a copy of the engine and of every programmed
+    /// array, modeling a separate hardware deployment whose
+    /// write-and-verify loop reached the **same effective conductances**
+    /// as this solver's arrays: the one variation draw taken at
+    /// [`BlockAmcSolver::prepare`] time is inherited bitwise. That is
+    /// the determinism contract the parallel layer builds on — any
+    /// right-hand side solved on any replica is bit-identical to
+    /// solving it here, so sharded output cannot depend on the worker
+    /// count or on which worker stole which shard.
+    ///
+    /// Replication is cheap relative to preparation: no partitioning,
+    /// Schur pre-processing, or variation sampling is repeated — only
+    /// the programmed state is copied.
+    pub fn replicate(&self, n: usize) -> Vec<SolverReplica<E>>
+    where
+        E: Clone,
+    {
+        (0..n)
+            .map(|_| SolverReplica {
+                engine: self.engine.clone(),
+                config: self.config.clone(),
+                tree: self.tree.clone(),
+            })
+            .collect()
     }
 
     /// Solves one right-hand side after another against the same
@@ -580,6 +593,72 @@ impl<E: AmcEngine> PreparedSolver<'_, E> {
             solutions.push(self.solve(b)?.x);
         }
         Ok(solutions)
+    }
+}
+
+/// Runs one solve against an already-prepared partition tree; shared by
+/// the borrowing [`PreparedSolver`] and the owning [`SolverReplica`].
+fn solve_prepared<E: AmcEngine>(
+    engine: &mut E,
+    config: &SolverConfig,
+    tree: &mut PreparedMultiStage,
+    b: &[f64],
+) -> Result<SolveReport> {
+    let before = engine.stats();
+    let (x, log) =
+        multi_stage::solve_with_signal(engine, tree, b, &config.signal, config.capture_trace)?;
+    let after = engine.stats();
+    let trace = (!log.steps.is_empty()).then_some(log.steps);
+    Ok(SolveReport {
+        x,
+        stages: config.stages,
+        engine: engine.name(),
+        trace,
+        inner_traces: log.inner,
+        stats_delta: stats_delta(&before, &after),
+    })
+}
+
+/// A self-contained copy of a prepared solver: engine, configuration,
+/// and programmed partition tree, all owned.
+///
+/// Created by [`PreparedSolver::replicate`]. Unlike [`PreparedSolver`]
+/// it borrows nothing, so replicas can be moved onto worker threads and
+/// driven concurrently — each models an independently deployed macro
+/// instance programmed to the same effective conductances as the
+/// original (see [`PreparedSolver::replicate`] for the determinism
+/// contract).
+#[derive(Debug, Clone)]
+pub struct SolverReplica<E: AmcEngine> {
+    engine: E,
+    config: SolverConfig,
+    tree: PreparedMultiStage,
+}
+
+impl<E: AmcEngine> SolverReplica<E> {
+    /// Problem size `n`.
+    pub fn size(&self) -> usize {
+        self.tree.size()
+    }
+
+    /// Borrows this replica's engine (e.g. to read per-worker
+    /// [`AmcEngine::stats`] after a sharded run).
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// The configuration the replica was prepared under.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Solves `A·x = b` against the replica's programmed arrays.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatches and engine failures.
+    pub fn solve(&mut self, b: &[f64]) -> Result<SolveReport> {
+        solve_prepared(&mut self.engine, &self.config, &mut self.tree, b)
     }
 }
 
@@ -683,6 +762,26 @@ mod tests {
             assert!(metrics::relative_error(&x_ref, &r.x) < 1e-9);
         }
         assert_eq!(prepared.engine().stats().program_ops, 4);
+    }
+
+    #[test]
+    fn replicas_are_bit_identical_to_the_prepared_solver() {
+        // The determinism contract of the parallel layer: a replica's
+        // solve equals the original's bitwise, even under variation.
+        let (a, b) = workload(12, 21);
+        let engine = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 3);
+        let mut solver = BlockAmcSolver::new(engine, Stages::One);
+        let mut prepared = solver.prepare(&a).unwrap();
+        let mut replicas = prepared.replicate(3);
+        let x_ref = prepared.solve(&b).unwrap().x;
+        for (i, replica) in replicas.iter_mut().enumerate() {
+            assert_eq!(replica.size(), 12);
+            assert_eq!(replica.config().stages(), Stages::One);
+            let x = replica.solve(&b).unwrap().x;
+            assert_eq!(x, x_ref, "replica {i} diverged");
+            // Replication copies programmed state; nothing is reprogrammed.
+            assert_eq!(replica.engine().stats().program_ops, 4);
+        }
     }
 
     #[test]

@@ -109,6 +109,21 @@ impl LuFactor {
     /// Returns [`LinalgError::ShapeMismatch`] if `b.len()` differs from the
     /// matrix dimension.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = vec![0.0; self.dim()];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` into a borrowed output buffer — the
+    /// allocation-free kernel behind [`LuFactor::solve`], for hot paths
+    /// (repeated INV operations, Schur pre-processing) that reuse one
+    /// scratch vector across many right-hand sides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len()` or `x.len()`
+    /// differs from the matrix dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
         let n = self.dim();
         if b.len() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -117,24 +132,30 @@ impl LuFactor {
                 rhs: (b.len(), 1),
             });
         }
+        if x.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve (output)",
+                lhs: (n, n),
+                rhs: (x.len(), 1),
+            });
+        }
+        let lu = self.lu.as_slice();
         // Forward substitution on the permuted RHS: L·y = P·b.
-        let mut x: Vec<f64> = self.perm.iter().map(|&pi| b[pi]).collect();
+        for (xi, &pi) in x.iter_mut().zip(&self.perm) {
+            *xi = b[pi];
+        }
         for i in 1..n {
-            let mut sum = x[i];
-            for (j, &xj) in x.iter().enumerate().take(i) {
-                sum -= self.lu[(i, j)] * xj;
-            }
-            x[i] = sum;
+            let (solved, rest) = x.split_at_mut(i);
+            let row = &lu[i * n..i * n + i];
+            rest[0] -= crate::vector::dot(row, solved);
         }
         // Back substitution: U·x = y.
         for i in (0..n).rev() {
-            let mut sum = x[i];
-            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
-                sum -= self.lu[(i, j)] * xj;
-            }
-            x[i] = sum / self.lu[(i, i)];
+            let (head, tail) = x.split_at_mut(i + 1);
+            let row = &lu[i * n + i + 1..(i + 1) * n];
+            head[i] = (head[i] - crate::vector::dot(row, tail)) / lu[i * n + i];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `A·X = B` for a matrix right-hand side.
@@ -152,14 +173,63 @@ impl LuFactor {
             });
         }
         let mut out = Matrix::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        let mut x = vec![0.0; n];
         for j in 0..b.cols() {
-            let col = b.col(j);
-            let x = self.solve(&col)?;
-            for i in 0..n {
-                out[(i, j)] = x[i];
+            for (i, c) in col.iter_mut().enumerate() {
+                *c = b[(i, j)];
+            }
+            self.solve_into(&col, &mut x)?;
+            for (i, &xi) in x.iter().enumerate() {
+                out[(i, j)] = xi;
             }
         }
         Ok(out)
+    }
+
+    /// Applies the Schur-complement update `out -= A3·(A1⁻¹·A2)`, where
+    /// `self` is the factorization of `A1` and `out` arrives holding
+    /// `A4` — the fused pre-processing kernel of the BlockAMC partition
+    /// (paper eq. 3).
+    ///
+    /// Compared to materializing `A1⁻¹·A2` and the `A3·…` product as
+    /// full matrices, this streams one column at a time through two
+    /// reused scratch vectors, so the only allocation is the two
+    /// column buffers regardless of block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `A2`/`A3`/`out` do not
+    /// conform: `A2` must be `n×k`, `A3` `m×n`, and `out` `m×k` for the
+    /// `n×n` factorization `self`.
+    pub fn schur_update_into(&self, a2: &Matrix, a3: &Matrix, out: &mut Matrix) -> Result<()> {
+        let n = self.dim();
+        if a2.rows() != n || a3.cols() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "schur_update (A1 vs A2/A3)",
+                lhs: a2.shape(),
+                rhs: a3.shape(),
+            });
+        }
+        if out.rows() != a3.rows() || out.cols() != a2.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "schur_update (output)",
+                lhs: (a3.rows(), a2.cols()),
+                rhs: out.shape(),
+            });
+        }
+        let mut col = vec![0.0; n];
+        let mut y = vec![0.0; n];
+        for j in 0..a2.cols() {
+            for (i, c) in col.iter_mut().enumerate() {
+                *c = a2[(i, j)];
+            }
+            self.solve_into(&col, &mut y)?;
+            for i in 0..out.rows() {
+                out[(i, j)] -= crate::vector::dot(a3.row(i), &y);
+            }
+        }
+        Ok(())
     }
 
     /// Computes the inverse matrix `A⁻¹`.
@@ -337,6 +407,51 @@ mod tests {
         let lu = LuFactor::new(&a).unwrap();
         assert!(lu.solve(&[1.0, 2.0]).is_err());
         assert!(lu.solve_matrix(&Matrix::zeros(2, 2)).is_err());
+        assert!(lu.solve_into(&[1.0, 2.0, 3.0], &mut [0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]).unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x = lu.solve(&b).unwrap();
+        let mut buf = vec![0.0; 3];
+        lu.solve_into(&b, &mut buf).unwrap();
+        assert_eq!(x, buf, "borrowed kernel must be bit-identical");
+    }
+
+    #[test]
+    fn schur_update_matches_materialized_product() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let a1 = Matrix::from_fn(4, 4, |i, j| {
+            use rand::Rng;
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            if i == j {
+                v + 5.0
+            } else {
+                v
+            }
+        });
+        let a2 = Matrix::from_fn(4, 3, |i, j| (i + 2 * j) as f64 * 0.25 - 0.5);
+        let a3 = Matrix::from_fn(3, 4, |i, j| (2 * i + j) as f64 * 0.125 - 0.25);
+        let a4 = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let lu = LuFactor::new(&a1).unwrap();
+        let mut fused = a4.clone();
+        lu.schur_update_into(&a2, &a3, &mut fused).unwrap();
+        let reference = a4
+            .sub_matrix(&a3.matmul(&lu.solve_matrix(&a2).unwrap()).unwrap())
+            .unwrap();
+        assert!(fused.approx_eq(&reference, 1e-12));
+        // Shape validation.
+        assert!(lu
+            .schur_update_into(&a2, &a3, &mut Matrix::zeros(2, 2))
+            .is_err());
+        assert!(lu
+            .schur_update_into(&Matrix::zeros(3, 3), &a3, &mut a4.clone())
+            .is_err());
     }
 
     #[test]

@@ -273,6 +273,20 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * x` written into a borrowed output
+    /// buffer — the allocation-free kernel behind [`Matrix::matvec`],
+    /// for hot paths that solve against the same matrix repeatedly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.len() != self.cols()`
+    /// or `out.len() != self.rows()`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
         if x.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
                 op: "matvec",
@@ -280,12 +294,18 @@ impl Matrix {
                 rhs: (x.len(), 1),
             });
         }
-        let mut out = vec![0.0; self.rows];
+        if out.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec_into (output)",
+                lhs: self.shape(),
+                rhs: (out.len(), 1),
+            });
+        }
         for (i, o) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Transposed matrix-vector product `selfᵀ * x`.
@@ -739,6 +759,10 @@ mod tests {
     fn matvec_and_transposed() {
         let m = sample();
         assert_eq!(m.matvec(&[1.0, 0.0, -1.0]).unwrap(), vec![-2.0, -2.0]);
+        let mut buf = [0.0; 2];
+        m.matvec_into(&[1.0, 0.0, -1.0], &mut buf).unwrap();
+        assert_eq!(buf, [-2.0, -2.0]);
+        assert!(m.matvec_into(&[1.0, 0.0, -1.0], &mut [0.0; 3]).is_err());
         assert_eq!(
             m.matvec_transposed(&[1.0, 1.0]).unwrap(),
             vec![5.0, 7.0, 9.0]

@@ -61,6 +61,37 @@ pub fn neg(v: &[f64]) -> Vec<f64> {
     scale(v, -1.0)
 }
 
+/// In-place negation `v = -v`.
+pub fn neg_in_place(v: &mut [f64]) {
+    for x in v {
+        *x = -*x;
+    }
+}
+
+/// In-place element-wise sum `a += b`.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths.
+pub fn add_assign(a: &mut [f64], b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len(), "add_assign: length mismatch");
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// In-place element-wise difference `a -= b`.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths.
+pub fn sub_assign(a: &mut [f64], b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len(), "sub_assign: length mismatch");
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x -= y;
+    }
+}
+
 /// In-place `y += alpha * x` (the BLAS `axpy` operation).
 ///
 /// # Panics
@@ -118,6 +149,17 @@ mod tests {
         assert_eq!(sub(&b, &a), vec![2.0, 3.0]);
         assert_eq!(scale(&a, 2.0), vec![2.0, 4.0]);
         assert_eq!(neg(&a), vec![-1.0, -2.0]);
+    }
+
+    #[test]
+    fn in_place_arithmetic() {
+        let mut v = [1.0, -2.0];
+        neg_in_place(&mut v);
+        assert_eq!(v, [-1.0, 2.0]);
+        add_assign(&mut v, &[2.0, 2.0]);
+        assert_eq!(v, [1.0, 4.0]);
+        sub_assign(&mut v, &[1.0, 1.0]);
+        assert_eq!(v, [0.0, 3.0]);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Parallel ≡ serial bit-identity properties for the execution layer.
+//!
+//! The parallel batch and Monte-Carlo paths promise that the worker
+//! count is *invisible* in the output: sharding only decides where work
+//! runs, never what it computes. These properties pin that contract —
+//!
+//! * `batch::solve_batch_parallel` at 1, 2, and 4 workers produces
+//!   solutions bit-identical to the serial `batch::solve_batch`, under
+//!   both the exact `NumericEngine` and the analog `CircuitEngine`
+//!   (where identity additionally proves every replica carries the
+//!   same programmed variation draw as the serial solver's arrays);
+//! * `montecarlo::yield_analysis_parallel` at 1, 2, and 4 workers
+//!   reproduces the serial `yield_analysis` report exactly (each trial
+//!   owns the ChaCha8 stream `engine_seed + t` wherever it executes).
+
+use amc_circuit::opamp::OpAmpSpec;
+use amc_linalg::{generate, Matrix};
+use blockamc::batch;
+use blockamc::engine::{CircuitEngine, CircuitEngineConfig, NumericEngine};
+use blockamc::montecarlo;
+use blockamc::solver::{BlockAmcSolver, SolverConfig, Stages};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy: a well-conditioned SPD system (size 8..=16), a batch of
+/// 1..=6 right-hand sides, and the seed it all derives from.
+fn batch_workload() -> impl Strategy<Value = (Matrix, Vec<Vec<f64>>, u64)> {
+    (8usize..=16, 1usize..=6, any::<u64>()).prop_map(|(n, k, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = generate::wishart_default(n, &mut rng).unwrap();
+        let batch = (0..k)
+            .map(|_| generate::random_vector(n, &mut rng))
+            .collect();
+        (a, batch, seed)
+    })
+}
+
+fn serial_solutions<E>(engine: E, stages: Stages, a: &Matrix, batch: &[Vec<f64>]) -> Vec<Vec<f64>>
+where
+    E: blockamc::engine::AmcEngine,
+{
+    let mut solver = BlockAmcSolver::new(engine, stages);
+    batch::solve_batch(&mut solver, a, batch, &OpAmpSpec::ideal(), 0.0)
+        .unwrap()
+        .solutions
+}
+
+fn parallel_solutions<E>(
+    engine: E,
+    stages: Stages,
+    a: &Matrix,
+    batch: &[Vec<f64>],
+    workers: usize,
+) -> Vec<Vec<f64>>
+where
+    E: blockamc::engine::AmcEngine + Clone + Send,
+{
+    let mut solver = BlockAmcSolver::new(engine, stages);
+    batch::solve_batch_parallel(&mut solver, a, batch, &OpAmpSpec::ideal(), 0.0, workers)
+        .unwrap()
+        .solutions
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_batch_matches_serial_numeric_engine((a, batch, _seed) in batch_workload()) {
+        for stages in [Stages::One, Stages::Two] {
+            let serial = serial_solutions(NumericEngine::new(), stages, &a, &batch);
+            for workers in [1usize, 2, 4] {
+                let par = parallel_solutions(NumericEngine::new(), stages, &a, &batch, workers);
+                prop_assert_eq!(&par, &serial, "{:?} workers={}", stages, workers);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_circuit_engine((a, batch, seed) in batch_workload()) {
+        // Variation draws make each programmed part unique, so equality
+        // here proves the replicas inherit the serial solver's draw.
+        let config = CircuitEngineConfig::paper_variation();
+        let serial = serial_solutions(CircuitEngine::new(config, seed), Stages::One, &a, &batch);
+        for workers in [1usize, 2, 4] {
+            let par = parallel_solutions(
+                CircuitEngine::new(config, seed),
+                Stages::One,
+                &a,
+                &batch,
+                workers,
+            );
+            prop_assert_eq!(&par, &serial, "workers={}", workers);
+        }
+    }
+
+    #[test]
+    fn parallel_yield_matches_serial(
+        (a, batch, seed) in batch_workload(),
+        trials in 1usize..=5,
+    ) {
+        let b = &batch[0];
+        let solver = SolverConfig::builder().stages(Stages::One).finish().unwrap();
+        let serial = montecarlo::yield_analysis(
+            &a, b, &solver, CircuitEngineConfig::paper_variation(), 0.1, trials, seed,
+        ).unwrap();
+        for workers in [2usize, 4] {
+            let par = montecarlo::yield_analysis_parallel(
+                &a, b, &solver, CircuitEngineConfig::paper_variation(), 0.1, trials, seed, workers,
+            ).unwrap();
+            prop_assert_eq!(&par, &serial, "workers={}", workers);
+        }
+    }
+}
