@@ -45,6 +45,46 @@ pub fn op_counts(kind: SolverKind) -> OpCounts {
     }
 }
 
+/// Sequential operation counts of a depth-`d` BlockAMC cascade.
+///
+/// Each INV of a depth-`d−1` cascade expands into a full five-step
+/// sub-cascade while each MVM stays one (tiled) sequential step, so the
+/// recurrences `inv(d) = 3·inv(d−1)` and `mvm(d) = 3·mvm(d−1) + 2`
+/// close to `inv(d) = 3^d`, `mvm(d) = 3^d − 1`. Depth 0 is the original
+/// single-array solver (1 INV), depth 1 matches
+/// [`SolverKind::OneStage`], depth 2 matches [`SolverKind::TwoStage`].
+pub fn cascade_op_counts(depth: usize) -> OpCounts {
+    let pow3 = 3usize.saturating_pow(depth as u32);
+    OpCounts {
+        inv: pow3,
+        mvm: pow3 - 1,
+    }
+}
+
+/// [`solve_latency`] generalized to any cascade depth via
+/// [`cascade_op_counts`].
+///
+/// # Errors
+///
+/// Returns [`ArchError::InvalidConfig`] for negative or non-finite
+/// times.
+pub fn cascade_latency(
+    depth: usize,
+    inv_settle_s: f64,
+    mvm_settle_s: f64,
+    conversion_s: f64,
+) -> Result<f64> {
+    for t in [inv_settle_s, mvm_settle_s, conversion_s] {
+        if !t.is_finite() || t < 0.0 {
+            return Err(ArchError::config(
+                "settle/conversion times must be finite and non-negative",
+            ));
+        }
+    }
+    let c = cascade_op_counts(depth);
+    Ok(c.inv as f64 * inv_settle_s + c.mvm as f64 * mvm_settle_s + 2.0 * conversion_s)
+}
+
 /// Latency of one solve given the per-operation settle times.
 ///
 /// `inv_settle_s` / `mvm_settle_s` are the characteristic settle times of
@@ -82,6 +122,37 @@ mod tests {
         assert_eq!(op_counts(SolverKind::OneStage).total(), 5);
         assert_eq!(op_counts(SolverKind::OneStage).inv, 3);
         assert_eq!(op_counts(SolverKind::TwoStage).total(), 17);
+    }
+
+    #[test]
+    fn cascade_counts_extend_the_fixed_architectures() {
+        assert_eq!(cascade_op_counts(0), op_counts(SolverKind::OriginalAmc));
+        assert_eq!(cascade_op_counts(1), op_counts(SolverKind::OneStage));
+        assert_eq!(cascade_op_counts(2), op_counts(SolverKind::TwoStage));
+        // Depth 3: 27 INV + 26 MVM = 53 sequential ops.
+        assert_eq!(cascade_op_counts(3).total(), 53);
+        // Recurrence: total(d) = 3·total(d−1) + 2.
+        for d in 1..6 {
+            assert_eq!(
+                cascade_op_counts(d).total(),
+                3 * cascade_op_counts(d - 1).total() + 2
+            );
+        }
+    }
+
+    #[test]
+    fn cascade_latency_matches_fixed_latency_at_shared_depths() {
+        for (d, kind) in [
+            (0, SolverKind::OriginalAmc),
+            (1, SolverKind::OneStage),
+            (2, SolverKind::TwoStage),
+        ] {
+            let a = cascade_latency(d, 2e-6, 1e-6, 0.5e-6).unwrap();
+            let b = solve_latency(kind, 2e-6, 1e-6, 0.5e-6).unwrap();
+            assert!((a - b).abs() < 1e-18, "depth {d}");
+        }
+        assert!(cascade_latency(3, -1.0, 0.0, 0.0).is_err());
+        assert!(cascade_latency(3, 0.0, f64::INFINITY, 0.0).is_err());
     }
 
     #[test]

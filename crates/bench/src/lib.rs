@@ -23,6 +23,12 @@ pub enum MatrixFamily {
     Wishart,
     /// Random diagonally dominant Toeplitz matrices (paper eq. 5).
     Toeplitz,
+    /// Raw (non-symmetric, ill-conditioned) random Toeplitz behind the
+    /// seeded condition guard
+    /// [`amc_linalg::generate::random_toeplitz_conditioned`] — the
+    /// paper's literal eq. 5 family without its occasional
+    /// catastrophically conditioned draws.
+    ToeplitzRaw,
 }
 
 impl MatrixFamily {
@@ -31,9 +37,14 @@ impl MatrixFamily {
         match self {
             MatrixFamily::Wishart => "Wishart",
             MatrixFamily::Toeplitz => "Toeplitz",
+            MatrixFamily::ToeplitzRaw => "raw Toeplitz",
         }
     }
 }
+
+/// Condition-estimate ceiling the harness applies to raw Toeplitz draws
+/// — the workspace default shared with the scenario registry.
+pub const RAW_TOEPLITZ_MAX_COND: f64 = generate::DEFAULT_TOEPLITZ_MAX_COND;
 
 /// Generates one workload instance: a matrix of the family and a random
 /// right-hand side.
@@ -55,6 +66,12 @@ pub fn make_workload<R: Rng + ?Sized>(
         // eigenvalue interlacing is what lets BlockAMC's half-size blocks
         // beat the full matrix.
         MatrixFamily::Toeplitz => generate::random_spd_toeplitz(n, 8, 0.02, rng).expect("n > 0"),
+        // Ill-conditioned but guarded: a seeded resample keeps the
+        // condition estimate under RAW_TOEPLITZ_MAX_COND, so sweeps over
+        // this family cannot be sunk by a single near-singular draw.
+        MatrixFamily::ToeplitzRaw => {
+            generate::random_toeplitz_conditioned(n, RAW_TOEPLITZ_MAX_COND, rng).expect("n > 0")
+        }
     };
     let b = generate::random_vector(n, rng);
     (a, b)
@@ -178,6 +195,8 @@ pub fn render_sweep(title: &str, solvers: &[SweepSolver], points: &[SweepPoint])
     out
 }
 
+pub mod report;
+
 /// Standard solver pairs used by the figures.
 pub mod presets {
     use super::*;
@@ -289,6 +308,20 @@ mod tests {
         assert_eq!(t[(1, 1)], t[(0, 0)]);
         assert!(t.is_symmetric(0.0));
         assert!(t[(0, 0)] >= t.max_abs() * 0.999);
+    }
+
+    #[test]
+    fn raw_toeplitz_workloads_are_guarded_and_deterministic() {
+        use amc_linalg::lu::LuFactor;
+        let mut r1 = ChaCha8Rng::seed_from_u64(2);
+        let mut r2 = ChaCha8Rng::seed_from_u64(2);
+        let (a1, b1) = make_workload(MatrixFamily::ToeplitzRaw, 16, &mut r1);
+        let (a2, b2) = make_workload(MatrixFamily::ToeplitzRaw, 16, &mut r2);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        let cond = LuFactor::new(&a1).unwrap().cond_estimate(a1.norm_one());
+        assert!(cond <= RAW_TOEPLITZ_MAX_COND, "cond={cond}");
+        assert_eq!(MatrixFamily::ToeplitzRaw.label(), "raw Toeplitz");
     }
 
     #[test]

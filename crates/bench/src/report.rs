@@ -1,0 +1,327 @@
+//! Shared report emission: a small JSON value model and an aligned
+//! text-table builder.
+//!
+//! Every machine-readable artifact the repro binary writes
+//! (`BENCH_parallel.json`, `BENCH_scenarios.json`, …) goes through
+//! [`Json`] instead of hand-rolled `format!` string concatenation, so
+//! escaping, nesting, and number formatting are implemented once. The
+//! vendored `serde` is a derive-marker stand-in (see `vendor/serde`), so
+//! this module is the workspace's serialization layer until a real
+//! registry is reachable.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`, which keeps
+    /// emitted files standard-compliant).
+    Num(f64),
+    /// An integer, rendered without a decimal point.
+    Int(i64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Renders the value as pretty-printed JSON (2-space indent) with a
+    /// trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // `{:?}` is the shortest representation that parses
+                    // back to the same f64, and always carries a decimal
+                    // point or exponent.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Str(s) => render_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (k, (key, value)) in pairs.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    render_string(out, key);
+                    out.push_str(": ");
+                    value.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(v as i64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<Option<f64>> for Json {
+    fn from(v: Option<f64>) -> Json {
+        v.map_or(Json::Null, Json::Num)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+/// Writes a rendered JSON value to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn write_json(path: &str, value: &Json) -> std::io::Result<()> {
+    std::fs::write(path, value.render())
+}
+
+/// An aligned plain-text table: first column left-aligned, the rest
+/// right-aligned, widths fitted to content.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn row(&mut self, cells: impl IntoIterator<Item = impl Into<String>>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (k, c) in cells.iter().enumerate() {
+                widths[k] = widths[k].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (k, w) in widths.iter().enumerate() {
+                let cell = cells.get(k).map(String::as_str).unwrap_or("");
+                if k > 0 {
+                    out.push_str("  ");
+                }
+                if k == 0 {
+                    let _ = write!(out, "{cell:<w$}");
+                } else {
+                    let _ = write!(out, "{cell:>w$}");
+                }
+            }
+            // Trailing pad spaces from the left-aligned last column.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            render_row(&mut out, r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_scalars_render() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::Bool(true).render(), "true\n");
+        assert_eq!(Json::Int(-3).render(), "-3\n");
+        assert_eq!(Json::Num(0.5).render(), "0.5\n");
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+        assert_eq!(Json::from(None::<f64>).render(), "null\n");
+        assert_eq!(Json::Num(1e-9).render(), "1e-9\n");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let s = Json::Str("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(s.render(), "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn json_structures_nest_with_indentation() {
+        let v = Json::obj([
+            ("name", Json::from("x")),
+            ("vals", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("empty", Json::Arr(vec![])),
+            ("nested", Json::obj([("k", Json::Bool(false))])),
+        ]);
+        let text = v.render();
+        assert_eq!(
+            text,
+            "{\n  \"name\": \"x\",\n  \"vals\": [\n    1,\n    2\n  ],\n  \
+             \"empty\": [],\n  \"nested\": {\n    \"k\": false\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn json_numbers_round_trip_textually() {
+        // `{:?}` keeps full precision: parsing the text back yields the
+        // same bits.
+        for x in [0.1, 1.0 / 3.0, 6.02e23, -1.6e-19] {
+            let text = format!("{x:?}");
+            assert_eq!(text.parse::<f64>().unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn text_table_aligns_columns() {
+        let mut t = TextTable::new(["name", "n", "err"]);
+        t.row(["wishart", "64", "0.05"]);
+        t.row(["poisson2d", "256", "0.1"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("wishart"));
+        // Numeric columns right-aligned: "64" under "n" ends where "256" ends.
+        let n_end_2 = lines[2].find("64").unwrap() + 2;
+        let n_end_3 = lines[3].find("256").unwrap() + 3;
+        assert_eq!(n_end_2, n_end_3);
+    }
+}

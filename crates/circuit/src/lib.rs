@@ -25,6 +25,9 @@
 //!   op-amp GBWP (Sun et al., T-ED 2020).
 //! * [`power`] — static power of arrays and op-amps at the DC operating
 //!   point.
+//! * [`mna`] / [`pdn`] — general modified nodal analysis for one-off
+//!   netlists, and power-delivery-network grids exported as SPD
+//!   linear-system workloads for the scenario registry.
 //! * [`sim`] — the [`sim::AnalogSimulator`] facade combining all of the
 //!   above; this is what the BlockAMC engine drives.
 //!
@@ -69,6 +72,7 @@ pub mod mna;
 pub mod mvm;
 pub mod noise;
 pub mod opamp;
+pub mod pdn;
 pub mod power;
 pub mod sim;
 pub mod timing;

@@ -220,6 +220,50 @@ impl Netlist {
     pub fn voltage(&self, op: &OperatingPoint, node: Node) -> f64 {
         op.node_voltages[node.0]
     }
+
+    /// Exports the node-conductance matrix of the resistive part of the
+    /// netlist: the grounded Laplacian `G` over the non-ground nodes
+    /// (`G[i][j] = −g_ij` for `i ≠ j`, `G[i][i] = Σ` conductances at
+    /// node `i+1`, ground ties contributing only to the diagonal).
+    ///
+    /// For a purely resistive netlist this is exactly the matrix of the
+    /// node equations `G·v = i_injected` — symmetric, diagonally
+    /// dominant, and SPD whenever every connected component has a path
+    /// to ground. It is how circuit-shaped workloads (power-delivery
+    /// networks, grounded resistor meshes) become linear-system
+    /// instances for the solver stack. Voltage sources and op-amps are
+    /// *not* represented — their MNA rows are constraints, not
+    /// conductances; use [`Netlist::solve`] for netlists that have them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidConfig`] if the netlist has no
+    /// non-ground nodes.
+    pub fn conductance_matrix(&self) -> Result<Matrix> {
+        let nn = self.node_count - 1;
+        if nn == 0 {
+            return Err(CircuitError::config(
+                "conductance matrix needs at least one non-ground node",
+            ));
+        }
+        let mut g_mat = Matrix::zeros(nn, nn);
+        let ui = |node: usize| -> Option<usize> { node.checked_sub(1) };
+        for &(a, b, g) in &self.conductances {
+            if let Some(i) = ui(a) {
+                g_mat[(i, i)] += g;
+                if let Some(j) = ui(b) {
+                    g_mat[(i, j)] -= g;
+                }
+            }
+            if let Some(j) = ui(b) {
+                g_mat[(j, j)] += g;
+                if let Some(i) = ui(a) {
+                    g_mat[(j, i)] -= g;
+                }
+            }
+        }
+        Ok(g_mat)
+    }
 }
 
 /// Builds and solves the complete Fig. 1(a) **MVM netlist** for a
@@ -405,6 +449,31 @@ mod tests {
         let g = Matrix::zeros(2, 2);
         assert!(mvm_netlist(&g, 1e-4, &[0.0]).is_err());
         assert!(inv_netlist(&Matrix::zeros(2, 3), 1e-4, &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn conductance_matrix_exports_the_node_equations() {
+        // Y network: a -(1S)- b, a -(2S)- ground, b -(0.5S)- ground.
+        let mut net = Netlist::new();
+        let a = net.node();
+        let b = net.node();
+        net.conductance(a, b, 1.0).unwrap();
+        net.conductance(a, GROUND, 2.0).unwrap();
+        net.conductance(b, GROUND, 0.5).unwrap();
+        let g = net.conductance_matrix().unwrap();
+        let expect = Matrix::from_rows(&[&[3.0, -1.0], &[-1.0, 1.5]]).unwrap();
+        assert!(g.approx_eq(&expect, 0.0));
+        // Grounded network: SPD and consistent with a source solve.
+        assert!(amc_linalg::cholesky::is_spd(&g, 0.0));
+        let mut driven = net.clone();
+        driven.voltage_source(a, GROUND, 1.0).unwrap();
+        let op = driven.solve().unwrap();
+        // G·v at node b must balance to zero injected current.
+        let v = [driven.voltage(&op, a), driven.voltage(&op, b)];
+        let i_b = g[(1, 0)] * v[0] + g[(1, 1)] * v[1];
+        assert!(i_b.abs() < 1e-12, "KCL at the undriven node: {i_b}");
+        // A netlist with only ground has no matrix to export.
+        assert!(Netlist::new().conductance_matrix().is_err());
     }
 
     #[test]

@@ -189,6 +189,65 @@ pub fn random_toeplitz_raw<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Mat
     toeplitz(&col, &row)
 }
 
+/// Generates a raw random Toeplitz matrix whose condition-number
+/// estimate does not exceed `max_cond`, by seeded resampling.
+///
+/// [`random_toeplitz_raw`] occasionally draws catastrophically
+/// conditioned instances (the family is almost surely invertible but
+/// unboundedly ill-conditioned), which makes any experiment consuming
+/// it flaky: a single near-singular draw dominates means and can sink a
+/// shape check. This helper redraws from the caller's RNG stream until
+/// the 1-norm condition estimate is within `max_cond`, up to
+/// `MAX_TOEPLITZ_RESAMPLES` attempts, then returns the
+/// **best-conditioned draw seen** — so it always succeeds, stays fully
+/// deterministic for a given RNG state, and still exercises the
+/// ill-conditioned (but finite) regime the paper's Toeplitz benchmarks
+/// target.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `n == 0` or `max_cond`
+/// is not greater than 1.
+pub fn random_toeplitz_conditioned<R: Rng + ?Sized>(
+    n: usize,
+    max_cond: f64,
+    rng: &mut R,
+) -> Result<Matrix> {
+    if !(max_cond.is_finite() && max_cond > 1.0) {
+        return Err(LinalgError::invalid(format!(
+            "max_cond must be finite and > 1, got {max_cond}"
+        )));
+    }
+    let mut best: Option<(f64, Matrix)> = None;
+    for _ in 0..MAX_TOEPLITZ_RESAMPLES {
+        let a = random_toeplitz_raw(n, rng)?;
+        let cond = match crate::lu::LuFactor::new(&a) {
+            Ok(lu) => lu.cond_estimate(a.norm_one()),
+            Err(_) => f64::INFINITY, // singular draw: resample
+        };
+        if cond <= max_cond {
+            return Ok(a);
+        }
+        if best.as_ref().map_or(true, |(c, _)| cond < *c) {
+            best = Some((cond, a));
+        }
+    }
+    Ok(best.expect("at least one draw was recorded").1)
+}
+
+/// Resampling budget of [`random_toeplitz_conditioned`]. At the default
+/// guard of [`DEFAULT_TOEPLITZ_MAX_COND`] a draw passes with high
+/// probability, so the budget is almost never exhausted; it exists to
+/// bound the worst case.
+pub const MAX_TOEPLITZ_RESAMPLES: usize = 16;
+
+/// The workspace-wide default condition ceiling for guarded raw
+/// Toeplitz draws: generous enough to keep the family genuinely
+/// ill-conditioned (the paper's eq. 5 regime), tight enough to exclude
+/// the catastrophic tail that makes experiments flaky. The bench
+/// harness and the scenario registry both use this value.
+pub const DEFAULT_TOEPLITZ_MAX_COND: f64 = 1e8;
+
 /// Generates a random symmetric positive-definite Toeplitz matrix from a
 /// random autocorrelation sequence.
 ///
@@ -296,6 +355,229 @@ pub fn poisson_1d(n: usize) -> Result<Matrix> {
             0.0
         }
     }))
+}
+
+/// Builds the `(nx·ny) x (nx·ny)` 2-D Poisson matrix: the 5-point
+/// finite-difference Laplacian on an `nx x ny` grid with Dirichlet
+/// boundaries (diagonal 4, adjacent grid neighbours −1).
+///
+/// SPD, sparse-structured, and progressively ill-conditioned as the grid
+/// grows (`κ ~ (max(nx,ny)/π)²`) — the canonical "physics workload" for
+/// a linear-system solver.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `nx == 0` or `ny == 0`.
+pub fn poisson_2d(nx: usize, ny: usize) -> Result<Matrix> {
+    if nx == 0 || ny == 0 {
+        return Err(LinalgError::invalid("grid dimensions must be positive"));
+    }
+    let n = nx * ny;
+    let mut a = Matrix::zeros(n, n);
+    for ix in 0..nx {
+        for iy in 0..ny {
+            let k = ix * ny + iy;
+            a[(k, k)] = 4.0;
+            if ix + 1 < nx {
+                let k2 = (ix + 1) * ny + iy;
+                a[(k, k2)] = -1.0;
+                a[(k2, k)] = -1.0;
+            }
+            if iy + 1 < ny {
+                let k2 = ix * ny + iy + 1;
+                a[(k, k2)] = -1.0;
+                a[(k2, k)] = -1.0;
+            }
+        }
+    }
+    Ok(a)
+}
+
+/// Builds the grounded Laplacian of a path graph on `n` vertices:
+/// `L + ground·I` with `L = D − A` of the path `0 − 1 − … − n−1`.
+///
+/// The raw graph Laplacian is only positive *semi*-definite (the all-ones
+/// vector is in its kernel); the `ground > 0` leak to a reference node
+/// makes it SPD — exactly how a resistor network with a grounding
+/// conductance per node becomes solvable. The condition number scales
+/// like `1/ground` for small `ground`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `n == 0` or `ground` is
+/// not positive and finite.
+pub fn path_laplacian(n: usize, ground: f64) -> Result<Matrix> {
+    chain_laplacian(n, ground, false)
+}
+
+/// Builds the grounded Laplacian of a ring (cycle) graph on `n`
+/// vertices: the path of [`path_laplacian`] plus the wrap-around edge
+/// `n−1 — 0`. Circulant, hence also Toeplitz-like in structure.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `n == 0` or `ground` is
+/// not positive and finite.
+pub fn ring_laplacian(n: usize, ground: f64) -> Result<Matrix> {
+    chain_laplacian(n, ground, true)
+}
+
+fn chain_laplacian(n: usize, ground: f64, ring: bool) -> Result<Matrix> {
+    if n == 0 {
+        return Err(LinalgError::invalid("graph size must be positive"));
+    }
+    if !(ground.is_finite() && ground > 0.0) {
+        return Err(LinalgError::invalid(
+            "grounding conductance must be positive and finite",
+        ));
+    }
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        a[(i, i)] = ground;
+    }
+    let mut connect = |i: usize, j: usize| {
+        a[(i, i)] += 1.0;
+        a[(j, j)] += 1.0;
+        a[(i, j)] -= 1.0;
+        a[(j, i)] -= 1.0;
+    };
+    for i in 0..n.saturating_sub(1) {
+        connect(i, i + 1);
+    }
+    if ring && n > 2 {
+        connect(n - 1, 0);
+    }
+    Ok(a)
+}
+
+/// Builds the grounded Laplacian of a random regular multigraph on `n`
+/// vertices via the permutation model: `degree/2` random permutations
+/// each contribute the edge set `{i — σ(i)}`, giving every vertex
+/// (multigraph) degree `degree`; self-loops of a permutation are
+/// skipped. The result is `L + ground·I`: symmetric, diagonally
+/// dominant, and SPD for `ground > 0` — an expander-like workload whose
+/// conditioning stays flat as `n` grows (unlike the path/ring families).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `n == 0`, `degree` is
+/// zero or odd, or `ground` is not positive and finite.
+pub fn random_regular_laplacian<R: Rng + ?Sized>(
+    n: usize,
+    degree: usize,
+    ground: f64,
+    rng: &mut R,
+) -> Result<Matrix> {
+    if n == 0 {
+        return Err(LinalgError::invalid("graph size must be positive"));
+    }
+    if degree == 0 || degree % 2 != 0 {
+        return Err(LinalgError::invalid(format!(
+            "permutation-model regular graphs need a positive even degree, got {degree}"
+        )));
+    }
+    if !(ground.is_finite() && ground > 0.0) {
+        return Err(LinalgError::invalid(
+            "grounding conductance must be positive and finite",
+        ));
+    }
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        a[(i, i)] = ground;
+    }
+    for _ in 0..degree / 2 {
+        // Fisher–Yates shuffle of 0..n from the caller's RNG stream.
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        for (i, &j) in perm.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            a[(i, i)] += 1.0;
+            a[(j, j)] += 1.0;
+            a[(i, j)] -= 1.0;
+            a[(j, i)] -= 1.0;
+        }
+    }
+    Ok(a)
+}
+
+/// Generates a random SPD matrix with a prescribed spectrum: eigenvalues
+/// log-spaced from `1/√cond` to `√cond` (so the 2-norm condition number
+/// is exactly `cond` and the spectrum is centred on 1), conjugated by a
+/// random orthogonal matrix.
+///
+/// The orthogonal factor comes from modified Gram–Schmidt on an i.i.d.
+/// Gaussian matrix (Haar-distributed up to column signs), so instances
+/// are dense and unstructured — the family isolates *conditioning* from
+/// structure, which is what the split-rule and depth studies need.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] if `n == 0` or `cond < 1`
+/// (or non-finite).
+pub fn spd_with_condition<R: Rng + ?Sized>(n: usize, cond: f64, rng: &mut R) -> Result<Matrix> {
+    if n == 0 {
+        return Err(LinalgError::invalid("size must be positive"));
+    }
+    if !(cond.is_finite() && cond >= 1.0) {
+        return Err(LinalgError::invalid(format!(
+            "condition target must be finite and >= 1, got {cond}"
+        )));
+    }
+    // Random orthogonal basis: modified Gram–Schmidt with degenerate
+    // columns redrawn (measure-zero, but keeps the loop total).
+    let mut q: Vec<Vec<f64>> = Vec::with_capacity(n);
+    while q.len() < n {
+        let mut v: Vec<f64> = (0..n).map(|_| standard_normal(rng)).collect();
+        for u in &q {
+            let dot: f64 = v.iter().zip(u).map(|(a, b)| a * b).sum();
+            for (vi, ui) in v.iter_mut().zip(u) {
+                *vi -= dot * ui;
+            }
+        }
+        let norm = crate::vector::norm2(&v);
+        if norm > 1e-8 {
+            for vi in &mut v {
+                *vi /= norm;
+            }
+            q.push(v);
+        }
+    }
+    // Log-spaced eigenvalues in [1/√cond, √cond].
+    let half_log = 0.5 * cond.ln();
+    let eig = |k: usize| -> f64 {
+        if n == 1 {
+            1.0
+        } else {
+            let t = k as f64 / (n - 1) as f64; // 0..1
+            ((2.0 * t - 1.0) * half_log).exp()
+        }
+    };
+    // A = Σ_k λ_k · q_k q_kᵀ.
+    let mut a = Matrix::zeros(n, n);
+    for (k, qk) in q.iter().enumerate() {
+        let lk = eig(k);
+        for i in 0..n {
+            let s = lk * qk[i];
+            for j in 0..n {
+                a[(i, j)] += s * qk[j];
+            }
+        }
+    }
+    // Symmetrize exactly: rounding in the outer-product accumulation
+    // leaves ~1e-16 asymmetry that strict symmetry checks would reject.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let m = 0.5 * (a[(i, j)] + a[(j, i)]);
+            a[(i, j)] = m;
+            a[(j, i)] = m;
+        }
+    }
+    Ok(a)
 }
 
 /// Generates a random vector with entries uniform in `[-1, 1]`.
@@ -465,6 +747,124 @@ mod tests {
         assert_eq!(p[(0, 2)], 0.0);
         assert!(cholesky::is_spd(&p, 0.0));
         assert!(poisson_1d(0).is_err());
+    }
+
+    #[test]
+    fn conditioned_toeplitz_respects_the_guard() {
+        use crate::lu::LuFactor;
+        let mut r = rng(21);
+        for n in [8usize, 32] {
+            let a = random_toeplitz_conditioned(n, 1e8, &mut r).unwrap();
+            let cond = LuFactor::new(&a).unwrap().cond_estimate(a.norm_one());
+            assert!(cond <= 1e8, "n={n} cond={cond}");
+            // Still the raw family: Toeplitz-structured, entries in [-1,1].
+            assert_eq!(a[(2, 1)], a[(1, 0)]);
+            assert!(a.max_abs() <= 1.0);
+        }
+        assert!(random_toeplitz_conditioned(0, 10.0, &mut r).is_err());
+        assert!(random_toeplitz_conditioned(4, 1.0, &mut r).is_err());
+        assert!(random_toeplitz_conditioned(4, f64::NAN, &mut r).is_err());
+    }
+
+    #[test]
+    fn conditioned_toeplitz_is_deterministic_and_falls_back_gracefully() {
+        let a = random_toeplitz_conditioned(16, 1e6, &mut rng(33)).unwrap();
+        let b = random_toeplitz_conditioned(16, 1e6, &mut rng(33)).unwrap();
+        assert_eq!(a, b);
+        // An unreachable guard exhausts the budget but still returns the
+        // best draw instead of failing.
+        let c = random_toeplitz_conditioned(16, 1.0 + 1e-12, &mut rng(33)).unwrap();
+        assert!(crate::lu::LuFactor::new(&c).is_ok());
+    }
+
+    #[test]
+    fn poisson_2d_is_spd_with_five_point_stencil() {
+        let a = poisson_2d(3, 4).unwrap();
+        assert_eq!(a.shape(), (12, 12));
+        assert!(a.is_symmetric(0.0));
+        assert!(cholesky::is_spd(&a, 0.0));
+        // Interior point (1,1) = index 1*4+1 = 5: four -1 neighbours.
+        assert_eq!(a[(5, 5)], 4.0);
+        assert_eq!(a[(5, 4)], -1.0); // (1,0)
+        assert_eq!(a[(5, 6)], -1.0); // (1,2)
+        assert_eq!(a[(5, 1)], -1.0); // (0,1)
+        assert_eq!(a[(5, 9)], -1.0); // (2,1)
+                                     // No wrap-around between row ends.
+        assert_eq!(a[(3, 4)], 0.0);
+        assert!(poisson_2d(0, 3).is_err());
+        assert!(poisson_2d(3, 0).is_err());
+    }
+
+    #[test]
+    fn grounded_graph_laplacians_are_spd_and_dominant() {
+        let p = path_laplacian(6, 0.1).unwrap();
+        assert!(p.is_symmetric(0.0));
+        assert!(p.is_diagonally_dominant());
+        assert!(cholesky::is_spd(&p, 0.0));
+        // Interior vertex: degree 2 + ground.
+        assert!((p[(2, 2)] - 2.1).abs() < 1e-15);
+        assert!((p[(0, 0)] - 1.1).abs() < 1e-15);
+
+        let c = ring_laplacian(6, 0.1).unwrap();
+        assert!(cholesky::is_spd(&c, 0.0));
+        assert_eq!(c[(0, 5)], -1.0, "ring wrap-around edge");
+        assert!((c[(0, 0)] - 2.1).abs() < 1e-15);
+
+        assert!(path_laplacian(0, 0.1).is_err());
+        assert!(path_laplacian(4, 0.0).is_err());
+        assert!(ring_laplacian(4, -1.0).is_err());
+    }
+
+    #[test]
+    fn random_regular_laplacian_is_spd_with_bounded_degree() {
+        let mut r = rng(22);
+        let degree = 4;
+        let a = random_regular_laplacian(12, degree, 0.2, &mut r).unwrap();
+        assert!(a.is_symmetric(0.0));
+        assert!(a.is_diagonally_dominant());
+        assert!(cholesky::is_spd(&a, 0.0));
+        for i in 0..12 {
+            // Diagonal = ground + multigraph degree <= ground + degree
+            // (self-loop skips can only lower it).
+            assert!(a[(i, i)] <= 0.2 + degree as f64 + 1e-12);
+            assert!(a[(i, i)] > 0.2);
+        }
+        assert!(random_regular_laplacian(0, 2, 0.1, &mut r).is_err());
+        assert!(random_regular_laplacian(8, 3, 0.1, &mut r).is_err());
+        assert!(random_regular_laplacian(8, 0, 0.1, &mut r).is_err());
+        assert!(random_regular_laplacian(8, 2, 0.0, &mut r).is_err());
+    }
+
+    #[test]
+    fn spd_with_condition_hits_the_target() {
+        use crate::lu::LuFactor;
+        let mut r = rng(23);
+        for cond in [1e1, 1e3, 1e5] {
+            let a = spd_with_condition(16, cond, &mut r).unwrap();
+            assert!(a.is_symmetric(1e-12));
+            assert!(cholesky::is_spd(&a, 0.0), "cond={cond}");
+            // The 1-norm estimate brackets the 2-norm condition number
+            // within a factor of n.
+            let est = LuFactor::new(&a).unwrap().cond_estimate(a.norm_one());
+            assert!(est >= cond / 16.0, "cond={cond} est={est}");
+            assert!(est <= cond * 16.0, "cond={cond} est={est}");
+        }
+        assert!(spd_with_condition(0, 10.0, &mut r).is_err());
+        assert!(spd_with_condition(4, 0.5, &mut r).is_err());
+        // cond = 1 is the identity up to basis rotation.
+        let i = spd_with_condition(5, 1.0, &mut r).unwrap();
+        assert!(i.approx_eq(&Matrix::identity(5), 1e-12));
+    }
+
+    #[test]
+    fn spd_with_condition_estimates_are_monotone_in_target() {
+        use crate::lu::LuFactor;
+        let est = |cond: f64| {
+            let a = spd_with_condition(12, cond, &mut rng(24)).unwrap();
+            LuFactor::new(&a).unwrap().cond_estimate(a.norm_one())
+        };
+        assert!(est(1e2) < est(1e4));
+        assert!(est(1e4) < est(1e6));
     }
 
     #[test]

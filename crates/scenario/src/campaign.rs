@@ -1,0 +1,597 @@
+//! The campaign engine: `workloads × solver grid × nonideality ladder ×
+//! trials`, executed by one engine, reported as data.
+//!
+//! A [`Campaign`] is the declarative cross product the repro binary used
+//! to hand-code per study: a list of [`WorkloadSpec`]s, a grid of named
+//! facade [`SolverConfig`]s, a ladder of named analog nonideality
+//! levels, and a trial count. [`Campaign::run`] executes every cell —
+//! each trial programs a fresh "manufactured part" through
+//! [`BlockAmcSolver::prepare`] and streams the cell's right-hand sides
+//! through the returned [`PreparedSolver`](blockamc::solver::PreparedSolver)
+//! (arrays programmed once per trial, the paper's §III.B amortization) —
+//! and aggregates per-cell records: error statistics, engine-measured
+//! analog cost, and `amc-arch` cascade-model scoring.
+//!
+//! ## Determinism contract
+//!
+//! Trials shard across `amc-par` workers. A trial's engine seed depends
+//! only on the campaign seed and the cell/trial indices — never on the
+//! worker that runs it — and outcomes are merged back in job order
+//! before any statistic is computed, so a [`CampaignReport`] is
+//! **bit-identical at every worker count** (pinned by
+//! `tests/campaign_equivalence.rs`).
+
+use amc_circuit::timing;
+use amc_linalg::{lu, metrics, Matrix};
+use blockamc::engine::{AmcEngine, CircuitEngine, CircuitEngineConfig, EngineStats};
+use blockamc::solver::{BlockAmcSolver, SolverConfig};
+
+use crate::workload::{WorkloadInstance, WorkloadMeta, WorkloadSpec};
+use crate::{Result, ScenarioError};
+
+/// One named solver configuration of the campaign grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverCell {
+    /// Display label (unique within a campaign).
+    pub label: String,
+    /// The facade configuration.
+    pub config: SolverConfig,
+}
+
+/// One named rung of the nonideality ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nonideality {
+    /// Display label (`ideal`, `variation`, `variation+wire`, …).
+    pub label: &'static str,
+    /// The analog stack configuration.
+    pub circuit: CircuitEngineConfig,
+}
+
+impl Nonideality {
+    /// The standard three-rung ladder of the paper's figures: ideal
+    /// mapping (Fig. 6), 5 % variation (Fig. 7), variation + wire
+    /// resistance (Fig. 9).
+    pub fn paper_ladder() -> Vec<Nonideality> {
+        vec![
+            Nonideality {
+                label: "ideal-mapping",
+                circuit: CircuitEngineConfig::ideal_mapping(),
+            },
+            Nonideality {
+                label: "variation",
+                circuit: CircuitEngineConfig::paper_variation(),
+            },
+            Nonideality {
+                label: "variation+wire",
+                circuit: CircuitEngineConfig::paper_full(),
+            },
+        ]
+    }
+}
+
+/// A declarative study: the full cross product plus execution knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    name: String,
+    workloads: Vec<WorkloadSpec>,
+    solvers: Vec<SolverCell>,
+    ladder: Vec<Nonideality>,
+    trials: usize,
+    rhs_per_trial: usize,
+    workers: usize,
+    seed: u64,
+}
+
+/// Builder for [`Campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignBuilder {
+    campaign: Campaign,
+}
+
+impl Campaign {
+    /// Starts building a campaign (defaults: 5 trials, 1 RHS per trial,
+    /// 1 worker, seed 0).
+    pub fn builder(name: impl Into<String>) -> CampaignBuilder {
+        CampaignBuilder {
+            campaign: Campaign {
+                name: name.into(),
+                workloads: Vec::new(),
+                solvers: Vec::new(),
+                ladder: Vec::new(),
+                trials: 5,
+                rhs_per_trial: 1,
+                workers: 1,
+                seed: 0,
+            },
+        }
+    }
+
+    /// Campaign name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The workload axis.
+    pub fn workloads(&self) -> &[WorkloadSpec] {
+        &self.workloads
+    }
+
+    /// The solver-grid axis.
+    pub fn solvers(&self) -> &[SolverCell] {
+        &self.solvers
+    }
+
+    /// The nonideality axis.
+    pub fn ladder(&self) -> &[Nonideality] {
+        &self.ladder
+    }
+
+    /// Variation draws per cell.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Number of cells (`workloads × solvers × ladder`).
+    pub fn cell_count(&self) -> usize {
+        self.workloads.len() * self.solvers.len() * self.ladder.len()
+    }
+
+    /// Runs the campaign with its configured worker count.
+    ///
+    /// # Errors
+    ///
+    /// See [`Campaign::run_with_workers`].
+    pub fn run(&self) -> Result<CampaignReport> {
+        self.run_with_workers(self.workers)
+    }
+
+    /// Runs the campaign with the trials of all cells sharded across
+    /// `workers` work-stealing threads. The report is bit-identical at
+    /// every worker count (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::InvalidSpec`] for `workers == 0` or a solver
+    /// configuration invalid for a workload's size (checked up front so
+    /// a misconfigured cell fails loudly instead of silently producing
+    /// zero completed trials); workload instantiation and
+    /// reference-solve failures. Per-trial analog failures are
+    /// *counted*, not propagated. (Empty axes and zero trials cannot
+    /// reach here — [`CampaignBuilder::finish`] rejects them.)
+    pub fn run_with_workers(&self, workers: usize) -> Result<CampaignReport> {
+        if workers == 0 {
+            return Err(ScenarioError::spec("campaign needs at least 1 worker"));
+        }
+
+        // Hoisted per-workload state: instance, reference solutions.
+        let mut prepped: Vec<(WorkloadInstance, Vec<Vec<f64>>)> =
+            Vec::with_capacity(self.workloads.len());
+        for spec in &self.workloads {
+            let inst = spec.instantiate(self.rhs_per_trial)?;
+            for cell in &self.solvers {
+                cell.config.validate_for_size(spec.n).map_err(|e| {
+                    ScenarioError::spec(format!(
+                        "solver '{}' cannot run workload '{}' (n = {}): {e}",
+                        cell.label, spec.name, spec.n
+                    ))
+                })?;
+            }
+            // One factorization per workload, shared by every RHS.
+            let lu = lu::LuFactor::new(&inst.matrix)?;
+            let x_refs: std::result::Result<Vec<Vec<f64>>, _> =
+                inst.rhs.iter().map(|b| lu.solve(b)).collect();
+            prepped.push((inst, x_refs?));
+        }
+
+        // One job per (workload, solver, ladder, trial), w-major order.
+        let (s_len, l_len, t_len) = (self.solvers.len(), self.ladder.len(), self.trials);
+        let jobs: Vec<(usize, usize, usize, usize)> = (0..self.workloads.len())
+            .flat_map(|w| {
+                (0..s_len).flat_map(move |s| {
+                    (0..l_len).flat_map(move |l| (0..t_len).map(move |t| (w, s, l, t)))
+                })
+            })
+            .collect();
+        let outcomes: Vec<Option<TrialOutcome>> =
+            amc_par::map_indexed(workers, jobs, |_, (w, s, l, t)| {
+                self.run_trial(&prepped[w], &self.solvers[s], &self.ladder[l], (w, s, l), t)
+            });
+
+        // Aggregate per cell, in job order.
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for (w, (inst, _)) in prepped.iter().enumerate() {
+            for (s, solver) in self.solvers.iter().enumerate() {
+                for (l, rung) in self.ladder.iter().enumerate() {
+                    let base = ((w * s_len + s) * l_len + l) * t_len;
+                    let trials = &outcomes[base..base + t_len];
+                    cells.push(self.aggregate_cell(inst, solver, rung, trials));
+                }
+            }
+        }
+        Ok(CampaignReport {
+            name: self.name.clone(),
+            trials: self.trials,
+            rhs_per_trial: self.rhs_per_trial,
+            cells,
+        })
+    }
+
+    /// Runs one trial: program a fresh part, stream the cell's RHS set
+    /// through the prepared solver. `None` marks an analog failure
+    /// (singular operating point, non-finite error).
+    fn run_trial(
+        &self,
+        (inst, x_refs): &(WorkloadInstance, Vec<Vec<f64>>),
+        solver: &SolverCell,
+        rung: &Nonideality,
+        cell: (usize, usize, usize),
+        trial: usize,
+    ) -> Option<TrialOutcome> {
+        let seed = trial_seed(self.seed, cell, trial);
+        let engine = CircuitEngine::new(rung.circuit, seed);
+        let mut facade = BlockAmcSolver::from_config(engine, solver.config.clone());
+        let mut prepared = facade.prepare(&inst.matrix).ok()?;
+        let mut errors = Vec::with_capacity(inst.rhs.len());
+        for (b, x_ref) in inst.rhs.iter().zip(x_refs) {
+            let report = prepared.solve(b).ok()?;
+            let err = metrics::relative_error(x_ref, &report.x);
+            if !err.is_finite() {
+                return None;
+            }
+            errors.push(err);
+        }
+        let stats = prepared.engine().stats();
+        Some(TrialOutcome { errors, stats })
+    }
+
+    /// Folds a cell's trial outcomes into its record.
+    fn aggregate_cell(
+        &self,
+        inst: &WorkloadInstance,
+        solver: &SolverCell,
+        rung: &Nonideality,
+        trials: &[Option<TrialOutcome>],
+    ) -> CellRecord {
+        let completed: Vec<&TrialOutcome> = trials.iter().flatten().collect();
+        let errors: Vec<f64> = completed
+            .iter()
+            .flat_map(|o| o.errors.iter().copied())
+            .collect();
+        let solves = (completed.len() * self.rhs_per_trial).max(1) as f64;
+        let analog_time_s: f64 = completed.iter().map(|o| o.stats.analog_time_s).sum();
+        let analog_energy_j: f64 = completed.iter().map(|o| o.stats.analog_energy_j).sum();
+        // Op counts are tree-structural, identical across completed
+        // trials; take the first.
+        let ops = completed.first().map(|o| o.stats).unwrap_or_default();
+        CellRecord {
+            workload: inst.spec.name.clone(),
+            family: inst.spec.family.key(),
+            n: inst.spec.n,
+            solver: solver.label.clone(),
+            nonideality: rung.label,
+            trials: trials.len(),
+            completed: completed.len(),
+            errors: metrics::ErrorStats::from_samples(&errors),
+            program_ops: ops.program_ops,
+            inv_ops: ops.inv_ops,
+            mvm_ops: ops.mvm_ops,
+            analog_time_per_solve_s: analog_time_s / solves,
+            analog_energy_per_solve_j: analog_energy_j / solves,
+            model_latency_s: model_latency(&inst.matrix, &solver.config, rung),
+            meta: inst.meta,
+        }
+    }
+}
+
+/// Per-cell arch-model latency: the depth-generalized sequential op
+/// count ([`amc_arch::latency::cascade_op_counts`]) priced with settle
+/// times of the cell's leaf-sized arrays under the rung's op-amp.
+/// `None` when the settle model has no answer (e.g. a leaf block whose
+/// minimum eigenvalue estimate fails).
+fn model_latency(a: &Matrix, config: &SolverConfig, rung: &Nonideality) -> Option<f64> {
+    let depth = config.stages().depth();
+    let leaf = (a.rows() >> depth).max(1);
+    let block = a.block(0, 0, leaf, leaf).ok()?;
+    let max_abs = block.max_abs();
+    if max_abs <= 0.0 {
+        return None;
+    }
+    let g_hat = block.scaled(1.0 / max_abs);
+    let opamp = &rung.circuit.sim.opamp;
+    let eps = rung.circuit.sim.settle_epsilon;
+    let inv_s = timing::inv_settle_time(&g_hat, opamp, eps).ok()?;
+    let mvm_s = timing::mvm_settle_time(g_hat.norm_inf(), opamp, eps).ok()?;
+    amc_arch::latency::cascade_latency(depth, inv_s, mvm_s, 0.0).ok()
+}
+
+/// Deterministic per-trial engine seed: a function of the campaign
+/// seed, the cell indices, and the trial index only — never of the
+/// worker executing the trial.
+fn trial_seed(base: u64, (w, s, l): (usize, usize, usize), trial: usize) -> u64 {
+    let mut h = base ^ 0x517C_C1B7_2722_0A95;
+    for v in [w as u64 + 1, s as u64 + 1, l as u64 + 1] {
+        h = (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(29);
+    }
+    h.wrapping_add(trial as u64)
+}
+
+/// One trial's measurements.
+#[derive(Debug, Clone, PartialEq)]
+struct TrialOutcome {
+    /// Relative error per right-hand side.
+    errors: Vec<f64>,
+    /// Engine counters after the trial (programming + all solves).
+    stats: EngineStats,
+}
+
+/// One cell of a campaign report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Workload display name.
+    pub workload: String,
+    /// Workload family key.
+    pub family: &'static str,
+    /// Problem size.
+    pub n: usize,
+    /// Solver-grid label.
+    pub solver: String,
+    /// Nonideality-rung label.
+    pub nonideality: &'static str,
+    /// Variation draws attempted.
+    pub trials: usize,
+    /// Draws whose every solve completed with finite error.
+    pub completed: usize,
+    /// Error statistics over all completed solves of the cell.
+    pub errors: metrics::ErrorStats,
+    /// Arrays programmed per trial (tree-structural).
+    pub program_ops: usize,
+    /// INV operations per trial.
+    pub inv_ops: usize,
+    /// MVM operations per trial.
+    pub mvm_ops: usize,
+    /// Mean engine-measured analog settle time per solve, seconds.
+    pub analog_time_per_solve_s: f64,
+    /// Mean engine-measured analog energy per solve, joules.
+    pub analog_energy_per_solve_j: f64,
+    /// `amc-arch` cascade-model latency of one solve at this depth,
+    /// seconds (`None` when the settle model is inapplicable).
+    pub model_latency_s: Option<f64>,
+    /// Measured workload metadata.
+    pub meta: WorkloadMeta,
+}
+
+/// The machine-readable result of a campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Trials per cell.
+    pub trials: usize,
+    /// Right-hand sides per trial.
+    pub rhs_per_trial: usize,
+    /// One record per cell, in `workloads × solvers × ladder` order.
+    pub cells: Vec<CellRecord>,
+}
+
+/// Result of [`run_worker_sweep`]: the (identical) report plus wall
+/// timings per worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSweep {
+    /// The campaign report (identical at every worker count).
+    pub report: CampaignReport,
+    /// `(workers, wall_seconds)` per sweep point.
+    pub timings: Vec<(usize, f64)>,
+    /// Whether every worker count reproduced the serial report bitwise.
+    pub bit_identical: bool,
+}
+
+/// Runs `campaign` once per entry of `worker_counts`, recording wall
+/// time and checking the reports agree bitwise — the determinism
+/// contract made measurable.
+///
+/// # Errors
+///
+/// [`ScenarioError::InvalidSpec`] for an empty `worker_counts`;
+/// campaign failures per run.
+pub fn run_worker_sweep(campaign: &Campaign, worker_counts: &[usize]) -> Result<WorkerSweep> {
+    let Some((&first, rest)) = worker_counts.split_first() else {
+        return Err(ScenarioError::spec("worker sweep needs at least one count"));
+    };
+    let start = std::time::Instant::now();
+    let report = campaign.run_with_workers(first)?;
+    let mut timings = vec![(first, start.elapsed().as_secs_f64())];
+    let mut bit_identical = true;
+    for &workers in rest {
+        let start = std::time::Instant::now();
+        let r = campaign.run_with_workers(workers)?;
+        timings.push((workers, start.elapsed().as_secs_f64()));
+        bit_identical &= r == report;
+    }
+    Ok(WorkerSweep {
+        report,
+        timings,
+        bit_identical,
+    })
+}
+
+impl CampaignBuilder {
+    /// Adds one workload spec.
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.campaign.workloads.push(spec);
+        self
+    }
+
+    /// Adds many workload specs.
+    pub fn workloads(mut self, specs: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.campaign.workloads.extend(specs);
+        self
+    }
+
+    /// Adds one named solver configuration.
+    pub fn solver(mut self, label: impl Into<String>, config: SolverConfig) -> Self {
+        self.campaign.solvers.push(SolverCell {
+            label: label.into(),
+            config,
+        });
+        self
+    }
+
+    /// Adds one nonideality rung.
+    pub fn nonideality(mut self, rung: Nonideality) -> Self {
+        self.campaign.ladder.push(rung);
+        self
+    }
+
+    /// Adds many nonideality rungs.
+    pub fn ladder(mut self, rungs: impl IntoIterator<Item = Nonideality>) -> Self {
+        self.campaign.ladder.extend(rungs);
+        self
+    }
+
+    /// Sets the variation draws per cell.
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.campaign.trials = trials;
+        self
+    }
+
+    /// Sets the right-hand sides streamed through each prepared part.
+    pub fn rhs_per_trial(mut self, rhs: usize) -> Self {
+        self.campaign.rhs_per_trial = rhs;
+        self
+    }
+
+    /// Sets the default worker count of [`Campaign::run`].
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.campaign.workers = workers;
+        self
+    }
+
+    /// Sets the campaign seed all trial streams derive from.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.campaign.seed = seed;
+        self
+    }
+
+    /// Finishes the campaign.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::InvalidSpec`] for empty axes or zero
+    /// trials/RHS/workers.
+    pub fn finish(self) -> Result<Campaign> {
+        let c = &self.campaign;
+        if c.workloads.is_empty() || c.solvers.is_empty() || c.ladder.is_empty() {
+            return Err(ScenarioError::spec(format!(
+                "campaign '{}' needs at least one workload, solver, and nonideality",
+                c.name
+            )));
+        }
+        if c.trials == 0 || c.rhs_per_trial == 0 || c.workers == 0 {
+            return Err(ScenarioError::spec(
+                "trials, rhs_per_trial, and workers must all be at least 1",
+            ));
+        }
+        Ok(self.campaign)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadFamily;
+    use blockamc::solver::Stages;
+
+    fn tiny_campaign() -> Campaign {
+        Campaign::builder("test")
+            .workload(WorkloadSpec::new("w", WorkloadFamily::Wishart, 8, 1))
+            .solver(
+                "one",
+                SolverConfig::builder()
+                    .stages(Stages::One)
+                    .capture_trace(false)
+                    .finish()
+                    .unwrap(),
+            )
+            .nonideality(Nonideality {
+                label: "variation",
+                circuit: CircuitEngineConfig::paper_variation(),
+            })
+            .trials(3)
+            .rhs_per_trial(2)
+            .seed(7)
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn campaign_produces_one_record_per_cell() {
+        let report = tiny_campaign().run().unwrap();
+        assert_eq!(report.cells.len(), 1);
+        let cell = &report.cells[0];
+        assert_eq!(cell.trials, 3);
+        assert_eq!(cell.completed, 3);
+        assert_eq!(cell.errors.count, 6, "3 trials x 2 RHS");
+        assert!(cell.errors.mean > 0.0);
+        // One-stage tree: 4 arrays programmed once per trial, 3 INV +
+        // 2 MVM per solve x 2 RHS.
+        assert_eq!(cell.program_ops, 4);
+        assert_eq!(cell.inv_ops, 6);
+        assert_eq!(cell.mvm_ops, 4);
+        assert!(cell.analog_time_per_solve_s > 0.0);
+        assert!(cell.model_latency_s.is_some());
+        assert!(cell.meta.spd);
+    }
+
+    #[test]
+    fn reports_are_reproducible() {
+        let c = tiny_campaign();
+        assert_eq!(c.run().unwrap(), c.run().unwrap());
+    }
+
+    #[test]
+    fn worker_count_is_invisible_in_the_report() {
+        let c = tiny_campaign();
+        let sweep = run_worker_sweep(&c, &[1, 2, 4]).unwrap();
+        assert!(sweep.bit_identical);
+        assert_eq!(sweep.timings.len(), 3);
+    }
+
+    #[test]
+    fn invalid_campaigns_fail_fast() {
+        assert!(Campaign::builder("empty").finish().is_err());
+        let no_trials = Campaign::builder("t")
+            .workload(WorkloadSpec::new("w", WorkloadFamily::Wishart, 8, 1))
+            .solver(
+                "one",
+                SolverConfig::builder()
+                    .stages(Stages::One)
+                    .finish()
+                    .unwrap(),
+            )
+            .nonideality(Nonideality {
+                label: "ideal",
+                circuit: CircuitEngineConfig::ideal(),
+            })
+            .trials(0)
+            .finish();
+        assert!(no_trials.is_err());
+        // A solver too deep for a workload is rejected before any trial.
+        let deep = Campaign::builder("t")
+            .workload(WorkloadSpec::new("w", WorkloadFamily::Wishart, 8, 1))
+            .solver(
+                "deep",
+                SolverConfig::builder()
+                    .stages(Stages::Multi(5))
+                    .finish()
+                    .unwrap(),
+            )
+            .nonideality(Nonideality {
+                label: "ideal",
+                circuit: CircuitEngineConfig::ideal(),
+            })
+            .finish()
+            .unwrap();
+        let err = deep.run().unwrap_err();
+        assert!(err.to_string().contains("deep"), "{err}");
+    }
+}
