@@ -2,7 +2,9 @@
 //! where simulation time goes.
 
 use amc_bench::{make_workload, MatrixFamily};
-use blockamc::engine::{AmcEngine, CircuitEngine, CircuitEngineConfig, NumericEngine};
+use blockamc::engine::{
+    AmcEngine, BlockedNumericEngine, CircuitEngine, CircuitEngineConfig, NumericEngine,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -18,6 +20,41 @@ fn bench_primitives(c: &mut Criterion) {
             let mut e = NumericEngine::new();
             let mut op = e.program(&a).expect("program");
             bencher.iter(|| std::hint::black_box(e.inv(&mut op, &b).expect("inv")));
+        });
+        // The cache-blocked backend vs the plain reference: programming
+        // + first INV (runs the blocked LU), then the amortized per-RHS
+        // path through the buffer-reusing `inv_into`.
+        group.bench_with_input(
+            BenchmarkId::new("blocked_factorize", n),
+            &n,
+            |bencher, _| {
+                let mut e = BlockedNumericEngine::default();
+                bencher.iter(|| {
+                    let mut op = e.program(&a).expect("program");
+                    std::hint::black_box(e.inv(&mut op, &b).expect("inv"))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("numeric_factorize", n),
+            &n,
+            |bencher, _| {
+                let mut e = NumericEngine::new();
+                bencher.iter(|| {
+                    let mut op = e.program(&a).expect("program");
+                    std::hint::black_box(e.inv(&mut op, &b).expect("inv"))
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("blocked_inv_into", n), &n, |bencher, _| {
+            let mut e = BlockedNumericEngine::default();
+            let mut op = e.program(&a).expect("program");
+            let mut out = Vec::new();
+            e.inv_into(&mut op, &b, &mut out).expect("warm-up inv");
+            bencher.iter(|| {
+                e.inv_into(&mut op, &b, &mut out).expect("inv");
+                std::hint::black_box(out.len())
+            });
         });
         group.bench_with_input(BenchmarkId::new("circuit_program", n), &n, |bencher, _| {
             let mut e = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 1);

@@ -101,11 +101,15 @@ fn main() {
         scenarios(quick);
         ran_any = true;
     }
+    if run("engines") {
+        engines(quick);
+        ran_any = true;
+    }
     if !ran_any {
         eprintln!(
             "unknown command '{cmd}'. usage: repro [--quick] [--trials N] \
              <fig6|fig7|fig8|fig9|fig10|headline|scaling|ablation|transient|yield|parallel\
-             |scenarios|all>"
+             |scenarios|engines|all>"
         );
         std::process::exit(2);
     }
@@ -175,6 +179,7 @@ fn scenarios(quick: bool) {
         let mut t = TextTable::new([
             "workload",
             "solver",
+            "engine",
             "nonideality",
             "ok",
             "median err",
@@ -186,6 +191,7 @@ fn scenarios(quick: bool) {
             t.row([
                 c.workload.clone(),
                 c.solver.clone(),
+                c.engine.to_string(),
                 c.nonideality.to_string(),
                 format!("{}/{}", c.completed, c.trials),
                 format!("{:.3e}", c.errors.median),
@@ -215,6 +221,7 @@ fn scenarios(quick: bool) {
                                 ("family", c.family.into()),
                                 ("n", c.n.into()),
                                 ("solver", c.solver.clone().into()),
+                                ("engine", c.engine.into()),
                                 ("nonideality", c.nonideality.into()),
                                 ("trials", c.trials.into()),
                                 ("completed", c.completed.into()),
@@ -241,10 +248,12 @@ fn scenarios(quick: bool) {
 
     let mut campaigns_json = Vec::new();
 
-    // Campaign 1+2: depth sweep and split-rule study.
+    // Campaigns 1, 2, and 4: depth sweep, split-rule study, and the
+    // engine ladder (every shipped backend selected as EngineSpec data).
     for built in [
         campaigns::depth_sweep(quick),
         campaigns::split_rule_study(quick),
+        campaigns::engine_ladder(quick),
     ] {
         let campaign = match built {
             Ok(c) => c,
@@ -325,6 +334,71 @@ fn scenarios(quick: bool) {
         "-> every study above is a Campaign value, not bespoke code: the \
          workload registry x solver grid x nonideality ladder executes on \
          one engine, sharded over workers with bit-identical output."
+    );
+}
+
+/// Engine-backend smoke study: the registry listing plus the
+/// engine-ladder campaign — every shipped backend on the same cells,
+/// selected purely as `EngineSpec` data.
+fn engines(quick: bool) {
+    use amc_scenario::campaigns;
+    use blockamc::engine::EngineRegistry;
+
+    banner("Engines — the open backend registry and the engine ladder");
+    let registry = EngineRegistry::builtin();
+    println!(
+        "registered backends: {}",
+        registry.names().collect::<Vec<_>>().join(", ")
+    );
+    let campaign = match campaigns::engine_ladder(quick) {
+        Ok(c) => c,
+        Err(e) => {
+            println!("engine-ladder campaign failed to build: {e}");
+            return;
+        }
+    };
+    println!(
+        "\n[{}] {} cells x {} trial(s)",
+        campaign.name(),
+        campaign.cell_count(),
+        campaign.trials()
+    );
+    match campaign.run() {
+        Ok(report) => {
+            let mut table = TextTable::new([
+                "workload",
+                "solver",
+                "engine",
+                "nonideality",
+                "ok",
+                "median err",
+                "mean err",
+                "analog t/solve",
+            ]);
+            for c in &report.cells {
+                table.row([
+                    c.workload.clone(),
+                    c.solver.clone(),
+                    c.engine.to_string(),
+                    c.nonideality.to_string(),
+                    format!("{}/{}", c.completed, c.trials),
+                    format!("{:.3e}", c.errors.median),
+                    format!("{:.3e}", c.errors.mean),
+                    if c.analog_time_per_solve_s > 0.0 {
+                        format!("{:.2e} s", c.analog_time_per_solve_s)
+                    } else {
+                        "-".to_string()
+                    },
+                ]);
+            }
+            print!("{}", table.render());
+        }
+        Err(e) => println!("engine-ladder campaign failed: {e}"),
+    }
+    println!(
+        "-> every rung above is an EngineSpec value resolved at trial time \
+         behind Box<dyn AmcEngine>; adding a backend is a registry entry, \
+         not a code path."
     );
 }
 
@@ -418,6 +492,7 @@ fn parallel(opts: &Options, quick: bool) {
 /// Monte-Carlo yield: fraction of manufactured parts (variation draws)
 /// meeting an accuracy spec, per architecture.
 fn yield_report(opts: &Options) {
+    use blockamc::engine::EngineSpec;
     use blockamc::montecarlo::yield_analysis;
     use blockamc::solver::SolverConfig;
 
@@ -439,7 +514,7 @@ fn yield_report(opts: &Options) {
                 &a,
                 &b,
                 &solver,
-                CircuitEngineConfig::paper_variation(),
+                &EngineSpec::Circuit(CircuitEngineConfig::paper_variation()),
                 spec,
                 trials,
                 0x41E1D,

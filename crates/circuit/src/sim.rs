@@ -25,6 +25,7 @@ use crate::{grid, inv, mvm, power, timing, CircuitError, Result};
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimConfig {
     /// Op-amp model (gain, GBWP, supply, quiescent current).
     pub opamp: OpAmpSpec,

@@ -17,7 +17,7 @@ use amc_circuit::opamp::OpAmpSpec;
 use amc_circuit::timing;
 use amc_linalg::Matrix;
 
-use crate::engine::AmcEngine;
+use crate::engine::{AmcEngine, EngineStats};
 use crate::macro_model::MacroTiming;
 use crate::solver::BlockAmcSolver;
 use crate::Result;
@@ -34,6 +34,11 @@ pub struct BatchSolution {
     pub batch_time_pipelined_s: f64,
     /// Total batch latency without pipelining (solves strictly serialize).
     pub batch_time_unpipelined_s: f64,
+    /// Engine cost of the whole batch call — the one preparation plus
+    /// every solve, summed over *all* workers for the parallel path
+    /// (each replica's counters are folded in, so nothing executed on a
+    /// stolen shard goes missing). Identical at every worker count.
+    pub stats: EngineStats,
 }
 
 impl BatchSolution {
@@ -119,13 +124,16 @@ pub fn solve_batch<E: AmcEngine>(
             "batch must contain at least one RHS",
         ));
     }
+    let before = solver.engine().stats();
     let solutions = solver.prepare(a)?.solve_batch(batch)?;
-    assemble_solution(solutions, a, batch.len(), opamp, conversion_s)
+    let stats = solver.engine().stats() - before;
+    assemble_solution(solutions, stats, a, batch.len(), opamp, conversion_s)
 }
 
 /// Derives the pipeline timing and packs a [`BatchSolution`].
 fn assemble_solution(
     solutions: Vec<Vec<f64>>,
+    stats: EngineStats,
     a: &Matrix,
     k: usize,
     opamp: &OpAmpSpec,
@@ -142,6 +150,7 @@ fn assemble_solution(
         timing,
         batch_time_pipelined_s,
         batch_time_unpipelined_s,
+        stats,
     })
 }
 
@@ -169,7 +178,9 @@ const SHARDS_PER_WORKER: usize = 4;
 /// engine counters reflect the preparation plus whatever shards worker
 /// 0 happened to execute — a scheduling-dependent *count*; the
 /// solutions themselves are scheduling-independent. The replicas'
-/// engines are dropped after the merge.
+/// counters are not lost: every worker's delta is summed into
+/// [`BatchSolution::stats`], which therefore reports the full batch
+/// cost (one preparation + all solves) at every worker count.
 ///
 /// # Errors
 ///
@@ -194,11 +205,16 @@ pub fn solve_batch_parallel<E: AmcEngine + Clone + Send>(
             "parallel batch needs at least one worker",
         ));
     }
+    let before = solver.engine().stats();
     let mut prepared = solver.prepare(a)?;
     if workers == 1 {
         let solutions = prepared.solve_batch(batch)?;
-        return assemble_solution(solutions, a, batch.len(), opamp, conversion_s);
+        let stats = prepared.engine().stats() - before;
+        return assemble_solution(solutions, stats, a, batch.len(), opamp, conversion_s);
     }
+    // Replicas clone the engine *after* preparation, so their counters
+    // start at this baseline; only what they solve on top is theirs.
+    let replica_base = prepared.engine().stats();
     // Worker 0 owns the original programmed arrays; workers 1.. own
     // bitwise replicas — `workers` solving instances, `workers − 1`
     // copies.
@@ -224,7 +240,16 @@ pub fn solve_batch_parallel<E: AmcEngine + Clone + Send>(
     for shard in sharded {
         solutions.extend(shard?);
     }
-    assemble_solution(solutions, a, batch.len(), opamp, conversion_s)
+    // Aggregate the per-worker counters: worker 0's delta (preparation
+    // plus its shards) plus each replica's solves-only delta.
+    let mut stats = EngineStats::default();
+    for state in &states {
+        stats += match state {
+            ShardWorker::Original(prepared) => prepared.engine().stats() - before,
+            ShardWorker::Replica(replica) => replica.engine().stats() - replica_base,
+        };
+    }
+    assemble_solution(solutions, stats, a, batch.len(), opamp, conversion_s)
 }
 
 /// A shard worker's solving instance: the caller's prepared solver
@@ -363,6 +388,37 @@ mod tests {
     }
 
     #[test]
+    fn parallel_batch_aggregates_stats_across_workers() {
+        // Replica counters must be folded in, not dropped: the batch
+        // stats report one preparation plus every solve, identically at
+        // 1, 2, and 4 workers.
+        let (a, _) = setup(16);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let batch: Vec<Vec<f64>> = (0..13)
+            .map(|_| generate::random_vector(16, &mut rng))
+            .collect();
+        let mut expected = None;
+        for workers in [1usize, 2, 4] {
+            let mut solver = one_stage_solver();
+            let out =
+                solve_batch_parallel(&mut solver, &a, &batch, &OpAmpSpec::ideal(), 0.0, workers)
+                    .unwrap();
+            // One-stage tree: 4 arrays once, 3 INV + 2 MVM per solve.
+            assert_eq!(out.stats.program_ops, 4, "workers={workers}");
+            assert_eq!(out.stats.inv_ops, 3 * 13, "workers={workers}");
+            assert_eq!(out.stats.mvm_ops, 2 * 13, "workers={workers}");
+            match &expected {
+                None => expected = Some(out.stats),
+                Some(first) => assert_eq!(&out.stats, first, "workers={workers}"),
+            }
+        }
+        // The serial convenience path reports the same totals.
+        let mut solver = one_stage_solver();
+        let serial = solve_batch(&mut solver, &a, &batch, &OpAmpSpec::ideal(), 0.0).unwrap();
+        assert_eq!(Some(serial.stats), expected);
+    }
+
+    #[test]
     fn parallel_batch_validates_inputs() {
         let (a, batch) = setup(8);
         let mut solver = one_stage_solver();
@@ -381,6 +437,7 @@ mod tests {
             timing,
             batch_time_pipelined_s: timing.latency_s + 9.0 * timing.cycle_s,
             batch_time_unpipelined_s: 10.0 * timing.latency_s,
+            stats: EngineStats::default(),
         };
         let (lat, cyc) = (timing.latency_s, timing.cycle_s);
         // One macro: the pipelined time itself.

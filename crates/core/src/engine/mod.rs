@@ -1,0 +1,434 @@
+//! Execution engines for the AMC primitives.
+//!
+//! The BlockAMC algorithm (Fig. 2 / Algorithm 1 of the paper) is a fixed
+//! cascade of INV and MVM operations. [`AmcEngine`] abstracts who executes
+//! those primitives, and the set of executors is **open**: a backend is
+//! any type implementing [`AmcEngine`] whose programmed state implements
+//! [`OperandState`]. The backends shipped in-tree are not enumerated
+//! here — they are registered in [`EngineRegistry::builtin`] and
+//! selectable as data through [`EngineSpec`]; run
+//! `EngineRegistry::builtin().names()` (or `repro engines`) for the
+//! authoritative list.
+//!
+//! Both analog-style and digital backends honour the AMC *sign
+//! convention*: the negative-feedback circuits produce `−A⁻¹·b` (INV)
+//! and `−A·x` (MVM). The five-step algorithm is formulated directly on
+//! those signed quantities, exactly as the paper's flow chart.
+//!
+//! Matrices are programmed once via [`AmcEngine::program`] and the
+//! returned [`Operand`] is reused across steps — this matters physically:
+//! block `A1` is used twice (steps 1 and 5) *on the same array*, so both
+//! steps must see the same variation draw.
+//!
+//! # Object safety
+//!
+//! [`AmcEngine`] is object-safe, and `Box<dyn AmcEngine>` itself
+//! implements both [`AmcEngine`] and [`Clone`] (via
+//! [`AmcEngine::clone_boxed`]), so the entire solver stack — facade,
+//! prepared trees, replicas, parallel batching — runs unchanged over a
+//! backend chosen at run time:
+//!
+//! ```
+//! use blockamc::engine::EngineRegistry;
+//! use blockamc::solver::{SolverConfig, Stages};
+//! use amc_linalg::Matrix;
+//!
+//! # fn main() -> Result<(), blockamc::BlockAmcError> {
+//! let engine = EngineRegistry::builtin().build("numeric", 0)?;
+//! let mut solver = SolverConfig::builder()
+//!     .stages(Stages::One)
+//!     .build(engine)?; // BlockAmcSolver<Box<dyn AmcEngine>>
+//! let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]])?;
+//! let report = solver.solve(&a, &[4.0, 3.0])?;
+//! assert!((report.x[0] - 1.0).abs() < 1e-10);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::any::Any;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use amc_linalg::Matrix;
+
+use crate::{BlockAmcError, Result};
+
+mod blocked;
+mod circuit;
+mod fixed_point;
+mod numeric;
+mod registry;
+
+pub use blocked::{BlockedNumericEngine, DEFAULT_BLOCK};
+pub use circuit::{CircuitEngine, CircuitEngineConfig};
+pub use fixed_point::FixedPointEngine;
+pub use numeric::NumericEngine;
+pub use registry::{EngineRegistry, EngineSpec};
+
+/// The backend-owned state of a programmed matrix.
+///
+/// Each engine backend defines its own state type (a cached
+/// factorization, a conductance-programmed crossbar pair, a quantized
+/// copy, …) and keeps it **in the backend module** — core neither
+/// enumerates nor constrains the possibilities. The engine recovers its
+/// concrete type through [`Operand::downcast_ref`] /
+/// [`Operand::downcast_mut`].
+pub trait OperandState: Any + fmt::Debug + Send {
+    /// Clones the state behind the type erasure.
+    fn clone_boxed(&self) -> Box<dyn OperandState>;
+
+    /// Shape `(rows, cols)` of the represented matrix.
+    fn shape(&self) -> (usize, usize);
+
+    /// The *effective* matrix this state computes with — exact for
+    /// digital backends, the programmed (noisy) matrix for analog ones.
+    fn effective_matrix(&self) -> Matrix;
+
+    /// Upcasts to [`Any`] for downcasting.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Upcasts to [`Any`] for mutable downcasting.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A matrix prepared for repeated AMC operations by a specific engine.
+///
+/// Obtained from [`AmcEngine::program`]; a thin type-erased handle over
+/// the backend's [`OperandState`], opaque to everything but the backend
+/// that programmed it.
+#[derive(Debug)]
+pub struct Operand {
+    state: Box<dyn OperandState>,
+}
+
+impl Clone for Operand {
+    fn clone(&self) -> Self {
+        Operand {
+            state: self.state.clone_boxed(),
+        }
+    }
+}
+
+impl Operand {
+    /// Wraps a backend's programmed state.
+    pub fn new(state: impl OperandState) -> Self {
+        Operand {
+            state: Box::new(state),
+        }
+    }
+
+    /// Shape `(rows, cols)` of the represented matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.state.shape()
+    }
+
+    /// The *effective* matrix this operand computes with — exact for
+    /// digital operands, the programmed (noisy) matrix for analog
+    /// operands. Useful for diagnostics.
+    pub fn effective_matrix(&self) -> Matrix {
+        self.state.effective_matrix()
+    }
+
+    /// Borrows the state as a concrete backend type, if it matches.
+    pub fn downcast_ref<T: OperandState>(&self) -> Option<&T> {
+        self.state.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutably borrows the state as a concrete backend type, if it
+    /// matches.
+    pub fn downcast_mut<T: OperandState>(&mut self) -> Option<&mut T> {
+        self.state.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Like [`Operand::downcast_mut`], but failure is the standard
+    /// [`BlockAmcError::OperandMismatch`] an engine reports when handed
+    /// an operand programmed by a different backend.
+    pub fn expect_state_mut<T: OperandState>(&mut self, engine: &'static str) -> Result<&mut T> {
+        self.downcast_mut::<T>()
+            .ok_or(BlockAmcError::OperandMismatch { engine })
+    }
+}
+
+/// Cumulative cost counters of an engine.
+///
+/// Counters are additive: [`Add`]/[`AddAssign`] sum the counters of
+/// independent engines (e.g. the per-replica engines of a sharded batch
+/// solve), and [`Sub`] recovers the delta across an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineStats {
+    /// Number of matrices programmed.
+    pub program_ops: usize,
+    /// Number of INV operations executed.
+    pub inv_ops: usize,
+    /// Number of MVM operations executed.
+    pub mvm_ops: usize,
+    /// Total estimated analog settling time, in seconds (analog
+    /// backends only).
+    pub analog_time_s: f64,
+    /// Total estimated analog energy, in joules (analog backends only).
+    pub analog_energy_j: f64,
+}
+
+impl AddAssign for EngineStats {
+    fn add_assign(&mut self, rhs: EngineStats) {
+        self.program_ops += rhs.program_ops;
+        self.inv_ops += rhs.inv_ops;
+        self.mvm_ops += rhs.mvm_ops;
+        self.analog_time_s += rhs.analog_time_s;
+        self.analog_energy_j += rhs.analog_energy_j;
+    }
+}
+
+impl Add for EngineStats {
+    type Output = EngineStats;
+
+    fn add(mut self, rhs: EngineStats) -> EngineStats {
+        self += rhs;
+        self
+    }
+}
+
+impl Sub for EngineStats {
+    type Output = EngineStats;
+
+    fn sub(self, rhs: EngineStats) -> EngineStats {
+        EngineStats {
+            program_ops: self.program_ops - rhs.program_ops,
+            inv_ops: self.inv_ops - rhs.inv_ops,
+            mvm_ops: self.mvm_ops - rhs.mvm_ops,
+            analog_time_s: self.analog_time_s - rhs.analog_time_s,
+            analog_energy_j: self.analog_energy_j - rhs.analog_energy_j,
+        }
+    }
+}
+
+/// An executor of the two AMC primitives.
+///
+/// Implementations return results with the AMC minus sign:
+/// [`AmcEngine::inv`] yields `−A⁻¹·b` and [`AmcEngine::mvm`] yields
+/// `−A·x`.
+///
+/// The trait is object-safe; see the [module docs](self) for driving
+/// the whole solver stack through `Box<dyn AmcEngine>`. Seedable
+/// construction lives in the data layer: build a backend from an
+/// [`EngineSpec`] (or a registry name) plus a seed.
+pub trait AmcEngine: fmt::Debug + Send {
+    /// Prepares a matrix for repeated operations (factorization for the
+    /// digital backends; conductance mapping + programming for the
+    /// circuit engine — variation is drawn here, once per array, as in
+    /// hardware).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping/factorization failures.
+    fn program(&mut self, a: &Matrix) -> Result<Operand>;
+
+    /// Executes an INV operation: returns `−A⁻¹·b`.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatches, operand-kind mismatches, and solver failures.
+    fn inv(&mut self, operand: &mut Operand, b: &[f64]) -> Result<Vec<f64>>;
+
+    /// Executes an MVM operation: returns `−A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatches, operand-kind mismatches, and solver failures.
+    fn mvm(&mut self, operand: &mut Operand, x: &[f64]) -> Result<Vec<f64>>;
+
+    /// [`AmcEngine::inv`] into a caller-owned buffer (`out` is resized
+    /// as needed). The default delegates to `inv`; allocation-conscious
+    /// backends override it to reuse `out` across repeated solves — the
+    /// batch hot path.
+    ///
+    /// Overrides must be **bit-identical** to `inv`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AmcEngine::inv`].
+    fn inv_into(&mut self, operand: &mut Operand, b: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        *out = self.inv(operand, b)?;
+        Ok(())
+    }
+
+    /// [`AmcEngine::mvm`] into a caller-owned buffer (`out` is resized
+    /// as needed); same contract as [`AmcEngine::inv_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AmcEngine::mvm`].
+    fn mvm_into(&mut self, operand: &mut Operand, x: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        *out = self.mvm(operand, x)?;
+        Ok(())
+    }
+
+    /// Engine name for reports (the registry key of shipped backends).
+    fn name(&self) -> &'static str;
+
+    /// Cumulative cost counters.
+    fn stats(&self) -> EngineStats;
+
+    /// Clones the engine behind the type erasure, so replication
+    /// ([`crate::solver::PreparedSolver::replicate`]) works on
+    /// `Box<dyn AmcEngine>` exactly as on a concrete engine.
+    fn clone_boxed(&self) -> Box<dyn AmcEngine>;
+}
+
+impl AmcEngine for Box<dyn AmcEngine> {
+    fn program(&mut self, a: &Matrix) -> Result<Operand> {
+        (**self).program(a)
+    }
+
+    fn inv(&mut self, operand: &mut Operand, b: &[f64]) -> Result<Vec<f64>> {
+        (**self).inv(operand, b)
+    }
+
+    fn mvm(&mut self, operand: &mut Operand, x: &[f64]) -> Result<Vec<f64>> {
+        (**self).mvm(operand, x)
+    }
+
+    fn inv_into(&mut self, operand: &mut Operand, b: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        (**self).inv_into(operand, b, out)
+    }
+
+    fn mvm_into(&mut self, operand: &mut Operand, x: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        (**self).mvm_into(operand, x, out)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn stats(&self) -> EngineStats {
+        (**self).stats()
+    }
+
+    fn clone_boxed(&self) -> Box<dyn AmcEngine> {
+        (**self).clone_boxed()
+    }
+}
+
+impl Clone for Box<dyn AmcEngine> {
+    fn clone(&self) -> Self {
+        (**self).clone_boxed()
+    }
+}
+
+// A programmed operand is the leaf executor of the recursive cascade
+// core: its INV/MVM are the engine primitives themselves.
+impl<E: AmcEngine + ?Sized> crate::multi_stage::InvExec<E> for Operand {
+    fn inv_signed(
+        &mut self,
+        engine: &mut E,
+        b: &[f64],
+        _path: crate::multi_stage::SignalPath<'_>,
+        _log: &mut crate::multi_stage::TraceLog,
+    ) -> Result<Vec<f64>> {
+        engine.inv(self, b)
+    }
+}
+
+impl<E: AmcEngine + ?Sized> crate::multi_stage::MvmExec<E> for Operand {
+    fn mvm_signed(&mut self, engine: &mut E, x: &[f64]) -> Result<Vec<f64>> {
+        engine.mvm(self, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amc_linalg::vector;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.5]]).unwrap()
+    }
+
+    #[test]
+    fn operand_kind_mismatch_detected() {
+        let mut num = NumericEngine::new();
+        let mut cir = CircuitEngine::new(CircuitEngineConfig::ideal(), 5);
+        let mut opn = num.program(&sample()).unwrap();
+        let mut opc = cir.program(&sample()).unwrap();
+        assert!(matches!(
+            cir.inv(&mut opn, &[0.1, 0.1]),
+            Err(BlockAmcError::OperandMismatch { .. })
+        ));
+        assert!(matches!(
+            num.mvm(&mut opc, &[0.1, 0.1]),
+            Err(BlockAmcError::OperandMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn operand_reports_shape_and_effective_matrix() {
+        let mut e = NumericEngine::new();
+        let op = e.program(&sample()).unwrap();
+        assert_eq!(op.shape(), (2, 2));
+        assert!(op.effective_matrix().approx_eq(&sample(), 0.0));
+    }
+
+    #[test]
+    fn stats_are_additive() {
+        let a = EngineStats {
+            program_ops: 1,
+            inv_ops: 2,
+            mvm_ops: 3,
+            analog_time_s: 0.5,
+            analog_energy_j: 0.25,
+        };
+        let b = EngineStats {
+            program_ops: 10,
+            inv_ops: 20,
+            mvm_ops: 30,
+            analog_time_s: 1.0,
+            analog_energy_j: 2.0,
+        };
+        let sum = a + b;
+        assert_eq!(sum.program_ops, 11);
+        assert_eq!(sum.inv_ops, 22);
+        assert_eq!(sum.mvm_ops, 33);
+        assert!((sum.analog_time_s - 1.5).abs() < 1e-15);
+        assert!((sum.analog_energy_j - 2.25).abs() < 1e-15);
+        let mut acc = EngineStats::default();
+        acc += a;
+        acc += b;
+        assert_eq!(acc, sum);
+        assert_eq!(sum - b, a);
+    }
+
+    #[test]
+    fn boxed_engine_is_a_working_engine() {
+        let a = sample();
+        let b = [0.3, -0.2];
+        let mut concrete = NumericEngine::new();
+        let mut boxed: Box<dyn AmcEngine> = Box::new(NumericEngine::new());
+        let mut opc = concrete.program(&a).unwrap();
+        let mut opb = boxed.program(&a).unwrap();
+        assert_eq!(
+            concrete.inv(&mut opc, &b).unwrap(),
+            boxed.inv(&mut opb, &b).unwrap()
+        );
+        assert_eq!(boxed.name(), "numeric");
+        assert_eq!(boxed.stats().inv_ops, 1);
+        // Cloning a boxed engine clones the concrete backend behind it.
+        let cloned = boxed.clone();
+        assert_eq!(cloned.stats(), boxed.stats());
+    }
+
+    #[test]
+    fn inv_into_defaults_match_inv() {
+        let a = sample();
+        let b = [0.7, 0.1];
+        let mut e = NumericEngine::new();
+        let mut op = e.program(&a).unwrap();
+        let x = e.inv(&mut op, &b).unwrap();
+        let mut buf = vec![42.0; 5]; // deliberately wrong size + contents
+        e.inv_into(&mut op, &b, &mut buf).unwrap();
+        assert_eq!(x, buf);
+        let y = e.mvm(&mut op, &b).unwrap();
+        e.mvm_into(&mut op, &b, &mut buf).unwrap();
+        assert_eq!(y, buf);
+        assert!(vector::approx_eq(&y, &[-1.45, -0.5], 1e-12));
+    }
+}

@@ -24,6 +24,14 @@ pub enum BlockAmcError {
         /// The engine that rejected the operand.
         engine: &'static str,
     },
+    /// A name was looked up in an [`crate::engine::EngineRegistry`]
+    /// that has no backend registered under it.
+    UnknownEngine {
+        /// The unregistered name.
+        name: String,
+        /// Comma-separated names the registry does know.
+        known: String,
+    },
     /// An underlying linear-algebra operation failed.
     Linalg(amc_linalg::LinalgError),
     /// An underlying device-model operation failed.
@@ -54,6 +62,12 @@ impl fmt::Display for BlockAmcError {
                 write!(
                     f,
                     "operand was programmed by a different engine kind than {engine}"
+                )
+            }
+            BlockAmcError::UnknownEngine { name, known } => {
+                write!(
+                    f,
+                    "no engine backend registered under '{name}' (known: {known})"
                 )
             }
             BlockAmcError::Linalg(e) => write!(f, "linear algebra error: {e}"),

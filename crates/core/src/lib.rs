@@ -23,14 +23,16 @@
 //! macro and bus signal paths layered on — bit-identical to their
 //! multi-stage counterparts by property test.
 //!
-//! The algorithm is written once against the [`engine::AmcEngine`] trait:
-//!
-//! * [`engine::NumericEngine`] — exact digital solves (the paper's
-//!   "numerical solver" reference),
-//! * [`engine::CircuitEngine`] — every INV/MVM runs through the full
-//!   device + circuit stack (`amc-device`, `amc-circuit`): conductance
-//!   mapping, programming variation, wire resistance, finite op-amp gain,
-//!   and optional DAC/ADC quantization.
+//! The algorithm is written once against the object-safe
+//! [`engine::AmcEngine`] trait, and the set of backends is **open**:
+//! each backend owns its programmed state ([`engine::OperandState`]),
+//! is selectable as data through a serializable [`engine::EngineSpec`]
+//! or a name in the [`engine::EngineRegistry`], and drives the whole
+//! stack through `Box<dyn AmcEngine>` bit-identically to the concrete
+//! type. The shipped backends range from the exact digital reference
+//! through cache-blocked and `b`-bit fixed-point digital solvers to the
+//! full analog device + circuit stack — see
+//! [`engine::EngineRegistry::builtin`] for the authoritative list.
 //!
 //! [`solver::BlockAmcSolver`] is the high-level facade, configured
 //! through [`solver::SolverConfig::builder`]: pick an architecture

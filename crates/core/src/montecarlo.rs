@@ -13,7 +13,7 @@
 
 use amc_linalg::{lu, metrics, Matrix};
 
-use crate::engine::{CircuitEngine, CircuitEngineConfig};
+use crate::engine::EngineSpec;
 use crate::multi_stage;
 use crate::solver::{SolverConfig, Stages};
 use crate::{BlockAmcError, Result};
@@ -44,14 +44,18 @@ impl YieldReport {
     }
 }
 
-/// Runs `trials` independent device-variation draws of one solver
+/// Runs `trials` independent variation draws of one solver
 /// configuration on a fixed workload and reports the pass fraction
 /// against `spec`.
 ///
-/// Each trial programs fresh arrays (a new "manufactured part") from
-/// its own ChaCha8 stream seeded `engine_seed + trial`, so results are
-/// reproducible — and independent of *where* a trial runs, which is
-/// what [`yield_analysis_parallel`] exploits.
+/// The backend is selected as data: each trial builds a fresh engine —
+/// a new "manufactured part" — from `engine` ([`EngineSpec::build`])
+/// with the seed `engine_seed + trial`, and the whole cascade runs
+/// through the resulting `Box<dyn AmcEngine>`. Results are reproducible
+/// and independent of *where* a trial runs, which is what
+/// [`yield_analysis_parallel`] exploits. (Digital backends draw
+/// nothing, so their "yield" is simply whether the deterministic error
+/// meets the spec.)
 ///
 /// Configuration validation, the reference solution, and partition
 /// planning are hoisted out of the trial loop: each trial pays only for
@@ -61,19 +65,21 @@ impl YieldReport {
 /// # Errors
 ///
 /// * [`BlockAmcError::InvalidConfig`] if `trials == 0`, `spec` is not
-///   positive, or `solver` is invalid for the workload size.
+///   positive, `solver` is invalid for the workload size, or `engine`
+///   cannot be built (checked once up front — a misconfigured spec
+///   fails loudly instead of reporting 0% yield).
 /// * Propagates reference-solution failures (a singular workload matrix).
 ///   Per-trial analog failures are *counted*, not propagated.
 pub fn yield_analysis(
     a: &Matrix,
     b: &[f64],
     solver: &SolverConfig,
-    circuit: CircuitEngineConfig,
+    engine: &EngineSpec,
     spec: f64,
     trials: usize,
     engine_seed: u64,
 ) -> Result<YieldReport> {
-    yield_analysis_parallel(a, b, solver, circuit, spec, trials, engine_seed, 1)
+    yield_analysis_parallel(a, b, solver, engine, spec, trials, engine_seed, 1)
 }
 
 /// [`yield_analysis`] with the trials farmed out across `workers`
@@ -94,7 +100,7 @@ pub fn yield_analysis_parallel(
     a: &Matrix,
     b: &[f64],
     solver: &SolverConfig,
-    circuit: CircuitEngineConfig,
+    engine: &EngineSpec,
     spec: f64,
     trials: usize,
     engine_seed: u64,
@@ -121,6 +127,10 @@ pub fn yield_analysis_parallel(
         });
     }
     solver.validate_for_size(a.rows())?;
+    // An unbuildable spec (zero panel width, out-of-range bits) is a
+    // configuration error, not N failed trials: surface it up front
+    // instead of letting every trial swallow it into a 0% yield.
+    drop(engine.build(engine_seed)?);
     let x_ref = lu::solve(a, b)?;
     // Hoisted per-run state: the partition plan and signal plan are
     // trial-invariant; only array programming and the cascade run per
@@ -128,7 +138,7 @@ pub fn yield_analysis_parallel(
     let plan = solver.partition_plan();
     let signal = solver.signal_plan();
     let run_trial = |t: usize| -> Option<f64> {
-        let mut engine = CircuitEngine::new(circuit, engine_seed.wrapping_add(t as u64));
+        let mut engine = engine.build(engine_seed.wrapping_add(t as u64)).ok()?;
         let mut tree = multi_stage::prepare_plan(&mut engine, a, &plan).ok()?;
         let (x, _) =
             multi_stage::solve_with_signal(&mut engine, &mut tree, b, signal, false).ok()?;
@@ -158,14 +168,14 @@ pub fn yield_analysis_parallel(
 pub fn compare_yields(
     a: &Matrix,
     b: &[f64],
-    config: CircuitEngineConfig,
+    engine: &EngineSpec,
     spec: f64,
     trials: usize,
     engine_seed: u64,
 ) -> Result<[YieldReport; 3]> {
     let run = |stages: Stages| -> Result<YieldReport> {
         let solver = SolverConfig::builder().stages(stages).finish()?;
-        yield_analysis(a, b, &solver, config, spec, trials, engine_seed)
+        yield_analysis(a, b, &solver, engine, spec, trials, engine_seed)
     };
     Ok([run(Stages::Original)?, run(Stages::One)?, run(Stages::Two)?])
 }
@@ -173,6 +183,7 @@ pub fn compare_yields(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::CircuitEngineConfig;
     use amc_linalg::generate;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -198,7 +209,7 @@ mod tests {
             &a,
             &b,
             &one_stage(),
-            CircuitEngineConfig::ideal(),
+            &EngineSpec::Circuit(CircuitEngineConfig::ideal()),
             1e-6,
             5,
             0,
@@ -216,7 +227,7 @@ mod tests {
             &a,
             &b,
             &one_stage(),
-            CircuitEngineConfig::paper_variation(),
+            &EngineSpec::Circuit(CircuitEngineConfig::paper_variation()),
             1e-6, // far below the 5%-variation error floor
             6,
             0,
@@ -233,7 +244,7 @@ mod tests {
             &a,
             &b,
             &one_stage(),
-            CircuitEngineConfig::paper_variation(),
+            &EngineSpec::Circuit(CircuitEngineConfig::paper_variation()),
             0.5,
             6,
             0,
@@ -250,7 +261,7 @@ mod tests {
                 &a,
                 &b,
                 &one_stage(),
-                CircuitEngineConfig::paper_variation(),
+                &EngineSpec::Circuit(CircuitEngineConfig::paper_variation()),
                 spec,
                 8,
                 3,
@@ -267,8 +278,15 @@ mod tests {
     #[test]
     fn compare_yields_orders_architectures() {
         let (a, b) = workload(16);
-        let reports =
-            compare_yields(&a, &b, CircuitEngineConfig::paper_variation(), 0.1, 6, 1).unwrap();
+        let reports = compare_yields(
+            &a,
+            &b,
+            &EngineSpec::Circuit(CircuitEngineConfig::paper_variation()),
+            0.1,
+            6,
+            1,
+        )
+        .unwrap();
         assert_eq!(reports.len(), 3);
         for r in &reports {
             assert_eq!(r.trials, 6);
@@ -282,7 +300,7 @@ mod tests {
             &a,
             &b,
             &one_stage(),
-            CircuitEngineConfig::ideal(),
+            &EngineSpec::Circuit(CircuitEngineConfig::ideal()),
             0.1,
             0,
             0
@@ -292,8 +310,19 @@ mod tests {
             &a,
             &b,
             &one_stage(),
-            CircuitEngineConfig::ideal(),
+            &EngineSpec::Circuit(CircuitEngineConfig::ideal()),
             0.0,
+            3,
+            0
+        )
+        .is_err());
+        // An unbuildable engine spec is a loud error, not a 0% yield.
+        assert!(yield_analysis(
+            &a,
+            &b,
+            &one_stage(),
+            &EngineSpec::FixedPoint { bits: 60 },
+            0.1,
             3,
             0
         )
@@ -304,7 +333,16 @@ mod tests {
             .finish()
             .unwrap();
         assert!(
-            yield_analysis(&a, &b, &bad, CircuitEngineConfig::ideal(), 0.1, 3, 0).is_err(),
+            yield_analysis(
+                &a,
+                &b,
+                &bad,
+                &EngineSpec::Circuit(CircuitEngineConfig::ideal()),
+                0.1,
+                3,
+                0
+            )
+            .is_err(),
             "depth 5 must be rejected on an 8x8 workload"
         );
     }
@@ -317,7 +355,7 @@ mod tests {
                 &a,
                 &b,
                 &one_stage(),
-                CircuitEngineConfig::paper_variation(),
+                &EngineSpec::Circuit(CircuitEngineConfig::paper_variation()),
                 0.1,
                 6,
                 17,
@@ -333,7 +371,7 @@ mod tests {
             &a,
             &b,
             &one_stage(),
-            CircuitEngineConfig::ideal(),
+            &EngineSpec::Circuit(CircuitEngineConfig::ideal()),
             0.1,
             3,
             0,
@@ -350,7 +388,7 @@ mod tests {
                 &a,
                 &b,
                 &one_stage(),
-                CircuitEngineConfig::paper_variation(),
+                &EngineSpec::Circuit(CircuitEngineConfig::paper_variation()),
                 0.1,
                 4,
                 9,

@@ -539,19 +539,31 @@ impl QuadMvm {
         let mut top = vec![0.0; self.row_split];
         let mut bottom = vec![0.0; self.rows - self.row_split];
         // Summing the tiles' signed outputs preserves the AMC sign,
-        // exactly as TiledMvm::mvm.
-        if let Some(t) = self.tiles[0].as_mut() {
-            vector::axpy(1.0, &t.mvm_signed(engine, xt)?, &mut top);
-        }
-        if let Some(t) = self.tiles[1].as_mut() {
-            vector::axpy(1.0, &t.mvm_signed(engine, xb)?, &mut top);
-        }
-        if let Some(t) = self.tiles[2].as_mut() {
-            vector::axpy(1.0, &t.mvm_signed(engine, xt)?, &mut bottom);
-        }
-        if let Some(t) = self.tiles[3].as_mut() {
-            vector::axpy(1.0, &t.mvm_signed(engine, xb)?, &mut bottom);
-        }
+        // exactly as TiledMvm::mvm. One scratch buffer serves all four
+        // quadrants (whole-array tiles write into it via the engine's
+        // buffer-reusing `mvm_into`), so a quadrant level costs one
+        // allocation instead of one per non-zero tile.
+        let mut scratch = Vec::new();
+        let accumulate = |engine: &mut E,
+                          tile: Option<&mut MvmBlock>,
+                          input: &[f64],
+                          acc: &mut [f64],
+                          scratch: &mut Vec<f64>|
+         -> Result<()> {
+            if let Some(t) = tile {
+                match t {
+                    MvmBlock::Whole(op) => engine.mvm_into(op, input, scratch)?,
+                    MvmBlock::Tiled(q) => *scratch = q.mvm(engine, input)?,
+                }
+                vector::axpy(1.0, scratch.as_slice(), acc);
+            }
+            Ok(())
+        };
+        let [t0, t1, t2, t3] = &mut self.tiles;
+        accumulate(engine, t0.as_mut(), xt, &mut top, &mut scratch)?;
+        accumulate(engine, t1.as_mut(), xb, &mut top, &mut scratch)?;
+        accumulate(engine, t2.as_mut(), xt, &mut bottom, &mut scratch)?;
+        accumulate(engine, t3.as_mut(), xb, &mut bottom, &mut scratch)?;
         Ok(vector::concat(&top, &bottom))
     }
 

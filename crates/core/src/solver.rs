@@ -305,7 +305,10 @@ pub struct SolveReport {
     pub x: Vec<f64>,
     /// The architecture used.
     pub stages: Stages,
-    /// Engine name (`"numeric"` or `"circuit"`).
+    /// Engine name, as reported by [`AmcEngine::name`] — for shipped
+    /// backends this is the registry key (see
+    /// [`crate::engine::EngineRegistry::builtin`]; the registry, not
+    /// this field's docs, is the authoritative list).
     pub engine: &'static str,
     /// Per-step trace of the root cascade when trace capture is on and
     /// the root level records per-step signals — a macro level (e.g.
@@ -323,13 +326,7 @@ pub struct SolveReport {
 }
 
 fn stats_delta(before: &EngineStats, after: &EngineStats) -> EngineStats {
-    EngineStats {
-        program_ops: after.program_ops - before.program_ops,
-        inv_ops: after.inv_ops - before.inv_ops,
-        mvm_ops: after.mvm_ops - before.mvm_ops,
-        analog_time_s: after.analog_time_s - before.analog_time_s,
-        analog_energy_j: after.analog_energy_j - before.analog_energy_j,
-    }
+    *after - *before
 }
 
 /// Engine + configuration, ready to prepare and solve linear systems.
@@ -347,6 +344,26 @@ fn stats_delta(before: &EngineStats, after: &EngineStats) -> EngineStats {
 /// let report = solver.solve(&a, &[4.0, 3.0])?;
 /// assert!((report.x[0] - 1.0).abs() < 1e-10);
 /// assert!((report.x[1] - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// The engine can equally be chosen *as data* — a registry name (or an
+/// [`crate::engine::EngineSpec`]) instead of a concrete type — and the
+/// solver runs unchanged over `Box<dyn AmcEngine>`:
+///
+/// ```
+/// use blockamc::engine::EngineRegistry;
+/// use blockamc::solver::{SolverConfig, Stages};
+/// use amc_linalg::Matrix;
+///
+/// # fn main() -> Result<(), blockamc::BlockAmcError> {
+/// let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]])?;
+/// let mut solver = SolverConfig::builder()
+///     .stages(Stages::One)
+///     .build(EngineRegistry::builtin().build("blocked", 0)?)?;
+/// let report = solver.solve(&a, &[4.0, 3.0])?;
+/// assert_eq!(report.engine, "blocked");
 /// # Ok(())
 /// # }
 /// ```

@@ -23,7 +23,7 @@
 
 use amc_circuit::timing;
 use amc_linalg::{lu, metrics, Matrix};
-use blockamc::engine::{AmcEngine, CircuitEngine, CircuitEngineConfig, EngineStats};
+use blockamc::engine::{AmcEngine, CircuitEngineConfig, EngineSpec, EngineStats};
 use blockamc::solver::{BlockAmcSolver, SolverConfig};
 
 use crate::workload::{WorkloadInstance, WorkloadMeta, WorkloadSpec};
@@ -38,33 +38,39 @@ pub struct SolverCell {
     pub config: SolverConfig,
 }
 
-/// One named rung of the nonideality ladder.
+/// One named rung of the nonideality ladder: any engine backend,
+/// selected purely as data.
+///
+/// The rung carries an [`EngineSpec`], not a concrete engine type — a
+/// cell can run the exact digital reference, the cache-blocked or
+/// fixed-point digital backends, the full analog stack, or anything a
+/// downstream registry adds, and the campaign engine builds each
+/// trial's `Box<dyn AmcEngine>` from the spec plus the trial seed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Nonideality {
-    /// Display label (`ideal`, `variation`, `variation+wire`, …).
+    /// Display label (`ideal`, `variation`, `fixed-point-8b`, …).
     pub label: &'static str,
-    /// The analog stack configuration.
-    pub circuit: CircuitEngineConfig,
+    /// The backend this rung solves with.
+    pub engine: EngineSpec,
 }
 
 impl Nonideality {
+    /// A rung running the analog stack with the given configuration.
+    pub fn circuit(label: &'static str, config: CircuitEngineConfig) -> Nonideality {
+        Nonideality {
+            label,
+            engine: EngineSpec::Circuit(config),
+        }
+    }
+
     /// The standard three-rung ladder of the paper's figures: ideal
     /// mapping (Fig. 6), 5 % variation (Fig. 7), variation + wire
     /// resistance (Fig. 9).
     pub fn paper_ladder() -> Vec<Nonideality> {
         vec![
-            Nonideality {
-                label: "ideal-mapping",
-                circuit: CircuitEngineConfig::ideal_mapping(),
-            },
-            Nonideality {
-                label: "variation",
-                circuit: CircuitEngineConfig::paper_variation(),
-            },
-            Nonideality {
-                label: "variation+wire",
-                circuit: CircuitEngineConfig::paper_full(),
-            },
+            Nonideality::circuit("ideal-mapping", CircuitEngineConfig::ideal_mapping()),
+            Nonideality::circuit("variation", CircuitEngineConfig::paper_variation()),
+            Nonideality::circuit("variation+wire", CircuitEngineConfig::paper_full()),
         ]
     }
 }
@@ -163,6 +169,18 @@ impl Campaign {
             return Err(ScenarioError::spec("campaign needs at least 1 worker"));
         }
 
+        // An unbuildable rung spec (zero panel width, out-of-range
+        // bits) is a configuration error, not trials-worth of silent
+        // `completed: 0` cells: fail loudly before any work starts.
+        for rung in &self.ladder {
+            rung.engine.build(self.seed).map_err(|e| {
+                ScenarioError::spec(format!(
+                    "nonideality rung '{}' cannot build its engine: {e}",
+                    rung.label
+                ))
+            })?;
+        }
+
         // Hoisted per-workload state: instance, reference solutions.
         let mut prepped: Vec<(WorkloadInstance, Vec<Vec<f64>>)> =
             Vec::with_capacity(self.workloads.len());
@@ -216,9 +234,11 @@ impl Campaign {
         })
     }
 
-    /// Runs one trial: program a fresh part, stream the cell's RHS set
-    /// through the prepared solver. `None` marks an analog failure
-    /// (singular operating point, non-finite error).
+    /// Runs one trial: build the rung's engine from spec + seed,
+    /// program a fresh part, stream the cell's RHS set through the
+    /// prepared solver. `None` marks a per-trial failure (singular
+    /// operating point, non-finite error); unbuildable specs were
+    /// rejected before any trial ran.
     fn run_trial(
         &self,
         (inst, x_refs): &(WorkloadInstance, Vec<Vec<f64>>),
@@ -228,7 +248,7 @@ impl Campaign {
         trial: usize,
     ) -> Option<TrialOutcome> {
         let seed = trial_seed(self.seed, cell, trial);
-        let engine = CircuitEngine::new(rung.circuit, seed);
+        let engine = rung.engine.build(seed).ok()?;
         let mut facade = BlockAmcSolver::from_config(engine, solver.config.clone());
         let mut prepared = facade.prepare(&inst.matrix).ok()?;
         let mut errors = Vec::with_capacity(inst.rhs.len());
@@ -269,6 +289,7 @@ impl Campaign {
             n: inst.spec.n,
             solver: solver.label.clone(),
             nonideality: rung.label,
+            engine: rung.engine.name(),
             trials: trials.len(),
             completed: completed.len(),
             errors: metrics::ErrorStats::from_samples(&errors),
@@ -286,9 +307,11 @@ impl Campaign {
 /// Per-cell arch-model latency: the depth-generalized sequential op
 /// count ([`amc_arch::latency::cascade_op_counts`]) priced with settle
 /// times of the cell's leaf-sized arrays under the rung's op-amp.
-/// `None` when the settle model has no answer (e.g. a leaf block whose
-/// minimum eigenvalue estimate fails).
+/// `None` for digital rungs (no analog settle model applies) or when
+/// the settle model has no answer (e.g. a leaf block whose minimum
+/// eigenvalue estimate fails).
 fn model_latency(a: &Matrix, config: &SolverConfig, rung: &Nonideality) -> Option<f64> {
+    let circuit = rung.engine.circuit()?;
     let depth = config.stages().depth();
     let leaf = (a.rows() >> depth).max(1);
     let block = a.block(0, 0, leaf, leaf).ok()?;
@@ -297,8 +320,8 @@ fn model_latency(a: &Matrix, config: &SolverConfig, rung: &Nonideality) -> Optio
         return None;
     }
     let g_hat = block.scaled(1.0 / max_abs);
-    let opamp = &rung.circuit.sim.opamp;
-    let eps = rung.circuit.sim.settle_epsilon;
+    let opamp = &circuit.sim.opamp;
+    let eps = circuit.sim.settle_epsilon;
     let inv_s = timing::inv_settle_time(&g_hat, opamp, eps).ok()?;
     let mvm_s = timing::mvm_settle_time(g_hat.norm_inf(), opamp, eps).ok()?;
     amc_arch::latency::cascade_latency(depth, inv_s, mvm_s, 0.0).ok()
@@ -337,6 +360,8 @@ pub struct CellRecord {
     pub solver: String,
     /// Nonideality-rung label.
     pub nonideality: &'static str,
+    /// Backend name of the rung's [`EngineSpec`].
+    pub engine: &'static str,
     /// Variation draws attempted.
     pub trials: usize,
     /// Draws whose every solve completed with finite error.
@@ -512,10 +537,10 @@ mod tests {
                     .finish()
                     .unwrap(),
             )
-            .nonideality(Nonideality {
-                label: "variation",
-                circuit: CircuitEngineConfig::paper_variation(),
-            })
+            .nonideality(Nonideality::circuit(
+                "variation",
+                CircuitEngineConfig::paper_variation(),
+            ))
             .trials(3)
             .rhs_per_trial(2)
             .seed(7)
@@ -568,10 +593,7 @@ mod tests {
                     .finish()
                     .unwrap(),
             )
-            .nonideality(Nonideality {
-                label: "ideal",
-                circuit: CircuitEngineConfig::ideal(),
-            })
+            .nonideality(Nonideality::circuit("ideal", CircuitEngineConfig::ideal()))
             .trials(0)
             .finish();
         assert!(no_trials.is_err());
@@ -585,13 +607,29 @@ mod tests {
                     .finish()
                     .unwrap(),
             )
-            .nonideality(Nonideality {
-                label: "ideal",
-                circuit: CircuitEngineConfig::ideal(),
-            })
+            .nonideality(Nonideality::circuit("ideal", CircuitEngineConfig::ideal()))
             .finish()
             .unwrap();
         let err = deep.run().unwrap_err();
         assert!(err.to_string().contains("deep"), "{err}");
+        // A rung whose EngineSpec cannot build fails the run loudly,
+        // naming the rung — never a silent completed-0 report.
+        let bad_rung = Campaign::builder("t")
+            .workload(WorkloadSpec::new("w", WorkloadFamily::Wishart, 8, 1))
+            .solver(
+                "one",
+                SolverConfig::builder()
+                    .stages(Stages::One)
+                    .finish()
+                    .unwrap(),
+            )
+            .nonideality(Nonideality {
+                label: "fp-60b",
+                engine: blockamc::engine::EngineSpec::FixedPoint { bits: 60 },
+            })
+            .finish()
+            .unwrap();
+        let err = bad_rung.run().unwrap_err();
+        assert!(err.to_string().contains("fp-60b"), "{err}");
     }
 }

@@ -13,9 +13,13 @@
 //! 3. [`worker_scaling`] — the trial-sharding campaign used with
 //!    [`run_worker_sweep`](crate::campaign::run_worker_sweep) to
 //!    demonstrate wall-clock scaling with bit-identical output.
+//! 4. [`engine_ladder`] — the backend axis: the same workloads and
+//!    architecture solved by every shipped engine backend, selected
+//!    purely as [`EngineSpec`] data (the ROADMAP's "multi-backend
+//!    engines").
 
 use blockamc::converter::IoConfig;
-use blockamc::engine::CircuitEngineConfig;
+use blockamc::engine::{CircuitEngineConfig, EngineSpec};
 use blockamc::solver::{SignalPlan, SolverConfig, SplitRule, SplitSearchOptions, Stages};
 
 use crate::campaign::{Campaign, Nonideality};
@@ -70,14 +74,14 @@ pub fn depth_sweep(quick: bool) -> Result<Campaign> {
             );
     }
     builder
-        .nonideality(Nonideality {
-            label: "ideal-mapping",
-            circuit: CircuitEngineConfig::ideal_mapping(),
-        })
-        .nonideality(Nonideality {
-            label: "variation",
-            circuit: CircuitEngineConfig::paper_variation(),
-        })
+        .nonideality(Nonideality::circuit(
+            "ideal-mapping",
+            CircuitEngineConfig::ideal_mapping(),
+        ))
+        .nonideality(Nonideality::circuit(
+            "variation",
+            CircuitEngineConfig::paper_variation(),
+        ))
         .finish()
 }
 
@@ -136,10 +140,10 @@ pub fn split_rule_study(quick: bool) -> Result<Campaign> {
             );
     }
     builder
-        .nonideality(Nonideality {
-            label: "variation",
-            circuit: CircuitEngineConfig::paper_variation(),
-        })
+        .nonideality(Nonideality::circuit(
+            "variation",
+            CircuitEngineConfig::paper_variation(),
+        ))
         .finish()
 }
 
@@ -178,13 +182,84 @@ pub fn worker_scaling(quick: bool) -> Result<Campaign> {
                 .capture_trace(false)
                 .finish()?,
         )
-        .nonideality(Nonideality {
-            label: "variation",
-            circuit: CircuitEngineConfig::paper_variation(),
-        })
+        .nonideality(Nonideality::circuit(
+            "variation",
+            CircuitEngineConfig::paper_variation(),
+        ))
         .trials(trials)
         .rhs_per_trial(4)
         .seed(0xAC_11)
+        .finish()
+}
+
+/// Campaign 4: the engine ladder — every shipped backend (exact
+/// numeric, cache-blocked numeric, 6- and 10-bit fixed point, full
+/// analog with 5 % variation) on a well-conditioned, a structured, and
+/// an ill-conditioned registry family, one- and two-stage. The rungs
+/// are pure [`EngineSpec`] data: adding a backend to the comparison is
+/// one more ladder entry, never a code path.
+///
+/// # Errors
+///
+/// Propagates configuration-building failures (none for the shipped
+/// parameters).
+pub fn engine_ladder(quick: bool) -> Result<Campaign> {
+    let n = if quick { 24 } else { 48 };
+    let trials = if quick { 3 } else { 8 };
+    let mut builder = Campaign::builder("engine-ladder")
+        .workload(WorkloadSpec::new(
+            "wishart",
+            WorkloadFamily::Wishart,
+            n,
+            0xE1,
+        ))
+        .workload(WorkloadSpec::new(
+            "poisson2d",
+            WorkloadFamily::Poisson2d,
+            n,
+            0xE2,
+        ))
+        .workload(WorkloadSpec::new(
+            "spd-cond-1e4",
+            WorkloadFamily::SpdWithCondition { cond: 1e4 },
+            n,
+            0xE3,
+        ))
+        .trials(trials)
+        .rhs_per_trial(2)
+        .seed(0xE9_61);
+    for (stages, tag) in [(Stages::One, "one"), (Stages::Two, "two")] {
+        builder = builder.solver(
+            tag,
+            SolverConfig::builder()
+                .stages(stages)
+                .capture_trace(false)
+                .finish()?,
+        );
+    }
+    builder
+        .nonideality(Nonideality {
+            label: "numeric",
+            engine: EngineSpec::Numeric,
+        })
+        .nonideality(Nonideality {
+            label: "blocked",
+            engine: EngineSpec::Blocked {
+                block: blockamc::engine::DEFAULT_BLOCK,
+            },
+        })
+        .nonideality(Nonideality {
+            label: "fixed-point-6b",
+            engine: EngineSpec::FixedPoint { bits: 6 },
+        })
+        .nonideality(Nonideality {
+            label: "fixed-point-10b",
+            engine: EngineSpec::FixedPoint { bits: 10 },
+        })
+        .nonideality(Nonideality::circuit(
+            "circuit-variation",
+            CircuitEngineConfig::paper_variation(),
+        ))
         .finish()
 }
 
@@ -203,6 +278,43 @@ mod tests {
             assert_eq!(s.cell_count(), 3 * 4);
             let w = worker_scaling(quick).unwrap();
             assert_eq!(w.cell_count(), 4);
+            let e = engine_ladder(quick).unwrap();
+            assert_eq!(e.ladder().len(), 5, "all four backends + 2nd fp depth");
+            assert_eq!(e.cell_count(), 3 * 2 * 5);
+        }
+    }
+
+    #[test]
+    fn quick_engine_ladder_orders_backends() {
+        let report = engine_ladder(true).unwrap().run().unwrap();
+        let cell = |engine: &str, nonideality: &str| {
+            report
+                .cells
+                .iter()
+                .find(|c| {
+                    c.workload == "wishart" && c.solver == "one" && c.nonideality == nonideality
+                })
+                .filter(|c| c.engine == engine)
+                .unwrap_or_else(|| panic!("missing cell {engine}/{nonideality}"))
+        };
+        let numeric = cell("numeric", "numeric");
+        let blocked = cell("blocked", "blocked");
+        let fp6 = cell("fixed-point", "fixed-point-6b");
+        let fp10 = cell("fixed-point", "fixed-point-10b");
+        let circuit = cell("circuit", "circuit-variation");
+        // The blocked backend is a bit-identical substitution.
+        assert_eq!(numeric.errors, blocked.errors);
+        assert!(numeric.errors.max < 1e-9);
+        // Quantization coarsens monotonically between the digital rungs.
+        assert!(fp10.errors.mean < fp6.errors.mean);
+        assert!(fp6.errors.mean > numeric.errors.max);
+        // Only the analog rung accrues analog cost and a settle-model
+        // latency.
+        assert!(circuit.analog_time_per_solve_s > 0.0);
+        assert!(circuit.model_latency_s.is_some());
+        for digital in [numeric, blocked, fp6, fp10] {
+            assert_eq!(digital.analog_time_per_solve_s, 0.0);
+            assert!(digital.model_latency_s.is_none());
         }
     }
 

@@ -18,10 +18,14 @@
 //!   `amc-par` workers (bit-identical to serial at any worker count),
 //!   and emits per-cell [`CellRecord`]s: error statistics,
 //!   engine-measured analog cost, and `amc-arch` cascade-model scoring.
-//! * [`campaigns`] — the three shipped studies `repro scenarios` runs:
+//!   Each [`Nonideality`] rung names its backend as a serializable
+//!   [`EngineSpec`](blockamc::engine::EngineSpec) — no concrete engine
+//!   type appears anywhere in this crate; every trial's executor is
+//!   built behind `Box<dyn AmcEngine>` from spec + seed.
+//! * [`campaigns`] — the shipped studies `repro scenarios` runs:
 //!   depth sweep with per-level bus placement, `Searched` vs `Halves`
-//!   splits on ill-conditioned families, and the worker-scaling
-//!   campaign.
+//!   splits on ill-conditioned families, the worker-scaling campaign,
+//!   and the engine ladder comparing every shipped backend.
 //!
 //! # Example
 //!
@@ -38,10 +42,10 @@
 //!         "one-stage",
 //!         SolverConfig::builder().stages(Stages::One).finish()?,
 //!     )
-//!     .nonideality(Nonideality {
-//!         label: "variation",
-//!         circuit: CircuitEngineConfig::paper_variation(),
-//!     })
+//!     .nonideality(Nonideality::circuit(
+//!         "variation",
+//!         CircuitEngineConfig::paper_variation(),
+//!     ))
 //!     .trials(3)
 //!     .finish()?;
 //! let report = campaign.run()?;

@@ -27,10 +27,10 @@ fn small_campaign() -> Campaign {
                 .finish()
                 .unwrap(),
         )
-        .nonideality(Nonideality {
-            label: "variation",
-            circuit: CircuitEngineConfig::paper_variation(),
-        })
+        .nonideality(Nonideality::circuit(
+            "variation",
+            CircuitEngineConfig::paper_variation(),
+        ))
         .trials(5)
         .rhs_per_trial(2)
         .seed(0xE9)
@@ -66,11 +66,14 @@ fn worker_sweep_confirms_identity_and_times_every_count() {
 
 #[test]
 fn shipped_campaigns_are_worker_invariant_in_quick_mode() {
-    // The three in-repo campaigns uphold the same contract end to end.
+    // The four in-repo campaigns uphold the same contract end to end —
+    // including the engine ladder, whose cells mix digital and analog
+    // backends built from EngineSpec data per trial.
     for campaign in [
         amc_scenario::campaigns::depth_sweep(true).unwrap(),
         amc_scenario::campaigns::split_rule_study(true).unwrap(),
         amc_scenario::campaigns::worker_scaling(true).unwrap(),
+        amc_scenario::campaigns::engine_ladder(true).unwrap(),
     ] {
         let serial = campaign.run_with_workers(1).unwrap();
         let sharded = campaign.run_with_workers(3).unwrap();

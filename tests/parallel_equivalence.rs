@@ -16,7 +16,7 @@
 use amc_circuit::opamp::OpAmpSpec;
 use amc_linalg::{generate, Matrix};
 use blockamc::batch;
-use blockamc::engine::{CircuitEngine, CircuitEngineConfig, NumericEngine};
+use blockamc::engine::{CircuitEngine, CircuitEngineConfig, EngineSpec, NumericEngine};
 use blockamc::montecarlo;
 use blockamc::solver::{BlockAmcSolver, SolverConfig, Stages};
 use proptest::prelude::*;
@@ -101,12 +101,13 @@ proptest! {
     ) {
         let b = &batch[0];
         let solver = SolverConfig::builder().stages(Stages::One).finish().unwrap();
+        let spec = EngineSpec::Circuit(CircuitEngineConfig::paper_variation());
         let serial = montecarlo::yield_analysis(
-            &a, b, &solver, CircuitEngineConfig::paper_variation(), 0.1, trials, seed,
+            &a, b, &solver, &spec, 0.1, trials, seed,
         ).unwrap();
         for workers in [2usize, 4] {
             let par = montecarlo::yield_analysis_parallel(
-                &a, b, &solver, CircuitEngineConfig::paper_variation(), 0.1, trials, seed, workers,
+                &a, b, &solver, &spec, 0.1, trials, seed, workers,
             ).unwrap();
             prop_assert_eq!(&par, &serial, "workers={}", workers);
         }
