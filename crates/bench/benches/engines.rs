@@ -2,6 +2,7 @@
 //! where simulation time goes.
 
 use amc_bench::{make_workload, MatrixFamily};
+use amc_engine_simd::SimdEngine;
 use blockamc::engine::{
     AmcEngine, BlockedNumericEngine, CircuitEngine, CircuitEngineConfig, NumericEngine,
 };
@@ -74,5 +75,54 @@ fn bench_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_primitives);
+/// The large-`n` ladder where the micro-tiled backend earns its keep:
+/// full factorize+solve and the amortized per-RHS `inv_into` path for
+/// simd vs numeric vs blocked at n = 256 / 512 / 1024.
+fn bench_large_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_large_n");
+    group.sample_size(10);
+    for &n in &[256usize, 512, 1024] {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x51D + n as u64);
+        let (a, b) = make_workload(MatrixFamily::Wishart, n, &mut rng);
+
+        macro_rules! factorize_and_amortized {
+            ($label:literal, $make:expr) => {
+                group.bench_with_input(
+                    BenchmarkId::new(concat!($label, "_factorize"), n),
+                    &n,
+                    |bencher, _| {
+                        let mut e = $make;
+                        let mut out = Vec::new();
+                        bencher.iter(|| {
+                            let mut op = e.program(&a).expect("program");
+                            e.inv_into(&mut op, &b, &mut out).expect("inv");
+                            std::hint::black_box(out.len())
+                        });
+                    },
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(concat!($label, "_inv_into"), n),
+                    &n,
+                    |bencher, _| {
+                        let mut e = $make;
+                        let mut op = e.program(&a).expect("program");
+                        let mut out = Vec::new();
+                        e.inv_into(&mut op, &b, &mut out).expect("warm-up inv");
+                        bencher.iter(|| {
+                            e.inv_into(&mut op, &b, &mut out).expect("inv");
+                            std::hint::black_box(out.len())
+                        });
+                    },
+                );
+            };
+        }
+
+        factorize_and_amortized!("simd", SimdEngine::new());
+        factorize_and_amortized!("numeric", NumericEngine::new());
+        factorize_and_amortized!("blocked", BlockedNumericEngine::default());
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_large_n);
 criterion_main!(benches);

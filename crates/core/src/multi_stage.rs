@@ -838,6 +838,192 @@ pub fn prepare<E: AmcEngine + ?Sized>(
     prepare_plan(engine, a, &PartitionPlan::depth(depth))
 }
 
+// ---------------------------------------------------------------------
+// Parallel prepare: two-phase (parallel plan, serial program).
+// ---------------------------------------------------------------------
+
+/// One node of the engine-free plan tree built by the parallel prepare.
+///
+/// Phase 1 (parallel) computes all partitions and Schur complements —
+/// the numeric work of `prepare` — without touching the engine. Phase 2
+/// (serial) walks the assembled tree programming arrays in exactly the
+/// order [`prepare_node`] would, so the engine's variation stream is
+/// consumed identically and the result is bit-identical to a serial
+/// prepare at any worker count.
+#[derive(Debug)]
+enum MatrixTree {
+    Leaf(Matrix),
+    Split {
+        split: usize,
+        a1: Box<MatrixTree>,
+        a4s: Box<MatrixTree>,
+        a2: Matrix,
+        a3: Matrix,
+        tile_levels: usize,
+    },
+}
+
+/// A planned node before its subtrees are attached: the per-node output
+/// of one parallel `plan_step`, with children returned separately.
+#[derive(Debug)]
+enum PlannedNode {
+    Leaf(Matrix),
+    Split {
+        split: usize,
+        a2: Matrix,
+        a3: Matrix,
+        tile_levels: usize,
+    },
+}
+
+/// Partitions one block (split selection + Schur complement) without
+/// programming anything. Returns the planned node plus the child blocks
+/// (`a1` then `a4s`, each one level shallower) to expand next.
+fn plan_step(
+    a: Matrix,
+    depth: usize,
+    plan: &PartitionPlan,
+) -> Result<(PlannedNode, Vec<(Matrix, usize)>)> {
+    if depth == 0 || a.rows() < 2 {
+        return Ok((PlannedNode::Leaf(a), Vec::new()));
+    }
+    let p = match plan.split {
+        SplitRule::Halves => BlockPartition::halves(&a)?,
+        SplitRule::Searched(opts) if a.rows() >= 4 => split_search::best_partition(&a, &opts)?,
+        SplitRule::Searched(_) => BlockPartition::halves(&a)?,
+    };
+    let a4s = p.schur_complement()?;
+    let tile_levels = if plan.tile_mvm { depth - 1 } else { 0 };
+    Ok((
+        PlannedNode::Split {
+            split: p.split,
+            a2: p.a2,
+            a3: p.a3,
+            tile_levels,
+        },
+        vec![(p.a1, depth - 1), (a4s, depth - 1)],
+    ))
+}
+
+/// Phase 1: builds the engine-free [`MatrixTree`] level by level, with
+/// every level's partition/Schur work sharded over `workers` threads
+/// through [`amc_par::map_indexed`]. The index-preserving merge keeps
+/// each level's node order deterministic, so the assembled tree does not
+/// depend on the worker count.
+fn plan_tree(a: &Matrix, plan: &PartitionPlan, workers: usize) -> Result<MatrixTree> {
+    let mut levels: Vec<Vec<PlannedNode>> = Vec::new();
+    let mut frontier: Vec<(Matrix, usize)> = vec![(a.clone(), plan.depth)];
+    while !frontier.is_empty() {
+        let results = amc_par::map_indexed(workers, frontier, |_, (m, d)| plan_step(m, d, plan));
+        let mut nodes = Vec::with_capacity(results.len());
+        let mut next = Vec::new();
+        for r in results {
+            let (node, children) = r?;
+            nodes.push(node);
+            next.extend(children);
+        }
+        levels.push(nodes);
+        frontier = next;
+    }
+    // Bottom-up assembly: each Split at level L consumes its two
+    // children (a1 then a4s, matching the order plan_step emitted them)
+    // from the assembled trees of level L+1.
+    let mut below: Vec<MatrixTree> = Vec::new();
+    for level in levels.into_iter().rev() {
+        let mut children = below.into_iter();
+        let mut current = Vec::with_capacity(level.len());
+        for node in level {
+            current.push(match node {
+                PlannedNode::Leaf(m) => MatrixTree::Leaf(m),
+                PlannedNode::Split {
+                    split,
+                    a2,
+                    a3,
+                    tile_levels,
+                } => {
+                    let a1 = children.next().expect("plan tree child (a1) missing");
+                    let a4s = children.next().expect("plan tree child (a4s) missing");
+                    MatrixTree::Split {
+                        split,
+                        a1: Box::new(a1),
+                        a4s: Box::new(a4s),
+                        a2,
+                        a3,
+                        tile_levels,
+                    }
+                }
+            });
+        }
+        debug_assert!(children.next().is_none(), "plan tree child surplus");
+        below = current;
+    }
+    let mut roots = below.into_iter();
+    let root = roots.next().expect("plan tree root missing");
+    debug_assert!(roots.next().is_none());
+    Ok(root)
+}
+
+/// Phase 2: programs the planned tree serially, in the exact program-call
+/// order of [`prepare_node`] (a1 subtree, a2 tile, a3 tile, a4s subtree).
+fn program_tree<E: AmcEngine + ?Sized>(engine: &mut E, tree: &MatrixTree) -> Result<Node> {
+    match tree {
+        MatrixTree::Leaf(m) => Ok(Node::Leaf(engine.program(m)?)),
+        MatrixTree::Split {
+            split,
+            a1,
+            a4s,
+            a2,
+            a3,
+            tile_levels,
+        } => {
+            let a1_node = program_tree(engine, a1)?;
+            let a2_block = prepare_mvm_tile(engine, a2, *tile_levels)?;
+            let a3_block = prepare_mvm_tile(engine, a3, *tile_levels)?;
+            let a4s_node = program_tree(engine, a4s)?;
+            Ok(Node::Split {
+                split: *split,
+                a1: Box::new(a1_node),
+                a4s: Box::new(a4s_node),
+                a2: a2_block,
+                a3: a3_block,
+            })
+        }
+    }
+}
+
+/// [`prepare_plan`] with the partition/Schur work sharded over `workers`
+/// threads (`amc-par` work-stealing pool; `workers == 1` runs inline).
+///
+/// Array programming itself stays serial and in canonical order, so the
+/// result is **bit-identical** to [`prepare_plan`] at any worker count —
+/// including engines whose variation stream depends on program-call
+/// order. The parallel win comes from the O(n³) Schur complements at
+/// each level, which dominate prepare for depth ≥ 3 trees.
+///
+/// # Errors
+///
+/// Same conditions as [`prepare_plan`].
+pub fn prepare_plan_workers<E: AmcEngine + ?Sized>(
+    engine: &mut E,
+    a: &Matrix,
+    plan: &PartitionPlan,
+    workers: usize,
+) -> Result<PreparedMultiStage> {
+    if !a.is_square() {
+        return Err(BlockAmcError::ShapeMismatch {
+            op: "multi_stage prepare",
+            expected: a.rows(),
+            got: a.cols(),
+        });
+    }
+    let tree = plan_tree(a, plan, workers)?;
+    Ok(PreparedMultiStage {
+        n: a.rows(),
+        root: program_tree(engine, &tree)?,
+        plan: *plan,
+    })
+}
+
 /// Solves `A·x = b` with the prepared partition tree and a fully analog
 /// signal path (every level [`LevelIo::Pure`]).
 ///
@@ -1016,6 +1202,40 @@ mod tests {
         let x = solve(&mut engine, &mut prep, &b).unwrap();
         let x_ref = lu::solve(&a, &b).unwrap();
         assert!(metrics::relative_error(&x_ref, &x) < 1e-8);
+    }
+
+    #[test]
+    fn parallel_prepare_is_bit_identical_to_serial() {
+        let (a, b) = workload(32, 9);
+        let plan = PartitionPlan::depth(3);
+        // Numeric engine: deterministic kernels, order-insensitive.
+        let mut serial_engine = NumericEngine::new();
+        let mut serial = prepare_plan(&mut serial_engine, &a, &plan).unwrap();
+        let x_serial = solve(&mut serial_engine, &mut serial, &b).unwrap();
+        for workers in [1, 2, 4] {
+            let mut engine = NumericEngine::new();
+            let mut prep = prepare_plan_workers(&mut engine, &a, &plan, workers).unwrap();
+            let x = solve(&mut engine, &mut prep, &b).unwrap();
+            assert_eq!(x, x_serial, "numeric diverged at {workers} workers");
+        }
+        // Circuit engine: the variation stream is consumed in program-call
+        // order, so bit-identity here pins that phase 2 preserves it.
+        let mut serial_engine = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 77);
+        let mut serial = prepare_plan(&mut serial_engine, &a, &plan).unwrap();
+        let x_serial = solve(&mut serial_engine, &mut serial, &b).unwrap();
+        for workers in [1, 2, 4] {
+            let mut engine = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 77);
+            let mut prep = prepare_plan_workers(&mut engine, &a, &plan, workers).unwrap();
+            let x = solve(&mut engine, &mut prep, &b).unwrap();
+            assert_eq!(x, x_serial, "circuit diverged at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn parallel_prepare_rejects_non_square() {
+        let mut engine = NumericEngine::new();
+        let a = Matrix::zeros(3, 4);
+        assert!(prepare_plan_workers(&mut engine, &a, &PartitionPlan::depth(1), 2).is_err());
     }
 
     #[test]

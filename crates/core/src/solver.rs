@@ -480,6 +480,37 @@ impl<E: AmcEngine> BlockAmcSolver<E> {
         })
     }
 
+    /// [`prepare`](Self::prepare) with the partition/Schur work sharded
+    /// over `workers` threads (see
+    /// [`multi_stage::prepare_plan_workers`]). Bit-identical to
+    /// [`prepare`](Self::prepare) at any worker count; array programming
+    /// stays serial and in canonical order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`prepare`](Self::prepare).
+    pub fn prepare_with_workers(
+        &mut self,
+        a: &Matrix,
+        workers: usize,
+    ) -> Result<PreparedSolver<'_, E>> {
+        if !a.is_square() {
+            return Err(BlockAmcError::ShapeMismatch {
+                op: "prepare (square matrix required)",
+                expected: a.rows(),
+                got: a.cols(),
+            });
+        }
+        self.config.validate_for_size(a.rows())?;
+        let plan = self.config.partition_plan();
+        let tree = multi_stage::prepare_plan_workers(&mut self.engine, a, &plan, workers)?;
+        Ok(PreparedSolver {
+            engine: &mut self.engine,
+            config: &self.config,
+            tree,
+        })
+    }
+
     /// Solves `A·x = b`: a thin [`prepare`]-then-[`solve`] convenience.
     ///
     /// Arrays are (re)programmed on every call — each call models a

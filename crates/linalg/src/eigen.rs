@@ -163,7 +163,16 @@ pub fn spectral_condition(a: &Matrix) -> Result<f64> {
 ///
 /// Propagates [`symmetric_eigen`] failures.
 pub fn symmetric_part_condition(a: &Matrix) -> Result<f64> {
-    let sym = a.add_matrix(&a.transpose())?.scaled(0.5);
+    if !a.is_square() {
+        return Err(LinalgError::NonSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    // Fused symmetrization: one pass and one allocation instead of the
+    // transpose + add + scale chain (three temporaries). The split-search
+    // optimizer calls this once per candidate split, so it is hot.
+    let sym = Matrix::from_fn(a.rows(), a.rows(), |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
     spectral_condition(&sym)
 }
 
@@ -203,17 +212,18 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let a = generate::wishart_default(12, &mut rng).unwrap();
         let e = symmetric_eigen(&a).unwrap();
-        // VᵀV = I.
-        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
-        assert!(vtv.approx_eq(&Matrix::identity(12), 1e-10));
+        // VᵀV = I, with the product chain run through the scratch-reusing
+        // GEMM entry point.
+        let mut scratch = Matrix::zeros(1, 1);
+        e.vectors
+            .transpose()
+            .matmul_into(&e.vectors, &mut scratch)
+            .unwrap();
+        assert!(scratch.approx_eq(&Matrix::identity(12), 1e-10));
         // V·Λ·Vᵀ = A.
         let lambda = Matrix::from_diag(&e.values);
-        let back = e
-            .vectors
-            .matmul(&lambda)
-            .unwrap()
-            .matmul(&e.vectors.transpose())
-            .unwrap();
+        e.vectors.matmul_into(&lambda, &mut scratch).unwrap();
+        let back = scratch.matmul(&e.vectors.transpose()).unwrap();
         assert!(back.approx_eq(&a, 1e-9 * a.max_abs()));
         // Values ascend.
         for w in e.values.windows(2) {

@@ -5,10 +5,26 @@
 //! step (the Schur complement `A4s = A4 − A3·A1⁻¹·A2` is computed digitally)
 //! and by the dense modified-nodal-analysis path in `amc-circuit`.
 
+use crate::sparse::CsrMatrix;
 use crate::{LinalgError, Matrix, Result};
 
 /// Relative pivot threshold below which a matrix is declared singular.
 const SINGULARITY_RTOL: f64 = 1e-300;
+
+/// Picks a trailing-update panel width for an `n x n` factorization.
+///
+/// Small systems fit in L1 whole, so the classic 32-column panel (256
+/// bytes of pivot row per tile) is already optimal; as the trailing
+/// block outgrows L2 the panels widen so each pivot-row reload streams
+/// more useful work. Any width produces a bit-identical factorization
+/// (see [`LuFactor::new_blocked`]) — this function only tunes speed.
+pub fn auto_panel(n: usize) -> usize {
+    match n {
+        0..=128 => 32,
+        129..=768 => 48,
+        _ => 64,
+    }
+}
 
 /// An LU factorization `P·A = L·U` with partial (row) pivoting.
 ///
@@ -69,6 +85,17 @@ impl LuFactor {
             return Err(LinalgError::invalid("LU panel width must be at least 1"));
         }
         Self::factorize(a, Some(block))
+    }
+
+    /// [`LuFactor::new_blocked`] with the panel width chosen by
+    /// [`auto_panel`] for the matrix size — the recommended constructor
+    /// for hot paths that factorize matrices of varying size.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LuFactor::new`].
+    pub fn new_auto(a: &Matrix) -> Result<Self> {
+        Self::factorize(a, Some(auto_panel(a.rows())))
     }
 
     /// The shared elimination kernel; `panel = None` runs the classic
@@ -286,6 +313,67 @@ impl LuFactor {
             self.solve_into(&col, &mut y)?;
             for i in 0..out.rows() {
                 out[(i, j)] -= crate::vector::dot(a3.row(i), &y);
+            }
+        }
+        Ok(())
+    }
+
+    /// Sparse-aware variant of [`LuFactor::schur_update_into`]: `A2` and
+    /// `A3` arrive in CSR form, so entirely-zero columns of `A2` are
+    /// skipped outright (a zero right-hand side solves to exactly zero,
+    /// so they cannot contribute) and each output row accumulates only
+    /// over the stored entries of `A3`. For the grounded-Laplacian and
+    /// PDN partition blocks — a handful of coupling entries in an
+    /// otherwise zero off-diagonal block — this turns the `O(n³)` dense
+    /// update into work proportional to the coupling bandwidth.
+    ///
+    /// Agrees with the dense kernel to within signed zeros: both sum the
+    /// same nonzero products in the same column order, the sparse path
+    /// merely omits terms that are exactly `0.0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] under the same conditions
+    /// as [`LuFactor::schur_update_into`].
+    pub fn schur_update_sparse_into(
+        &self,
+        a2: &CsrMatrix,
+        a3: &CsrMatrix,
+        out: &mut Matrix,
+    ) -> Result<()> {
+        let n = self.dim();
+        if a2.nrows() != n || a3.ncols() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "schur_update_sparse (A1 vs A2/A3)",
+                lhs: (a2.nrows(), a2.ncols()),
+                rhs: (a3.nrows(), a3.ncols()),
+            });
+        }
+        if out.rows() != a3.nrows() || out.cols() != a2.ncols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "schur_update_sparse (output)",
+                lhs: (a3.nrows(), a2.ncols()),
+                rhs: out.shape(),
+            });
+        }
+        // Rows of A2ᵀ are the columns the solve streams through.
+        let a2t = a2.transpose();
+        let mut col = vec![0.0; n];
+        let mut y = vec![0.0; n];
+        for j in 0..a2.ncols() {
+            let (cols, vals) = a2t.row_entries(j);
+            if cols.is_empty() {
+                continue;
+            }
+            col.fill(0.0);
+            for (&i, &v) in cols.iter().zip(vals) {
+                col[i] = v;
+            }
+            self.solve_into(&col, &mut y)?;
+            for i in 0..out.rows() {
+                let (ridx, rvals) = a3.row_entries(i);
+                let dot: f64 = ridx.iter().zip(rvals).map(|(&c, &v)| v * y[c]).sum();
+                out[(i, j)] -= dot;
             }
         }
         Ok(())
@@ -539,6 +627,82 @@ mod tests {
             }
         }
         assert!(LuFactor::new_blocked(&Matrix::identity(2), 0).is_err());
+    }
+
+    #[test]
+    fn sparse_schur_update_matches_dense_kernel() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        let n = 6;
+        let a1 = Matrix::from_fn(n, n, |i, j| {
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            if i == j {
+                v + 4.0
+            } else {
+                v
+            }
+        });
+        // Sparse coupling blocks: one band plus a few scattered entries,
+        // including entirely-zero columns of A2 (the skip path).
+        let mut a2 = Matrix::zeros(n, 5);
+        a2[(0, 1)] = -1.5;
+        a2[(3, 1)] = 0.25;
+        a2[(5, 4)] = 2.0;
+        let mut a3 = Matrix::zeros(5, n);
+        a3[(0, 0)] = 1.0;
+        a3[(2, 5)] = -0.75;
+        a3[(4, 3)] = 0.5;
+        let a4 = Matrix::from_fn(5, 5, |i, j| (i + j) as f64 * 0.5);
+        let lu = LuFactor::new(&a1).unwrap();
+        let mut dense = a4.clone();
+        lu.schur_update_into(&a2, &a3, &mut dense).unwrap();
+        let mut sparse = a4.clone();
+        lu.schur_update_sparse_into(
+            &CsrMatrix::from_dense(&a2),
+            &CsrMatrix::from_dense(&a3),
+            &mut sparse,
+        )
+        .unwrap();
+        assert!(sparse.approx_eq(&dense, 1e-14));
+        // Shape validation mirrors the dense kernel.
+        assert!(lu
+            .schur_update_sparse_into(
+                &CsrMatrix::from_dense(&a2),
+                &CsrMatrix::from_dense(&a3),
+                &mut Matrix::zeros(2, 2),
+            )
+            .is_err());
+        assert!(lu
+            .schur_update_sparse_into(
+                &CsrMatrix::from_dense(&Matrix::zeros(3, 3)),
+                &CsrMatrix::from_dense(&a3),
+                &mut a4.clone(),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn auto_panel_factorization_is_bit_identical_to_plain() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(19);
+        for n in [1usize, 40, 150] {
+            let a = Matrix::from_fn(n, n, |i, j| {
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                if i == j {
+                    v + 3.0
+                } else {
+                    v
+                }
+            });
+            let plain = LuFactor::new(&a).unwrap();
+            let auto = LuFactor::new_auto(&a).unwrap();
+            assert_eq!(plain.lu.as_slice(), auto.lu.as_slice(), "n={n}");
+            assert_eq!(plain.perm, auto.perm);
+        }
+        // The width schedule is monotone in n and always positive.
+        assert!(auto_panel(0) >= 1);
+        assert!(auto_panel(64) <= auto_panel(512));
+        assert!(auto_panel(512) <= auto_panel(4096));
     }
 
     #[test]

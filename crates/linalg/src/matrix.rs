@@ -242,6 +242,20 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix-matrix product `self * rhs` written into a caller-owned
+    /// matrix — the allocation-free kernel behind [`Matrix::matmul`],
+    /// for hot paths that multiply into the same scratch repeatedly.
+    /// `out` is reshaped (reusing its buffer) and overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul",
@@ -249,7 +263,8 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        out.reshape_in_place(self.rows, rhs.cols);
+        out.data.fill(0.0);
         // i-k-j loop order keeps the inner loop contiguous in both operands.
         for i in 0..self.rows {
             for k in 0..self.cols {
@@ -264,7 +279,16 @@ impl Matrix {
                 }
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Reshapes the matrix to `rows x cols`, reusing the existing
+    /// allocation when it is large enough. Contents are unspecified
+    /// afterwards; callers overwrite.
+    fn reshape_in_place(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Matrix-vector product `self * x`.
@@ -743,6 +767,20 @@ mod tests {
             c,
             Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
         );
+    }
+
+    #[test]
+    fn matmul_into_reuses_scratch_and_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        // Stale shape and contents: matmul_into must reshape + overwrite.
+        let mut scratch = Matrix::from_fn(3, 1, |_, _| 42.0);
+        a.matmul_into(&b, &mut scratch).unwrap();
+        assert_eq!(scratch, a.matmul(&b).unwrap());
+        // A second product into the same scratch reuses the allocation.
+        b.matmul_into(&a, &mut scratch).unwrap();
+        assert_eq!(scratch, b.matmul(&a).unwrap());
+        assert!(a.matmul_into(&Matrix::zeros(3, 2), &mut scratch).is_err());
     }
 
     #[test]

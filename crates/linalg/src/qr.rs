@@ -199,7 +199,8 @@ mod tests {
         assert_eq!(r[(1, 0)], 0.0);
         // |R| diagonal magnitudes equal the singular-value-related column
         // norms of the orthogonalized columns; check |det R| = sqrt(det AᵀA).
-        let ata = a.transpose().matmul(&a).unwrap();
+        let mut ata = Matrix::zeros(1, 1);
+        a.transpose().matmul_into(&a, &mut ata).unwrap();
         let det_ata = ata[(0, 0)] * ata[(1, 1)] - ata[(0, 1)] * ata[(1, 0)];
         let det_r = r[(0, 0)] * r[(1, 1)];
         assert!((det_r * det_r - det_ata).abs() < 1e-9);

@@ -21,9 +21,11 @@
 //! **bit-identical at every worker count** (pinned by
 //! `tests/campaign_equivalence.rs`).
 
+use std::sync::Arc;
+
 use amc_circuit::timing;
 use amc_linalg::{lu, metrics, Matrix};
-use blockamc::engine::{AmcEngine, CircuitEngineConfig, EngineSpec, EngineStats};
+use blockamc::engine::{AmcEngine, CircuitEngineConfig, EngineRegistry, EngineSpec, EngineStats};
 use blockamc::solver::{BlockAmcSolver, SolverConfig};
 
 use crate::workload::{WorkloadInstance, WorkloadMeta, WorkloadSpec};
@@ -38,29 +40,96 @@ pub struct SolverCell {
     pub config: SolverConfig,
 }
 
+/// How a nonideality rung selects its engine backend: an inline
+/// [`EngineSpec`], or a name resolved against the campaign's
+/// [`EngineRegistry`] at trial time.
+///
+/// The registered form is the open half of the backend API: a crate
+/// core never heard of registers a constructor under a name
+/// ([`EngineRegistry::register`]) and a campaign rung runs it purely by
+/// that name.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineSel {
+    /// An inline spec, built directly ([`EngineSpec::build`]).
+    Spec(EngineSpec),
+    /// A name looked up in the campaign's registry
+    /// ([`EngineRegistry::build`]).
+    Registered(&'static str),
+}
+
+impl EngineSel {
+    /// The backend name this selection runs (registry key / spec name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineSel::Spec(spec) => spec.name(),
+            EngineSel::Registered(name) => name,
+        }
+    }
+
+    /// The analog stack configuration, for inline circuit specs.
+    /// Registered backends expose no circuit model (the analog
+    /// cost/latency models simply don't apply to them).
+    pub fn circuit(&self) -> Option<&CircuitEngineConfig> {
+        match self {
+            EngineSel::Spec(spec) => spec.circuit(),
+            EngineSel::Registered(_) => None,
+        }
+    }
+
+    /// Builds the backend against `registry` with the given seed.
+    ///
+    /// # Errors
+    ///
+    /// Spec build failures; unknown registered names.
+    pub fn build(
+        &self,
+        registry: &EngineRegistry,
+        seed: u64,
+    ) -> blockamc::Result<Box<dyn AmcEngine>> {
+        match self {
+            EngineSel::Spec(spec) => spec.build(seed),
+            EngineSel::Registered(name) => registry.build(name, seed),
+        }
+    }
+}
+
 /// One named rung of the nonideality ladder: any engine backend,
 /// selected purely as data.
 ///
-/// The rung carries an [`EngineSpec`], not a concrete engine type — a
+/// The rung carries an [`EngineSel`], not a concrete engine type — a
 /// cell can run the exact digital reference, the cache-blocked or
-/// fixed-point digital backends, the full analog stack, or anything a
-/// downstream registry adds, and the campaign engine builds each
-/// trial's `Box<dyn AmcEngine>` from the spec plus the trial seed.
+/// fixed-point digital backends, the full analog stack, or any backend
+/// a downstream crate registered by name, and the campaign engine
+/// builds each trial's `Box<dyn AmcEngine>` from the selection plus
+/// the trial seed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Nonideality {
     /// Display label (`ideal`, `variation`, `fixed-point-8b`, …).
     pub label: &'static str,
     /// The backend this rung solves with.
-    pub engine: EngineSpec,
+    pub engine: EngineSel,
 }
 
 impl Nonideality {
-    /// A rung running the analog stack with the given configuration.
-    pub fn circuit(label: &'static str, config: CircuitEngineConfig) -> Nonideality {
+    /// A rung building the given inline spec.
+    pub fn spec(label: &'static str, spec: EngineSpec) -> Nonideality {
         Nonideality {
             label,
-            engine: EngineSpec::Circuit(config),
+            engine: EngineSel::Spec(spec),
         }
+    }
+
+    /// A rung resolving `name` in the campaign's engine registry.
+    pub fn registered(label: &'static str, name: &'static str) -> Nonideality {
+        Nonideality {
+            label,
+            engine: EngineSel::Registered(name),
+        }
+    }
+
+    /// A rung running the analog stack with the given configuration.
+    pub fn circuit(label: &'static str, config: CircuitEngineConfig) -> Nonideality {
+        Nonideality::spec(label, EngineSpec::Circuit(config))
     }
 
     /// The standard three-rung ladder of the paper's figures: ideal
@@ -76,7 +145,7 @@ impl Nonideality {
 }
 
 /// A declarative study: the full cross product plus execution knobs.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Campaign {
     name: String,
     workloads: Vec<WorkloadSpec>,
@@ -86,6 +155,25 @@ pub struct Campaign {
     rhs_per_trial: usize,
     workers: usize,
     seed: u64,
+    /// Backend registry [`EngineSel::Registered`] rungs resolve
+    /// against; shared, since constructors are opaque closures.
+    registry: Arc<EngineRegistry>,
+}
+
+impl PartialEq for Campaign {
+    fn eq(&self, other: &Self) -> bool {
+        // Registries hold opaque constructors; equality compares their
+        // name sets (plus everything else structurally).
+        self.name == other.name
+            && self.workloads == other.workloads
+            && self.solvers == other.solvers
+            && self.ladder == other.ladder
+            && self.trials == other.trials
+            && self.rhs_per_trial == other.rhs_per_trial
+            && self.workers == other.workers
+            && self.seed == other.seed
+            && self.registry.names().eq(other.registry.names())
+    }
 }
 
 /// Builder for [`Campaign`].
@@ -108,8 +196,14 @@ impl Campaign {
                 rhs_per_trial: 1,
                 workers: 1,
                 seed: 0,
+                registry: Arc::new(EngineRegistry::builtin()),
             },
         }
+    }
+
+    /// The backend registry registered-name rungs resolve against.
+    pub fn registry(&self) -> &EngineRegistry {
+        &self.registry
     }
 
     /// Campaign name.
@@ -169,11 +263,12 @@ impl Campaign {
             return Err(ScenarioError::spec("campaign needs at least 1 worker"));
         }
 
-        // An unbuildable rung spec (zero panel width, out-of-range
-        // bits) is a configuration error, not trials-worth of silent
-        // `completed: 0` cells: fail loudly before any work starts.
+        // An unbuildable rung (zero panel width, out-of-range bits, a
+        // name missing from the registry) is a configuration error, not
+        // trials-worth of silent `completed: 0` cells: fail loudly
+        // before any work starts.
         for rung in &self.ladder {
-            rung.engine.build(self.seed).map_err(|e| {
+            rung.engine.build(&self.registry, self.seed).map_err(|e| {
                 ScenarioError::spec(format!(
                     "nonideality rung '{}' cannot build its engine: {e}",
                     rung.label
@@ -248,7 +343,7 @@ impl Campaign {
         trial: usize,
     ) -> Option<TrialOutcome> {
         let seed = trial_seed(self.seed, cell, trial);
-        let engine = rung.engine.build(seed).ok()?;
+        let engine = rung.engine.build(&self.registry, seed).ok()?;
         let mut facade = BlockAmcSolver::from_config(engine, solver.config.clone());
         let mut prepared = facade.prepare(&inst.matrix).ok()?;
         let mut errors = Vec::with_capacity(inst.rhs.len());
@@ -360,7 +455,7 @@ pub struct CellRecord {
     pub solver: String,
     /// Nonideality-rung label.
     pub nonideality: &'static str,
-    /// Backend name of the rung's [`EngineSpec`].
+    /// Backend name of the rung's [`EngineSel`].
     pub engine: &'static str,
     /// Variation draws attempted.
     pub trials: usize,
@@ -497,6 +592,13 @@ impl CampaignBuilder {
         self
     }
 
+    /// Replaces the backend registry [`EngineSel::Registered`] rungs
+    /// resolve against (defaults to [`EngineRegistry::builtin`]).
+    pub fn registry(mut self, registry: EngineRegistry) -> Self {
+        self.campaign.registry = Arc::new(registry);
+        self
+    }
+
     /// Finishes the campaign.
     ///
     /// # Errors
@@ -623,13 +725,59 @@ mod tests {
                     .finish()
                     .unwrap(),
             )
-            .nonideality(Nonideality {
-                label: "fp-60b",
-                engine: blockamc::engine::EngineSpec::FixedPoint { bits: 60 },
-            })
+            .nonideality(Nonideality::spec(
+                "fp-60b",
+                blockamc::engine::EngineSpec::FixedPoint { bits: 60 },
+            ))
             .finish()
             .unwrap();
         let err = bad_rung.run().unwrap_err();
         assert!(err.to_string().contains("fp-60b"), "{err}");
+        // Same for a registered name missing from the registry.
+        let unknown = Campaign::builder("t")
+            .workload(WorkloadSpec::new("w", WorkloadFamily::Wishart, 8, 1))
+            .solver(
+                "one",
+                SolverConfig::builder()
+                    .stages(Stages::One)
+                    .finish()
+                    .unwrap(),
+            )
+            .nonideality(Nonideality::registered("mystery", "no-such-backend"))
+            .finish()
+            .unwrap();
+        let err = unknown.run().unwrap_err();
+        assert!(err.to_string().contains("mystery"), "{err}");
+    }
+
+    #[test]
+    fn registered_rungs_resolve_through_the_campaign_registry() {
+        let mut registry = EngineRegistry::builtin();
+        // A custom name whose constructor is opaque to this crate.
+        registry.register_spec("exact", EngineSpec::Numeric);
+        let c = Campaign::builder("registered")
+            .workload(WorkloadSpec::new("w", WorkloadFamily::Wishart, 8, 1))
+            .solver(
+                "one",
+                SolverConfig::builder()
+                    .stages(Stages::One)
+                    .capture_trace(false)
+                    .finish()
+                    .unwrap(),
+            )
+            .nonideality(Nonideality::registered("exact-by-name", "exact"))
+            .trials(2)
+            .registry(registry)
+            .finish()
+            .unwrap();
+        let report = c.run().unwrap();
+        assert_eq!(report.cells.len(), 1);
+        let cell = &report.cells[0];
+        assert_eq!(cell.engine, "exact");
+        assert_eq!(cell.completed, 2);
+        // Exact digital backend: machine-precision errors, no analog
+        // latency model.
+        assert!(cell.errors.max < 1e-10);
+        assert!(cell.model_latency_s.is_none());
     }
 }

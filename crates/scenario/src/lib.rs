@@ -18,14 +18,18 @@
 //!   `amc-par` workers (bit-identical to serial at any worker count),
 //!   and emits per-cell [`CellRecord`]s: error statistics,
 //!   engine-measured analog cost, and `amc-arch` cascade-model scoring.
-//!   Each [`Nonideality`] rung names its backend as a serializable
-//!   [`EngineSpec`](blockamc::engine::EngineSpec) — no concrete engine
-//!   type appears anywhere in this crate; every trial's executor is
-//!   built behind `Box<dyn AmcEngine>` from spec + seed.
+//!   Each [`Nonideality`] rung selects its backend as data — an inline
+//!   [`EngineSpec`](blockamc::engine::EngineSpec) or a name resolved in
+//!   the campaign's
+//!   [`EngineRegistry`](blockamc::engine::EngineRegistry)
+//!   ([`EngineSel`]); every trial's executor is built behind
+//!   `Box<dyn AmcEngine>` from selection + seed.
 //! * [`campaigns`] — the shipped studies `repro scenarios` runs:
 //!   depth sweep with per-level bus placement, `Searched` vs `Halves`
 //!   splits on ill-conditioned families, the worker-scaling campaign,
-//!   and the engine ladder comparing every shipped backend.
+//!   the engine ladder comparing every shipped backend (plus the
+//!   registered `amc-engine-simd` backend, run purely by name), and
+//!   the large-`n` simd scaling campaign.
 //!
 //! # Example
 //!
@@ -63,7 +67,7 @@ pub mod campaigns;
 mod error;
 pub mod workload;
 
-pub use campaign::{Campaign, CampaignReport, CellRecord, Nonideality, SolverCell};
+pub use campaign::{Campaign, CampaignReport, CellRecord, EngineSel, Nonideality, SolverCell};
 pub use error::ScenarioError;
 pub use workload::{WorkloadFamily, WorkloadInstance, WorkloadMeta, WorkloadSpec};
 

@@ -1,0 +1,116 @@
+//! Properties pinning the PR's two performance contracts:
+//!
+//! * **Parallel prepare is invisible.** `prepare_with_workers` shards
+//!   the per-subtree partition/Schur array programming over `amc-par`,
+//!   but the programmed tree — and therefore every solve — must be
+//!   bit-identical to the serial `prepare` at any worker count, under
+//!   the exact `NumericEngine` and the micro-tiled `SimdEngine` alike
+//!   (phase 2 replays the canonical program order, so even
+//!   order-sensitive engines cannot tell the difference).
+//! * **The simd backend is registry data.** `amc_engine_simd::register`
+//!   plugs the crate into an `EngineRegistry` by name with no
+//!   `blockamc` source change; the registered backend builds, solves
+//!   through the facade under its own name, and stays within a bounded
+//!   distance of the exact engine (reordered accumulation in the
+//!   blocked LU trades bit-identity for speed, never accuracy).
+
+use amc_engine_simd::SimdEngine;
+use amc_linalg::{generate, lu, metrics, Matrix};
+use blockamc::engine::{AmcEngine, EngineRegistry, NumericEngine};
+use blockamc::solver::{BlockAmcSolver, SolverConfig, Stages};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A seeded SPD workload (Wishart) with one right-hand side.
+fn spd_workload(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let a = generate::wishart_default(n, &mut rng).unwrap();
+    let b = generate::random_vector(n, &mut rng);
+    (a, b)
+}
+
+/// Solve `A·x = b` at the given depth, preparing with `workers`
+/// (`None` = the serial `prepare` path).
+fn prepared_solution<E: AmcEngine>(
+    engine: E,
+    depth: usize,
+    a: &Matrix,
+    b: &[f64],
+    workers: Option<usize>,
+) -> Vec<f64> {
+    let mut solver = BlockAmcSolver::new(engine, Stages::Multi(depth));
+    let mut prepared = match workers {
+        Some(w) => solver.prepare_with_workers(a, w).unwrap(),
+        None => solver.prepare(a).unwrap(),
+    };
+    prepared.solve(b).unwrap().x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_prepare_matches_serial_numeric_engine(
+        n in 12usize..=32,
+        depth in 1usize..=3,
+        seed in any::<u64>(),
+    ) {
+        let (a, b) = spd_workload(n, seed);
+        let serial = prepared_solution(NumericEngine::new(), depth, &a, &b, None);
+        for workers in [1usize, 2, 4] {
+            let par = prepared_solution(NumericEngine::new(), depth, &a, &b, Some(workers));
+            prop_assert_eq!(&par, &serial, "depth={} workers={}", depth, workers);
+        }
+    }
+
+    #[test]
+    fn parallel_prepare_matches_serial_simd_engine(
+        n in 12usize..=32,
+        depth in 1usize..=3,
+        seed in any::<u64>(),
+    ) {
+        let (a, b) = spd_workload(n, seed);
+        let serial = prepared_solution(SimdEngine::new(), depth, &a, &b, None);
+        for workers in [1usize, 2, 4] {
+            let par = prepared_solution(SimdEngine::new(), depth, &a, &b, Some(workers));
+            prop_assert_eq!(&par, &serial, "depth={} workers={}", depth, workers);
+        }
+    }
+
+    #[test]
+    fn registered_simd_backend_is_bounded_against_numeric(
+        n in 4usize..=24,
+        seed in any::<u64>(),
+    ) {
+        let (a, b) = spd_workload(n, seed);
+        let x_ref = lu::solve(&a, &b).unwrap();
+        let mut registry = EngineRegistry::builtin();
+        amc_engine_simd::register(&mut registry);
+        let engine = registry.build(amc_engine_simd::ENGINE_NAME, seed).unwrap();
+        let mut solver = SolverConfig::builder()
+            .stages(Stages::Two)
+            .build(engine)
+            .unwrap();
+        let report = solver.solve(&a, &b).unwrap();
+        prop_assert_eq!(report.engine, "simd");
+        let err = metrics::relative_error(&x_ref, &report.x);
+        prop_assert!(err < 1e-7, "bounded against the exact backend: err={}", err);
+    }
+}
+
+#[test]
+fn simd_registers_by_name_without_core_changes() {
+    // The builtin table ships without the backend; one `register` call
+    // from the external crate adds it, and it then behaves like any
+    // other named backend (including replacement on re-registration).
+    let mut registry = EngineRegistry::builtin();
+    assert!(!registry.contains(amc_engine_simd::ENGINE_NAME));
+    amc_engine_simd::register(&mut registry);
+    assert!(registry.contains(amc_engine_simd::ENGINE_NAME));
+    let before = registry.names().count();
+    amc_engine_simd::register(&mut registry);
+    assert_eq!(registry.names().count(), before, "re-register must replace");
+    let engine = registry.build("simd", 0).unwrap();
+    assert_eq!(engine.name(), "simd");
+}
