@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the BlockAMC paper.
 //!
 //! ```text
-//! repro [--quick] [--trials N] <fig6|fig7|fig8|fig9|fig10|headline|all>
+//! repro [--quick] [--trials N] [--seed N] [--addr HOST:PORT] <command>
 //! ```
 //!
 //! Absolute numbers depend on the substituted simulation stack (see
@@ -19,35 +19,70 @@ use blockamc::solver::{BlockAmcSolver, Stages};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-struct Options {
+/// The one parse of the shared command-line flags. Every subcommand
+/// reads scale decisions from here instead of re-deriving them from a
+/// threaded-through `quick` bool (which each command used to duplicate).
+struct RunOpts {
+    quick: bool,
     sizes: Vec<usize>,
     trials: usize,
     /// The "showcase" size for Figs. 6 and 8 (256 in the paper).
     showcase_n: usize,
+    /// Base seed of seed-taking commands (`serve-bench`).
+    seed: u64,
+    /// Listen address of `repro serve`.
+    addr: String,
+}
+
+impl RunOpts {
+    fn parse(args: &[String]) -> RunOpts {
+        let quick = args.iter().any(|a| a == "--quick");
+        let flag = |name: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+        };
+        RunOpts {
+            quick,
+            sizes: if quick {
+                QUICK_SIZES.to_vec()
+            } else {
+                PAPER_SIZES.to_vec()
+            },
+            trials: flag("--trials")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(if quick { 10 } else { PAPER_TRIALS }),
+            showcase_n: if quick { 64 } else { 256 },
+            seed: flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(7),
+            addr: flag("--addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7171".to_string()),
+        }
+    }
+
+    /// Quick-mode/full-mode scale selection, in one place.
+    fn pick<T>(&self, quick: T, full: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let trials = args
+    let opts = RunOpts::parse(&args);
+    // Flag values (e.g. the N of `--trials N`) are not commands.
+    let flag_values: Vec<usize> = ["--trials", "--seed", "--addr"]
         .iter()
-        .position(|a| a == "--trials")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if quick { 10 } else { PAPER_TRIALS });
-    let opts = Options {
-        sizes: if quick {
-            QUICK_SIZES.to_vec()
-        } else {
-            PAPER_SIZES.to_vec()
-        },
-        trials,
-        showcase_n: if quick { 64 } else { 256 },
-    };
+        .filter_map(|f| args.iter().position(|a| a == *f).map(|i| i + 1))
+        .collect();
     let cmds: Vec<&str> = args
         .iter()
-        .map(String::as_str)
-        .filter(|a| !a.starts_with("--") && a.parse::<usize>().is_err())
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && !flag_values.contains(i))
+        .map(|(_, a)| a.as_str())
         .collect();
     let cmd = cmds.first().copied().unwrap_or("all");
 
@@ -94,29 +129,204 @@ fn main() {
         ran_any = true;
     }
     if run("parallel") {
-        parallel(&opts, quick);
+        parallel(&opts);
         ran_any = true;
     }
     if run("scenarios") {
-        scenarios(quick);
+        scenarios(&opts);
         ran_any = true;
     }
     if run("engines") {
-        engines(quick);
+        engines(&opts);
         ran_any = true;
     }
     if run("simd") {
-        simd(quick);
+        simd(&opts);
+        ran_any = true;
+    }
+    if run("serve-bench") {
+        serve_bench(&opts);
+        ran_any = true;
+    }
+    // The server blocks until a wire Shutdown; it is not part of `all`.
+    if cmd == "serve" {
+        serve(&opts);
         ran_any = true;
     }
     if !ran_any {
         eprintln!(
-            "unknown command '{cmd}'. usage: repro [--quick] [--trials N] \
+            "unknown command '{cmd}'. usage: repro [--quick] [--trials N] [--seed N] \
+             [--addr HOST:PORT] \
              <fig6|fig7|fig8|fig9|fig10|headline|scaling|ablation|transient|yield|parallel\
-             |scenarios|engines|simd|all>"
+             |scenarios|engines|simd|serve|serve-bench|all>"
         );
         std::process::exit(2);
     }
+}
+
+/// Runs the solver service on a TCP listener until a client sends
+/// `Shutdown`. All engine backends of the extended registry (including
+/// `simd`) are addressable by name over the wire.
+fn serve(opts: &RunOpts) {
+    use amc_serve::server::{Server, ServerConfig};
+
+    banner("Serve — solver-as-a-service over TCP");
+    let listener = match std::net::TcpListener::bind(&opts.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("could not bind {}: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    let server = Server::new(
+        ServerConfig::default(),
+        amc_scenario::campaigns::extended_registry(),
+    );
+    println!(
+        "listening on {} (send a Shutdown request to stop)",
+        listener
+            .local_addr()
+            .map_or(opts.addr.clone(), |a| a.to_string())
+    );
+    if let Err(e) = server.serve_tcp(listener) {
+        eprintln!("server error: {e}");
+        std::process::exit(1);
+    }
+    let stats = server.stats();
+    println!(
+        "served {} request(s), {} RHS solved, hit-rate {:.1}%",
+        stats.requests,
+        stats.solved_rhs,
+        stats.hit_rate() * 100.0
+    );
+}
+
+/// Closed-loop load generation against an in-process server, written to
+/// `BENCH_server.json`: a *hot* phase (matrix pool fits the cache) and a
+/// *churn* phase (pool overflows it, forcing evictions and re-prepares).
+fn serve_bench(opts: &RunOpts) {
+    use amc_serve::loadgen::{self, LoadGenConfig};
+    use amc_serve::server::{Server, ServerConfig};
+    use amc_serve::wire::EngineRef;
+
+    banner("Serve-bench — multi-client load against the solver service");
+    let cache_capacity = 4;
+    let server_config = ServerConfig {
+        cache_capacity,
+        solver_workers: amc_par::available_workers().clamp(2, 4),
+        batch_workers: opts.pick(1, 2),
+        queue_capacity: 64,
+    };
+    let base = LoadGenConfig {
+        clients: opts.pick(4, 8),
+        requests_per_client: opts.pick(32, 128),
+        distinct_matrices: cache_capacity.min(3),
+        n: opts.pick(32, 64),
+        engine: EngineRef::new("numeric", 0),
+        seed: opts.seed,
+    };
+    println!(
+        "cache capacity {cache_capacity}, {} dispatch worker(s), {} clients x {} requests, n = {}\n",
+        server_config.solver_workers, base.clients, base.requests_per_client, base.n
+    );
+
+    let mut table = TextTable::new([
+        "phase", "rps", "p50", "p95", "p99", "hit-rate", "coalesce", "busy",
+    ]);
+    let mut phases_json = Vec::new();
+    for (phase, distinct) in [
+        ("hot", base.distinct_matrices),
+        // More matrices than cache slots: every miss is an eviction.
+        ("churn", cache_capacity * 2),
+    ] {
+        let server = Server::new(
+            server_config.clone(),
+            amc_scenario::campaigns::extended_registry(),
+        );
+        let cfg = LoadGenConfig {
+            distinct_matrices: distinct,
+            ..base.clone()
+        };
+        let r = match loadgen::run(&server, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("load generation failed ({phase}): {e}");
+                continue;
+            }
+        };
+        server.shutdown();
+        table.row([
+            phase.to_string(),
+            format!("{:.0}", r.throughput_rps),
+            format!("{:.3} ms", r.p50_ms),
+            format!("{:.3} ms", r.p95_ms),
+            format!("{:.3} ms", r.p99_ms),
+            format!("{:.1}%", r.hit_rate * 100.0),
+            format!("{:.2}", r.coalescing_factor),
+            r.busy_rejections.to_string(),
+        ]);
+        phases_json.push(Json::obj([
+            ("phase", phase.into()),
+            ("distinct_matrices", distinct.into()),
+            ("requests", Json::Int(r.requests as i64)),
+            ("solved", Json::Int(r.solved as i64)),
+            ("busy_rejections", Json::Int(r.busy_rejections as i64)),
+            ("elapsed_s", r.elapsed_s.into()),
+            ("throughput_rps", r.throughput_rps.into()),
+            ("p50_ms", r.p50_ms.into()),
+            ("p95_ms", r.p95_ms.into()),
+            ("p99_ms", r.p99_ms.into()),
+            ("hit_rate", r.hit_rate.into()),
+            ("coalescing_factor", r.coalescing_factor.into()),
+            (
+                "server",
+                Json::obj([
+                    ("hits", Json::Int(r.server.hits as i64)),
+                    ("misses", Json::Int(r.server.misses as i64)),
+                    ("evictions", Json::Int(r.server.evictions as i64)),
+                    ("insertions", Json::Int(r.server.insertions as i64)),
+                    ("entries", Json::Int(r.server.entries as i64)),
+                    ("capacity", Json::Int(r.server.capacity as i64)),
+                    ("requests", Json::Int(r.server.requests as i64)),
+                    ("solved_rhs", Json::Int(r.server.solved_rhs as i64)),
+                    (
+                        "dispatch_batches",
+                        Json::Int(r.server.dispatch_batches as i64),
+                    ),
+                    (
+                        "coalesced_requests",
+                        Json::Int(r.server.coalesced_requests as i64),
+                    ),
+                ]),
+            ),
+        ]));
+    }
+    print!("{}", table.render());
+
+    let json = Json::obj([
+        ("bench", "server".into()),
+        ("quick", opts.quick.into()),
+        ("host_workers", amc_par::available_workers().into()),
+        ("cache_capacity", cache_capacity.into()),
+        ("solver_workers", server_config.solver_workers.into()),
+        ("batch_workers", server_config.batch_workers.into()),
+        ("queue_capacity", server_config.queue_capacity.into()),
+        ("clients", base.clients.into()),
+        ("requests_per_client", base.requests_per_client.into()),
+        ("n", base.n.into()),
+        ("engine", base.engine.name.clone().into()),
+        ("seed", Json::Int(base.seed as i64)),
+        ("phases", Json::Arr(phases_json)),
+    ]);
+    match report::write_json("BENCH_server.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_server.json"),
+        Err(e) => println!("\ncould not write BENCH_server.json: {e}"),
+    }
+    println!(
+        "-> the hot phase shows what a resident prepared solver buys (pure \
+         cache hits, coalesced batches); the churn phase prices eviction: \
+         every re-prepare pays the programming cost the cache amortizes."
+    );
 }
 
 /// The simd-backend performance study, written to `BENCH_simd.json`:
@@ -125,7 +335,7 @@ fn main() {
 /// engines, sparse-aware vs dense Schur complements on PDN matrices,
 /// the parallel-prepare worker sweep, and the large-`n` scaling
 /// campaign.
-fn simd(quick: bool) {
+fn simd(opts: &RunOpts) {
     use amc_scenario::campaigns;
     use amc_scenario::workload::{WorkloadFamily, WorkloadSpec};
     use blockamc::partition::BlockPartition;
@@ -138,16 +348,12 @@ fn simd(quick: bool) {
         "registered backends: {}",
         registry.names().collect::<Vec<_>>().join(", ")
     );
-    let reps = if quick { 2 } else { 3 };
+    let reps = opts.pick(2, 3);
     let backends = ["numeric", "blocked", "simd"];
 
     // --- Factorize + solve: one programming, one INV (which runs the
     // lazy factorization), per backend and size.
-    let sizes: &[usize] = if quick {
-        &[128, 256, 512]
-    } else {
-        &[256, 512, 1024, 2048]
-    };
+    let sizes: &[usize] = opts.pick(&[128, 256, 512][..], &[256, 512, 1024, 2048][..]);
     let mut fs_json = Vec::new();
     let mut fs_table = TextTable::new(["n", "engine", "factorize+solve", "vs numeric"]);
     let mut amortized_json = Vec::new();
@@ -190,7 +396,7 @@ fn simd(quick: bool) {
             let mut op = engine.program(&a).expect("program");
             let mut out = Vec::new();
             engine.inv_into(&mut op, &b, &mut out).expect("warm-up inv");
-            let solves = if quick { 8 } else { 16 };
+            let solves = opts.pick(8, 16);
             let start = Instant::now();
             for _ in 0..solves {
                 engine.inv_into(&mut op, &b, &mut out).expect("inv");
@@ -214,11 +420,7 @@ fn simd(quick: bool) {
     print!("{}", amortized_table.render());
 
     // --- Sparse-aware vs dense Schur complement on PDN matrices.
-    let schur_sizes: &[usize] = if quick {
-        &[256, 1024]
-    } else {
-        &[256, 512, 1024, 2048]
-    };
+    let schur_sizes: &[usize] = opts.pick(&[256, 1024][..], &[256, 512, 1024, 2048][..]);
     let mut schur_json = Vec::new();
     let mut schur_table = TextTable::new(["n", "coupling nnz", "dense", "sparse", "speedup"]);
     for &n in schur_sizes {
@@ -264,7 +466,7 @@ fn simd(quick: bool) {
     print!("{}", schur_table.render());
 
     // --- Parallel prepare: depth-4 tree, worker sweep, bit-identity.
-    let prep_n = if quick { 256 } else { 512 };
+    let prep_n = opts.pick(256, 512);
     let depth = 4usize;
     let mut rng = ChaCha8Rng::seed_from_u64(0x9EE9);
     let (a, b) = make_workload(MatrixFamily::Wishart, prep_n, &mut rng);
@@ -324,7 +526,7 @@ fn simd(quick: bool) {
 
     // --- Large-n scaling campaign (quick-mode guarded sizes).
     let mut scaling_json = Json::Null;
-    match campaigns::simd_scaling(quick).and_then(|c| {
+    match campaigns::simd_scaling(opts.quick).and_then(|c| {
         println!(
             "\n[{}] {} cells x {} trial(s)",
             c.name(),
@@ -377,7 +579,7 @@ fn simd(quick: bool) {
 
     let json = Json::obj([
         ("bench", "simd".into()),
-        ("quick", quick.into()),
+        ("quick", opts.quick.into()),
         ("host_workers", amc_par::available_workers().into()),
         (
             "backends",
@@ -411,12 +613,12 @@ fn simd(quick: bool) {
 /// Scenario campaigns: the workload registry crossed with solver grids
 /// and nonideality ladders, executed by the `amc-scenario` engine and
 /// written to `BENCH_scenarios.json`.
-fn scenarios(quick: bool) {
+fn scenarios(opts: &RunOpts) {
     use amc_scenario::campaign::{run_worker_sweep, CampaignReport};
     use amc_scenario::{campaigns, workload};
 
     banner("Scenarios — declarative campaigns over the workload registry");
-    let n = if quick { 32 } else { 64 };
+    let n = opts.pick(32, 64);
     let yn = |b: bool| if b { "yes" } else { "no" };
 
     // The registry itself: one instance per family, with measured
@@ -544,9 +746,9 @@ fn scenarios(quick: bool) {
     // Campaigns 1, 2, and 4: depth sweep, split-rule study, and the
     // engine ladder (every shipped backend selected as EngineSpec data).
     for built in [
-        campaigns::depth_sweep(quick),
-        campaigns::split_rule_study(quick),
-        campaigns::engine_ladder(quick),
+        campaigns::depth_sweep(opts.quick),
+        campaigns::split_rule_study(opts.quick),
+        campaigns::engine_ladder(opts.quick),
     ] {
         let campaign = match built {
             Ok(c) => c,
@@ -572,7 +774,7 @@ fn scenarios(quick: bool) {
 
     // Campaign 3: worker scaling with bit-identity verification.
     let mut worker_json = Json::Null;
-    match campaigns::worker_scaling(quick).and_then(|c| run_worker_sweep(&c, &[1, 2, 4, 8])) {
+    match campaigns::worker_scaling(opts.quick).and_then(|c| run_worker_sweep(&c, &[1, 2, 4, 8])) {
         Ok(sweep) => {
             println!(
                 "\n[worker-scaling] {} cells x {} trial(s), {} host core(s)",
@@ -613,7 +815,7 @@ fn scenarios(quick: bool) {
 
     let json = Json::obj([
         ("bench", "scenarios".into()),
-        ("quick", quick.into()),
+        ("quick", opts.quick.into()),
         ("host_workers", amc_par::available_workers().into()),
         ("registry", Json::Arr(registry_json)),
         ("campaigns", Json::Arr(campaigns_json)),
@@ -633,7 +835,7 @@ fn scenarios(quick: bool) {
 /// Engine-backend smoke study: the registry listing plus the
 /// engine-ladder campaign — every shipped backend on the same cells,
 /// selected purely as `EngineSpec` data.
-fn engines(quick: bool) {
+fn engines(opts: &RunOpts) {
     use amc_scenario::campaigns;
     use blockamc::engine::EngineRegistry;
 
@@ -643,7 +845,7 @@ fn engines(quick: bool) {
         "registered backends: {}",
         registry.names().collect::<Vec<_>>().join(", ")
     );
-    let campaign = match campaigns::engine_ladder(quick) {
+    let campaign = match campaigns::engine_ladder(opts.quick) {
         Ok(c) => c,
         Err(e) => {
             println!("engine-ladder campaign failed to build: {e}");
@@ -698,16 +900,16 @@ fn engines(quick: bool) {
 /// Parallel execution sweep: wall-clock of the sharded batch solver
 /// across worker counts × batch sizes × depths, written to
 /// `BENCH_parallel.json` to seed the performance trajectory.
-fn parallel(opts: &Options, quick: bool) {
+fn parallel(opts: &RunOpts) {
     use amc_circuit::opamp::OpAmpSpec;
     use blockamc::batch;
     use std::time::Instant;
 
     banner("Parallel — sharded batch solving across macro replicas");
-    let n = if quick { 32 } else { 64 };
+    let n = opts.pick(32, 64);
     let host_workers = amc_par::available_workers();
     let worker_counts: &[usize] = &[1, 2, 4, 8];
-    let batch_sizes: &[usize] = if quick { &[16, 64] } else { &[16, 64, 256] };
+    let batch_sizes: &[usize] = opts.pick(&[16, 64][..], &[16, 64, 256][..]);
     let depths: &[(&str, Stages)] = &[("one", Stages::One), ("two", Stages::Two)];
     let reps = opts.trials.clamp(1, 3);
     let config = CircuitEngineConfig::paper_variation();
@@ -784,7 +986,7 @@ fn parallel(opts: &Options, quick: bool) {
 
 /// Monte-Carlo yield: fraction of manufactured parts (variation draws)
 /// meeting an accuracy spec, per architecture.
-fn yield_report(opts: &Options) {
+fn yield_report(opts: &RunOpts) {
     use blockamc::engine::EngineSpec;
     use blockamc::montecarlo::yield_analysis;
     use blockamc::solver::SolverConfig;
@@ -842,7 +1044,7 @@ fn scaling() {
 
 /// Design-choice ablations: variation-model interpretation, conductance
 /// quantization depth, and partitioning depth.
-fn ablation(opts: &Options) {
+fn ablation(opts: &RunOpts) {
     use amc_device::mapping::MappingConfig;
     use amc_device::quant::Quantizer;
     use blockamc::engine::NumericEngine;
@@ -1026,7 +1228,7 @@ fn transient() {
 
 /// Fig. 6 — ideal mapping: per-step traces, final comparison at the
 /// showcase size, and the relative-error-vs-size sweep.
-fn fig6(opts: &Options) {
+fn fig6(opts: &RunOpts) {
     banner("Fig. 6 — ideal mapping (finite-gain op-amps, no variation)");
     let n = opts.showcase_n;
     let config = CircuitEngineConfig::ideal_mapping();
@@ -1083,7 +1285,7 @@ fn fig6(opts: &Options) {
 }
 
 /// Fig. 7 — device variation (σ = 0.05·G₀) sweeps for both families.
-fn fig7(opts: &Options) {
+fn fig7(opts: &RunOpts) {
     banner("Fig. 7 — conductance variation σ = 0.05·G0");
     let config = CircuitEngineConfig::paper_variation();
     for (family, tag) in [
@@ -1107,7 +1309,7 @@ fn fig7(opts: &Options) {
 
 /// Fig. 8 — the two-stage solver: inner INV traces at the showcase size
 /// and the error-vs-size sweep against the original AMC.
-fn fig8(opts: &Options) {
+fn fig8(opts: &RunOpts) {
     banner("Fig. 8 — two-stage BlockAMC, σ = 0.05·G0");
     let n = opts.showcase_n;
     let config = CircuitEngineConfig::paper_variation();
@@ -1161,7 +1363,7 @@ fn fig8(opts: &Options) {
 }
 
 /// Fig. 9 — variation + interconnect resistance (1 Ω/segment).
-fn fig9(opts: &Options) {
+fn fig9(opts: &RunOpts) {
     banner("Fig. 9 — variation σ = 0.05·G0 + interconnect 1 Ω/segment");
     let config = CircuitEngineConfig::paper_full();
     for (family, tag) in [

@@ -708,7 +708,92 @@ impl<E: AmcEngine> SolverReplica<E> {
     pub fn solve(&mut self, b: &[f64]) -> Result<SolveReport> {
         solve_prepared(&mut self.engine, &self.config, &mut self.tree, b)
     }
+
+    /// Solves one right-hand side after another against the replica's
+    /// programmed arrays, returning the solutions in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockAmcError::InvalidConfig`] for an empty batch; per-solve
+    /// shape and engine failures.
+    pub fn solve_batch(&mut self, batch: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        if batch.is_empty() {
+            return Err(BlockAmcError::config("batch must contain at least one RHS"));
+        }
+        batch.iter().map(|b| self.solve(b).map(|r| r.x)).collect()
+    }
+
+    /// Shards `batch` over `workers` solving instances — this replica
+    /// plus `workers − 1` bitwise clones of it — on an `amc_par`
+    /// work-stealing pool, returning the solutions in input order.
+    ///
+    /// **Bit-identical to [`solve_batch`](Self::solve_batch) at every
+    /// worker count**: clones copy the programmed state (the one
+    /// variation draw taken at prepare time), so which worker solves a
+    /// right-hand side cannot show in the output. This is the entry the
+    /// `amc-serve` dispatcher drives when it coalesces concurrent
+    /// requests against one cached replica into a shared batch.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockAmcError::InvalidConfig`] for an empty batch or
+    /// `workers == 0`; per-solve shape and engine failures.
+    pub fn solve_batch_parallel(
+        &mut self,
+        batch: &[Vec<f64>],
+        workers: usize,
+    ) -> Result<Vec<Vec<f64>>>
+    where
+        E: Clone,
+    {
+        if batch.is_empty() {
+            return Err(BlockAmcError::config("batch must contain at least one RHS"));
+        }
+        if workers == 0 {
+            return Err(BlockAmcError::config(
+                "parallel batch needs at least one worker",
+            ));
+        }
+        if workers == 1 || batch.len() == 1 {
+            return self.solve_batch(batch);
+        }
+        let mut clones: Vec<SolverReplica<E>> = (1..workers).map(|_| self.clone()).collect();
+        let mut states: Vec<&mut SolverReplica<E>> = Vec::with_capacity(workers);
+        states.push(self);
+        states.extend(clones.iter_mut());
+        // Contiguous shards, a few per worker (see SHARDS_PER_WORKER in
+        // crate::batch); input order is restored by the index-preserving
+        // pool merge.
+        let shard_len = batch.len().div_ceil(workers * 4).max(1);
+        let shards: Vec<&[Vec<f64>]> = batch.chunks(shard_len).collect();
+        let sharded = amc_par::map_with_states(&mut states, shards, |replica, _, shard| {
+            shard
+                .iter()
+                .map(|b| replica.solve(b).map(|r| r.x))
+                .collect::<Result<Vec<_>>>()
+        });
+        let mut solutions = Vec::with_capacity(batch.len());
+        for shard in sharded {
+            solutions.extend(shard?);
+        }
+        Ok(solutions)
+    }
 }
+
+// Compile-time guarantee that prepared solvers cross threads: the
+// `amc-serve` cache stores replicas behind a mutex and hands clones to
+// worker threads, so `Send` is a type-checked invariant here, not an
+// assumption. `AmcEngine`'s `Send` supertrait must suffice for *any*
+// engine, including the type-erased one the registry builds.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn check_engine<E: AmcEngine>() {
+        assert_send::<E>();
+        assert_send::<PreparedSolver<'_, E>>();
+        assert_send::<SolverReplica<E>>();
+    }
+    check_engine::<Box<dyn AmcEngine>>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -830,6 +915,54 @@ mod tests {
             // Replication copies programmed state; nothing is reprogrammed.
             assert_eq!(replica.engine().stats().program_ops, 4);
         }
+    }
+
+    #[test]
+    fn replica_batch_parallel_is_bit_identical_to_serial() {
+        // The coalescing path of amc-serve: one cached replica fans a
+        // shared batch out over clones. Variation makes solutions
+        // draw-dependent, so identity across worker counts proves the
+        // clones inherit the draw bitwise.
+        let (a, _) = workload(16, 33);
+        let mut rng = ChaCha8Rng::seed_from_u64(34);
+        let batch: Vec<Vec<f64>> = (0..9)
+            .map(|_| generate::random_vector(16, &mut rng))
+            .collect();
+        let engine = CircuitEngine::new(CircuitEngineConfig::paper_variation(), 11);
+        let mut solver = BlockAmcSolver::new(engine, Stages::One);
+        let prepared = solver.prepare(&a).unwrap();
+        let mut replica = prepared.replicate(1).remove(0);
+        let serial = replica.clone().solve_batch(&batch).unwrap();
+        for workers in [1usize, 2, 4] {
+            let out = replica.solve_batch_parallel(&batch, workers).unwrap();
+            assert_eq!(out, serial, "workers={workers}");
+        }
+        assert!(replica.solve_batch_parallel(&[], 2).is_err());
+        assert!(replica.solve_batch_parallel(&batch, 0).is_err());
+    }
+
+    #[test]
+    fn replicas_and_boxed_engines_move_across_threads() {
+        // Runtime companion to the compile-time Send assertions: a
+        // type-erased replica is solved on another thread and must
+        // produce the same bits as on this one.
+        let (a, b) = workload(8, 35);
+        let mut solver = SolverConfig::builder()
+            .stages(Stages::One)
+            .build(
+                crate::engine::EngineRegistry::builtin()
+                    .build("circuit", 3)
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut prepared = solver.prepare(&a).unwrap();
+        let mut replica = prepared.replicate(1).remove(0);
+        let x_here = prepared.solve(&b).unwrap().x;
+        let b2 = b.clone();
+        let x_there = std::thread::spawn(move || replica.solve(&b2).unwrap().x)
+            .join()
+            .unwrap();
+        assert_eq!(x_here, x_there);
     }
 
     #[test]

@@ -606,6 +606,38 @@ impl Matrix {
         })
     }
 
+    /// A fast, deterministic 64-bit content hash of the matrix: FNV-1a
+    /// over the dimensions followed by the IEEE-754 bit pattern of every
+    /// element in row-major order.
+    ///
+    /// Two matrices have equal fingerprints exactly when they have equal
+    /// shape and **bitwise**-equal entries (so `0.0` and `-0.0` differ,
+    /// and any `NaN` payload is hashed as-is). The fingerprint is stable
+    /// across clones, processes, and platforms — it depends only on the
+    /// logical content — which is what lets it serve as the matrix
+    /// component of a cross-process cache key (`amc-serve` keys its
+    /// prepared-solver cache on it). Collisions are possible in
+    /// principle (it is a 64-bit hash, not cryptographic); callers that
+    /// treat equal fingerprints as equal matrices accept that ~2⁻⁶⁴
+    /// ambiguity by design.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+            h
+        }
+        let mut h = FNV_OFFSET;
+        h = eat(h, &(self.rows as u64).to_le_bytes());
+        h = eat(h, &(self.cols as u64).to_le_bytes());
+        for &v in &self.data {
+            h = eat(h, &v.to_bits().to_le_bytes());
+        }
+        h
+    }
+
     /// Returns `true` if the matrix equals its transpose within `tol`.
     pub fn is_symmetric(&self, tol: f64) -> bool {
         if !self.is_square() {
@@ -747,6 +779,40 @@ mod tests {
         assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
         assert_eq!(m.col(1), vec![2.0, 5.0]);
         assert_eq!(m.get(5, 0), None);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_clones_and_rebuilds() {
+        let m = sample();
+        let clone = m.clone();
+        assert_eq!(m.fingerprint(), clone.fingerprint());
+        // Content-equal but independently constructed: same fingerprint.
+        let rebuilt = Matrix::from_vec(2, 3, m.as_slice().to_vec()).unwrap();
+        assert_eq!(m.fingerprint(), rebuilt.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_any_single_entry_and_to_shape() {
+        let m = sample();
+        let fp = m.fingerprint();
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                let mut tweaked = m.clone();
+                tweaked.set(i, j, m[(i, j)] + 1e-12);
+                assert_ne!(tweaked.fingerprint(), fp, "entry ({i},{j})");
+            }
+        }
+        // Bitwise sensitivity: -0.0 and 0.0 are different contents.
+        let z = Matrix::zeros(2, 2);
+        let mut nz = Matrix::zeros(2, 2);
+        nz.set(0, 0, -0.0);
+        assert_ne!(z.fingerprint(), nz.fingerprint());
+        // Same data, different shape.
+        let flat = Matrix::from_vec(1, 6, m.as_slice().to_vec()).unwrap();
+        assert_ne!(flat.fingerprint(), fp);
+        // Pinned value: the fingerprint is part of the amc-serve wire
+        // contract, so a change here is a protocol break, not a detail.
+        assert_eq!(Matrix::identity(2).fingerprint(), 0x3626_6942_fcc0_d345);
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Closed-loop multi-client load generator.
+//!
+//! Drives a running [`Server`] through in-process loopback connections:
+//! `clients` threads each issue `requests_per_client` solves against a
+//! shared pool of `distinct_matrices` matrices (closed loop — the next
+//! request leaves when the previous response arrives). The pool is
+//! prepared up front, so steady-state traffic measures the served
+//! path: cache fetch, coalescing, dispatch, parallel batch solve.
+//!
+//! Everything is deterministic given the seed **except wall-clock
+//! numbers** (throughput, latency percentiles) — the solutions
+//! themselves are bit-reproducible, which the e2e tests assert
+//! separately.
+//!
+//! No `rand` dependency: matrices and right-hand sides come from an
+//! inline SplitMix64 stream, diagonally dominant so every generated
+//! system is comfortably solvable at any size.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use amc_linalg::Matrix;
+use blockamc::solver::SolverConfig;
+
+use crate::client::Client;
+use crate::error::{Result, ServeError};
+use crate::server::Server;
+use crate::wire::{EngineRef, MatrixRef, ServerStats};
+
+/// Shape of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Size of the shared matrix pool; smaller than the cache keeps
+    /// every request hot, larger forces eviction churn.
+    pub distinct_matrices: usize,
+    /// Problem size `n` of every generated system.
+    pub n: usize,
+    /// Engine the solves run on.
+    pub engine: EngineRef,
+    /// Seed of the matrix/RHS/selection streams.
+    pub seed: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            clients: 4,
+            requests_per_client: 64,
+            distinct_matrices: 4,
+            n: 32,
+            engine: EngineRef::new("numeric", 0),
+            seed: 7,
+        }
+    }
+}
+
+/// What one run measured.
+#[derive(Debug, Clone)]
+pub struct LoadGenReport {
+    /// Solve requests issued (excluding warm-up prepares).
+    pub requests: u64,
+    /// Requests answered with a solution.
+    pub solved: u64,
+    /// Requests rejected with `Busy` (each retried until solved).
+    pub busy_rejections: u64,
+    /// Wall-clock duration of the measured phase, seconds.
+    pub elapsed_s: f64,
+    /// Solved requests per second.
+    pub throughput_rps: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile request latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Server cache hit-rate over the whole run.
+    pub hit_rate: f64,
+    /// Mean requests folded into one dispatched batch.
+    pub coalescing_factor: f64,
+    /// Full server counter snapshot at the end of the run.
+    pub server: ServerStats,
+}
+
+/// SplitMix64 step — the workspace-standard cheap deterministic stream.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[-1, 1)`.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+}
+
+/// The load generator's `n×n` workload matrix for `seed`: random
+/// entries in `[-1, 1)` with the diagonal lifted above each row's
+/// absolute sum, so the system is strictly diagonally dominant (hence
+/// nonsingular and well-conditioned) at every size.
+pub fn workload_matrix(n: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xa076_1d64_78bd_642f;
+    let mut data = vec![0.0; n * n];
+    for row in 0..n {
+        let mut row_sum = 0.0;
+        for col in 0..n {
+            let v = unit(&mut state);
+            data[row * n + col] = v;
+            row_sum += v.abs();
+        }
+        data[row * n + row] = row_sum + 1.0;
+    }
+    Matrix::from_vec(n, n, data).expect("n*n data")
+}
+
+/// The load generator's right-hand side stream: entry `k` of the
+/// vector for (`seed`, `request`).
+pub fn workload_rhs(n: usize, seed: u64, request: u64) -> Vec<f64> {
+    let mut state = seed ^ request.wrapping_mul(0xd6e8_feb8_6659_fd93);
+    (0..n).map(|_| unit(&mut state)).collect()
+}
+
+/// Runs the closed-loop load against `server` and aggregates the
+/// report. The matrix pool is prepared before the clock starts.
+///
+/// # Errors
+///
+/// Transport or preparation failures; `Busy` rejections are part of
+/// the workload (counted and retried), not errors.
+pub fn run(server: &Server, cfg: &LoadGenConfig) -> Result<LoadGenReport> {
+    let solver_config = SolverConfig::builder()
+        .capture_trace(false)
+        .finish()
+        .map_err(|e| ServeError::Protocol(format!("invalid load-gen solver config: {e}")))?;
+    let matrices: Vec<Matrix> = (0..cfg.distinct_matrices.max(1))
+        .map(|i| workload_matrix(cfg.n, cfg.seed.wrapping_add(i as u64)))
+        .collect();
+
+    // Warm-up: prepare the pool once, outside the measured window.
+    let mut setup = Client::new(server.loopback());
+    let fingerprints: Vec<u64> = matrices
+        .iter()
+        .map(|m| {
+            setup
+                .prepare(m, &solver_config, &cfg.engine)
+                .map(|(fp, _)| fp)
+        })
+        .collect::<Result<_>>()?;
+
+    let latencies = Mutex::new(Vec::new());
+    let busy = Mutex::new(0u64);
+    let started = Instant::now();
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::new();
+        for client_idx in 0..cfg.clients.max(1) {
+            let transport = server.loopback();
+            let solver_config = &solver_config;
+            let matrices = &matrices;
+            let fingerprints = &fingerprints;
+            let latencies = &latencies;
+            let busy = &busy;
+            handles.push(scope.spawn(move || -> Result<()> {
+                let mut client = Client::new(transport);
+                let mut select = cfg.seed ^ (client_idx as u64).wrapping_mul(0x517c_c1b7_2722_0a95);
+                let mut my_latencies = Vec::with_capacity(cfg.requests_per_client);
+                let mut my_busy = 0u64;
+                for request in 0..cfg.requests_per_client {
+                    let pick = (splitmix(&mut select) % matrices.len() as u64) as usize;
+                    let rhs = workload_rhs(cfg.n, cfg.seed ^ client_idx as u64, request as u64);
+                    let t0 = Instant::now();
+                    let mut inline = false;
+                    loop {
+                        let result = client.solve(
+                            if inline {
+                                MatrixRef::Inline(matrices[pick].clone())
+                            } else {
+                                MatrixRef::Cached(fingerprints[pick])
+                            },
+                            solver_config,
+                            &cfg.engine,
+                            &rhs,
+                        );
+                        match result {
+                            Ok(_) => break,
+                            // Backpressure: back off and retry — the
+                            // closed loop's natural response to Busy.
+                            Err(ServeError::Busy) => {
+                                my_busy += 1;
+                                std::thread::sleep(std::time::Duration::from_micros(200));
+                            }
+                            // Evicted under churn (possibly between
+                            // resolve and dispatch): re-submit inline
+                            // until a dispatch wins the race.
+                            Err(ServeError::NotPrepared { .. }) => inline = true,
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    my_latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies.lock().unwrap().extend(my_latencies);
+                *busy.lock().unwrap() += my_busy;
+                Ok(())
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("load client panicked")?;
+        }
+        Ok(())
+    })?;
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let server_stats = server.stats();
+    let solved = lat.len() as u64;
+    Ok(LoadGenReport {
+        requests: solved,
+        solved,
+        busy_rejections: busy.into_inner().unwrap(),
+        elapsed_s,
+        throughput_rps: if elapsed_s > 0.0 {
+            solved as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        p50_ms: percentile(&lat, 50.0),
+        p95_ms: percentile(&lat, 95.0),
+        p99_ms: percentile(&lat, 99.0),
+        hit_rate: server_stats.hit_rate(),
+        coalescing_factor: server_stats.coalescing_factor(),
+        server: server_stats,
+    })
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 for empty).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_matrices_are_deterministic_and_dominant() {
+        let a = workload_matrix(16, 3);
+        let b = workload_matrix(16, 3);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            workload_matrix(16, 4).fingerprint(),
+            "seed must matter"
+        );
+        // Strict diagonal dominance.
+        for i in 0..16 {
+            let row_sum: f64 = (0..16).filter(|&j| j != i).map(|j| a[(i, j)].abs()).sum();
+            assert!(a[(i, i)] > row_sum, "row {i} not dominant");
+        }
+        // RHS stream is deterministic too.
+        assert_eq!(workload_rhs(8, 1, 2), workload_rhs(8, 1, 2));
+        assert_ne!(workload_rhs(8, 1, 2), workload_rhs(8, 1, 3));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0); // rank round(1.5) = 2
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

@@ -1,0 +1,796 @@
+//! The mux server: transports, the coalescing dispatcher, and the
+//! request handlers.
+//!
+//! ## Threading model
+//!
+//! * One **connection loop** per transport ([`Server::serve_transport`]),
+//!   decoding requests and blocking on their replies — a connection is a
+//!   serial request/response stream, exactly like the client sees it.
+//! * A fixed pool of **solver workers** (spawned at [`Server::new`])
+//!   drains the dispatch queue. Each round, a worker claims *one cache
+//!   key* and takes **every** job queued under it — that is the
+//!   coalescing step — flattens them into a single batch, clones the
+//!   cached replica (a short cache-lock hold; the solve itself runs
+//!   unlocked), and solves through
+//!   [`SolverReplica::solve_batch_parallel`], which shards the batch
+//!   over an `amc-par` work-stealing pool.
+//! * While a key is **active** (being solved), newly arriving jobs for
+//!   it queue up but the key is not re-enqueued; the worker re-enqueues
+//!   it on release if jobs accumulated. Concurrent requests against a
+//!   hot solver therefore pile into shared batches naturally.
+//!
+//! ## Backpressure
+//!
+//! The dispatch queue is bounded by [`ServerConfig::queue_capacity`]
+//! right-hand sides. A submit that would exceed the bound is rejected
+//! *immediately* with [`Response::Busy`] — the request is never queued,
+//! the connection never blocks, and the queue cannot grow without
+//! bound. Clients are expected to back off and retry.
+//!
+//! ## Determinism
+//!
+//! Cache hits and coalescing are invisible in the numbers: a cached
+//! replica carries the one variation draw taken at prepare time, clones
+//! inherit it bitwise, and batch sharding is bit-identical at any
+//! worker count — so a coalesced, cached, sharded solve returns exactly
+//! the bytes a direct [`PreparedSolver::solve`] would have.
+//!
+//! [`Response::Busy`]: crate::wire::Response::Busy
+//! [`PreparedSolver::solve`]: blockamc::solver::PreparedSolver::solve
+//! [`SolverReplica::solve_batch_parallel`]: blockamc::solver::SolverReplica::solve_batch_parallel
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use amc_linalg::Matrix;
+use blockamc::engine::{AmcEngine, EngineRegistry};
+use blockamc::solver::{BlockAmcSolver, SolverConfig, SolverReplica};
+
+use crate::cache::{CacheKey, LfuCache};
+use crate::error::{Result, ServeError};
+use crate::wire::{EngineRef, MatrixRef, Request, Response, ServerStats, MAX_FRAME_LEN};
+
+/// How often blocked receives wake up to check for server shutdown.
+const POLL: Duration = Duration::from_millis(25);
+
+/// A cached prepared solver: an owned replica over a type-erased engine,
+/// cloneable onto worker threads (`Send` is compile-time asserted in
+/// `blockamc::solver`).
+pub type CachedSolver = SolverReplica<Box<dyn AmcEngine>>;
+
+// ---------------------------------------------------------------------
+// Transports.
+// ---------------------------------------------------------------------
+
+/// Outcome of one [`Transport::recv`] poll.
+#[derive(Debug)]
+pub enum Received {
+    /// A complete frame payload (length prefix stripped).
+    Frame(Vec<u8>),
+    /// The peer closed the connection.
+    Closed,
+    /// The poll interval elapsed without a complete frame; check
+    /// shutdown and poll again.
+    Idle,
+}
+
+/// A bidirectional frame pipe. Implementations own the framing (length
+/// prefix on TCP, message-per-send on the in-process loopback); the
+/// payloads they carry are [`Request::encode`]/[`Response::encode`]
+/// bytes.
+pub trait Transport: Send {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on transport failure, [`ServeError::Closed`]
+    /// when the peer is gone.
+    fn send(&mut self, payload: &[u8]) -> Result<()>;
+
+    /// Waits up to `poll` for a complete frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on transport failure, [`ServeError::Protocol`]
+    /// for an over-long frame announcement.
+    fn recv(&mut self, poll: Duration) -> Result<Received>;
+}
+
+/// [`Transport`] over a [`TcpStream`]: `u32` little-endian length
+/// prefix + payload, with an incremental reassembly buffer so a frame
+/// split across packets (or across poll timeouts) is never corrupted.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl TcpTransport {
+    /// Wraps a connected stream (enables `TCP_NODELAY`; frames are
+    /// latency-sensitive and self-contained).
+    ///
+    /// # Errors
+    ///
+    /// Socket-option failures.
+    pub fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Extracts one complete frame from the reassembly buffer, if there
+    /// is one.
+    fn take_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(ServeError::protocol(format!(
+                "announced frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+            )));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(payload))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, payload: &[u8]) -> Result<()> {
+        let len = u32::try_from(payload.len())
+            .map_err(|_| ServeError::protocol("frame payload exceeds u32 length"))?;
+        self.stream.write_all(&len.to_le_bytes())?;
+        self.stream.write_all(payload)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self, poll: Duration) -> Result<Received> {
+        if let Some(frame) = self.take_frame()? {
+            return Ok(Received::Frame(frame));
+        }
+        self.stream
+            .set_read_timeout(Some(poll.max(Duration::from_millis(1))))?;
+        let mut chunk = [0u8; 8192];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(Received::Closed),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    if let Some(frame) = self.take_frame()? {
+                        return Ok(Received::Frame(frame));
+                    }
+                    // Mid-frame: keep reading within this poll.
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Received::Idle)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {
+                    return Ok(Received::Closed)
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+/// In-process [`Transport`]: a pair of `mpsc` channels. Lets tests and
+/// benches run the full client/server protocol — framing, dispatch,
+/// coalescing, backpressure — without sockets.
+#[derive(Debug)]
+pub struct LoopbackTransport {
+    tx: mpsc::Sender<Vec<u8>>,
+    rx: mpsc::Receiver<Vec<u8>>,
+}
+
+/// Creates a connected loopback pair: frames sent on one end arrive on
+/// the other.
+pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
+    let (a_tx, b_rx) = mpsc::channel();
+    let (b_tx, a_rx) = mpsc::channel();
+    (
+        LoopbackTransport { tx: a_tx, rx: a_rx },
+        LoopbackTransport { tx: b_tx, rx: b_rx },
+    )
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&mut self, payload: &[u8]) -> Result<()> {
+        self.tx
+            .send(payload.to_vec())
+            .map_err(|_| ServeError::Closed)
+    }
+
+    fn recv(&mut self, poll: Duration) -> Result<Received> {
+        match self.rx.recv_timeout(poll) {
+            Ok(frame) => Ok(Received::Frame(frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(Received::Idle),
+            Err(RecvTimeoutError::Disconnected) => Ok(Received::Closed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server configuration and state.
+// ---------------------------------------------------------------------
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum number of cached prepared solvers (LFU-evicted beyond
+    /// this; clamped to at least 1).
+    pub cache_capacity: usize,
+    /// Dispatcher threads draining the pending queue. **`0` is an
+    /// accept-only mode**: requests queue (and overflow to `Busy`) but
+    /// nothing ever drains — only useful to tests that need a
+    /// deterministically saturated queue.
+    pub solver_workers: usize,
+    /// Worker count each dispatched batch is sharded over
+    /// ([`SolverReplica::solve_batch_parallel`]); 1 = serial solves.
+    ///
+    /// [`SolverReplica::solve_batch_parallel`]: blockamc::solver::SolverReplica::solve_batch_parallel
+    pub batch_workers: usize,
+    /// Bound on queued right-hand sides across all keys; a submit that
+    /// would exceed it gets [`Response::Busy`].
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            cache_capacity: 8,
+            solver_workers: 2,
+            batch_workers: 1,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// One queued unit of work: the right-hand sides of a single request
+/// plus the channel its connection loop blocks on.
+struct Job {
+    rhs: Vec<Vec<f64>>,
+    reply: mpsc::Sender<std::result::Result<Vec<Vec<f64>>, ServeError>>,
+}
+
+/// Dispatcher state behind one mutex: which keys have work, which are
+/// being solved, and how full the queue is.
+#[derive(Default)]
+struct DispatchState {
+    /// Keys with queued jobs, not currently active.
+    ready: VecDeque<CacheKey>,
+    /// Queued jobs per key.
+    pending: HashMap<CacheKey, Vec<Job>>,
+    /// Keys a worker is currently solving.
+    active: HashSet<CacheKey>,
+    /// Total queued right-hand sides (the backpressure gauge).
+    queued_rhs: usize,
+    /// Mirrors `Inner::closing` under the mutex for correct condvar use.
+    shutdown: bool,
+}
+
+/// Throughput counters (the non-cache half of [`ServerStats`]).
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    solved_rhs: AtomicU64,
+    dispatch_batches: AtomicU64,
+    coalesced_requests: AtomicU64,
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    registry: EngineRegistry,
+    cache: Mutex<LfuCache<CachedSolver>>,
+    state: Mutex<DispatchState>,
+    work: Condvar,
+    closing: AtomicBool,
+    shutdown_once: AtomicBool,
+    counters: Counters,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    connections: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The solver service: prepared-solver cache + coalescing dispatcher +
+/// as many transports as you attach.
+///
+/// Cloning the handle is cheap (an `Arc`); all clones drive the same
+/// server. The server stops when [`shutdown`](Server::shutdown) is
+/// called — directly, or by a wire [`Request::Shutdown`].
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Starts a server: spawns `cfg.solver_workers` dispatcher threads
+    /// and resolves engines against `registry`.
+    pub fn new(cfg: ServerConfig, registry: EngineRegistry) -> Server {
+        let inner = Arc::new(Inner {
+            cache: Mutex::new(LfuCache::new(cfg.cache_capacity)),
+            state: Mutex::new(DispatchState::default()),
+            work: Condvar::new(),
+            closing: AtomicBool::new(false),
+            shutdown_once: AtomicBool::new(false),
+            counters: Counters::default(),
+            workers: Mutex::new(Vec::new()),
+            connections: Mutex::new(Vec::new()),
+            registry,
+            cfg,
+        });
+        let server = Server { inner };
+        let mut workers = server.inner.workers.lock().unwrap();
+        for i in 0..server.inner.cfg.solver_workers {
+            let inner = Arc::clone(&server.inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("amc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn solver worker"),
+            );
+        }
+        drop(workers);
+        server
+    }
+
+    /// [`Server::new`] against the built-in engine registry.
+    pub fn with_builtin_engines(cfg: ServerConfig) -> Server {
+        Server::new(cfg, EngineRegistry::builtin())
+    }
+
+    /// Serves one transport until the peer disconnects, a `Shutdown`
+    /// request is handled, or the server is shut down. Blocking — run
+    /// it on the connection's thread.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures ([`ServeError::Io`]); a clean peer disconnect
+    /// returns `Ok(())`.
+    pub fn serve_transport(&self, mut transport: impl Transport) -> Result<()> {
+        loop {
+            match transport.recv(POLL)? {
+                Received::Closed => return Ok(()),
+                Received::Idle => {
+                    if self.inner.closing.load(Ordering::Acquire) {
+                        return Ok(());
+                    }
+                }
+                Received::Frame(payload) => {
+                    let response = match Request::decode(&payload) {
+                        Err(e) => Response::Error {
+                            message: e.to_string(),
+                        },
+                        Ok(request) => self.handle(request),
+                    };
+                    let closing = matches!(response, Response::ShuttingDown);
+                    transport.send(&response.encode())?;
+                    if closing {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Opens an in-process connection: spawns a thread serving the
+    /// server end of a [`loopback_pair`] and returns the client end
+    /// (wrap it in a [`Client`](crate::client::Client)).
+    pub fn loopback(&self) -> LoopbackTransport {
+        let (client_end, server_end) = loopback_pair();
+        let server = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("amc-serve-loopback".into())
+            .spawn(move || {
+                let _ = server.serve_transport(server_end);
+            })
+            .expect("spawn loopback connection");
+        self.inner.connections.lock().unwrap().push(handle);
+        client_end
+    }
+
+    /// Accepts TCP connections until shutdown, serving each on its own
+    /// thread. Blocking — typically the main thread of a server
+    /// process.
+    ///
+    /// # Errors
+    ///
+    /// Listener configuration failures; per-connection errors are
+    /// contained to their threads.
+    pub fn serve_tcp(&self, listener: TcpListener) -> Result<()> {
+        listener.set_nonblocking(true)?;
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            if self.inner.closing.load(Ordering::Acquire) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let server = self.clone();
+                    conns.push(
+                        std::thread::Builder::new()
+                            .name("amc-serve-conn".into())
+                            .spawn(move || {
+                                if let Ok(transport) = TcpTransport::new(stream) {
+                                    let _ = server.serve_transport(transport);
+                                }
+                            })
+                            .expect("spawn connection thread"),
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        for conn in conns {
+            let _ = conn.join();
+        }
+        Ok(())
+    }
+
+    /// A point-in-time counter snapshot (same numbers as the wire
+    /// `Stats` request).
+    pub fn stats(&self) -> ServerStats {
+        let cache = self.inner.cache.lock().unwrap();
+        let c = cache.counters();
+        ServerStats {
+            hits: c.hits,
+            misses: c.misses,
+            evictions: c.evictions,
+            insertions: c.insertions,
+            entries: cache.len() as u64,
+            capacity: cache.capacity() as u64,
+            requests: self.inner.counters.requests.load(Ordering::Relaxed),
+            solved_rhs: self.inner.counters.solved_rhs.load(Ordering::Relaxed),
+            dispatch_batches: self.inner.counters.dispatch_batches.load(Ordering::Relaxed),
+            coalesced_requests: self
+                .inner
+                .counters
+                .coalesced_requests
+                .load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the server: wakes and joins the solver workers, then fails
+    /// every still-queued job with [`ServeError::Closed`] so blocked
+    /// connections (and their clients) unblock. Idempotent; called
+    /// automatically by a wire `Shutdown` request and on drop.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown_once.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.shutdown = true;
+            self.inner.closing.store(true, Ordering::Release);
+        }
+        self.inner.work.notify_all();
+        let workers: Vec<_> = self.inner.workers.lock().unwrap().drain(..).collect();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        // Drain after the workers are gone: everything left is work
+        // nobody will do. Replying unblocks connection loops stuck in
+        // submit(), which in turn lets their clients return.
+        let drained: Vec<Job> = {
+            let mut st = self.inner.state.lock().unwrap();
+            st.ready.clear();
+            st.queued_rhs = 0;
+            st.pending.drain().flat_map(|(_, jobs)| jobs).collect()
+        };
+        for job in drained {
+            let _ = job.reply.send(Err(ServeError::Closed));
+        }
+    }
+
+    /// Whether [`shutdown`](Server::shutdown) has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.closing.load(Ordering::Acquire)
+    }
+
+    /// Right-hand sides currently queued (the backpressure gauge the
+    /// `Busy` bound compares against). Exposed for tests and benches
+    /// that need to observe saturation deterministically.
+    pub fn queued_rhs(&self) -> usize {
+        self.inner.state.lock().unwrap().queued_rhs
+    }
+
+    // -----------------------------------------------------------------
+    // Request handling (one call per decoded request).
+    // -----------------------------------------------------------------
+
+    fn handle(&self, request: Request) -> Response {
+        self.inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+        match request {
+            Request::Prepare {
+                matrix,
+                config,
+                engine,
+            } => self.handle_prepare(&matrix, &config, &engine),
+            Request::Solve {
+                matrix,
+                config,
+                engine,
+                rhs,
+            } => match self.resolve_and_submit(matrix, &config, &engine, vec![rhs]) {
+                Ok(mut xs) => Response::Solved {
+                    x: xs.pop().unwrap_or_default(),
+                },
+                Err(e) => error_response(e),
+            },
+            Request::SolveBatch {
+                matrix,
+                config,
+                engine,
+                batch,
+            } => {
+                if batch.is_empty() {
+                    return Response::Error {
+                        message: "batch must contain at least one RHS".into(),
+                    };
+                }
+                match self.resolve_and_submit(matrix, &config, &engine, batch) {
+                    Ok(xs) => Response::SolvedBatch { xs },
+                    Err(e) => error_response(e),
+                }
+            }
+            Request::Evict {
+                fingerprint,
+                config,
+                engine,
+            } => {
+                let key = CacheKey::new(fingerprint, &config, &engine);
+                let found = self.inner.cache.lock().unwrap().remove(&key).is_some();
+                Response::Evicted { found }
+            }
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Shutdown => {
+                self.shutdown();
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    fn handle_prepare(
+        &self,
+        matrix: &Matrix,
+        config: &SolverConfig,
+        engine: &EngineRef,
+    ) -> Response {
+        let fingerprint = matrix.fingerprint();
+        let key = CacheKey::new(fingerprint, config, engine);
+        if self.inner.cache.lock().unwrap().get(&key).is_some() {
+            return Response::Prepared {
+                fingerprint,
+                hit: true,
+            };
+        }
+        // The miss was counted by the failed get. Prepare outside the
+        // cache lock — programming is the expensive step, and a
+        // concurrent equal Prepare would only produce a bit-identical
+        // replica (deterministic engine build from the seed), so a
+        // benign double-prepare beats serializing every connection.
+        match self.build_and_prepare(matrix, config, engine) {
+            Ok(replica) => {
+                self.inner.cache.lock().unwrap().insert(key, replica);
+                Response::Prepared {
+                    fingerprint,
+                    hit: false,
+                }
+            }
+            Err(message) => Response::Error { message },
+        }
+    }
+
+    fn build_and_prepare(
+        &self,
+        matrix: &Matrix,
+        config: &SolverConfig,
+        engine: &EngineRef,
+    ) -> std::result::Result<CachedSolver, String> {
+        let built = self
+            .inner
+            .registry
+            .build(&engine.name, engine.seed)
+            .map_err(|e| e.to_string())?;
+        let mut solver = BlockAmcSolver::from_config(built, config.clone());
+        let prepared = solver.prepare(matrix).map_err(|e| e.to_string())?;
+        Ok(prepared.replicate(1).remove(0))
+    }
+
+    /// Resolves a [`MatrixRef`] to a cache key — preparing inline
+    /// matrices on first sight — then queues the right-hand sides and
+    /// blocks for the solutions.
+    fn resolve_and_submit(
+        &self,
+        matrix: MatrixRef,
+        config: &SolverConfig,
+        engine: &EngineRef,
+        rhs: Vec<Vec<f64>>,
+    ) -> std::result::Result<Vec<Vec<f64>>, ServeError> {
+        let key = match matrix {
+            MatrixRef::Cached(fingerprint) => {
+                let key = CacheKey::new(fingerprint, config, engine);
+                if self.inner.cache.lock().unwrap().get(&key).is_none() {
+                    return Err(ServeError::NotPrepared { fingerprint });
+                }
+                key
+            }
+            MatrixRef::Inline(m) => {
+                let fingerprint = m.fingerprint();
+                let key = CacheKey::new(fingerprint, config, engine);
+                if self.inner.cache.lock().unwrap().get(&key).is_none() {
+                    let replica = self
+                        .build_and_prepare(&m, config, engine)
+                        .map_err(ServeError::Remote)?;
+                    self.inner
+                        .cache
+                        .lock()
+                        .unwrap()
+                        .insert(key.clone(), replica);
+                }
+                key
+            }
+        };
+        self.submit(key, rhs)
+    }
+
+    /// Queues jobs under `key` (respecting the backpressure bound) and
+    /// blocks until a worker replies.
+    fn submit(
+        &self,
+        key: CacheKey,
+        rhs: Vec<Vec<f64>>,
+    ) -> std::result::Result<Vec<Vec<f64>>, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            if st.shutdown {
+                return Err(ServeError::Closed);
+            }
+            let cost = rhs.len();
+            if st.queued_rhs + cost > self.inner.cfg.queue_capacity {
+                return Err(ServeError::Busy);
+            }
+            st.queued_rhs += cost;
+            let queue = st.pending.entry(key.clone()).or_default();
+            let first_for_key = queue.is_empty();
+            queue.push(Job { rhs, reply: tx });
+            // A key is enqueued exactly once: if jobs were already
+            // pending it is in `ready` or `active`; otherwise it joins
+            // `ready` unless a worker holds it active (that worker
+            // re-enqueues on release).
+            if first_for_key && !st.active.contains(&key) {
+                st.ready.push_back(key);
+                self.inner.work.notify_one();
+            }
+        }
+        rx.recv().map_err(|_| ServeError::Closed)?
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Only the last handle tears the server down.
+        if Arc::strong_count(&self.inner) != 1 {
+            return;
+        }
+        self.shutdown();
+        let current = std::thread::current().id();
+        let connections: Vec<_> = self.inner.connections.lock().unwrap().drain(..).collect();
+        for conn in connections {
+            if conn.thread().id() != current {
+                let _ = conn.join();
+            }
+        }
+    }
+}
+
+/// Maps a submit-path error to its wire response.
+fn error_response(e: ServeError) -> Response {
+    match e {
+        ServeError::Busy => Response::Busy,
+        ServeError::NotPrepared { fingerprint } => Response::NotPrepared { fingerprint },
+        ServeError::Closed => Response::ShuttingDown,
+        other => Response::Error {
+            message: other.to_string(),
+        },
+    }
+}
+
+/// One dispatcher thread: claim a key, coalesce its queue into a
+/// batch, solve, reply, release.
+fn worker_loop(inner: &Inner) {
+    loop {
+        let (key, jobs) = {
+            let mut st = inner.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(key) = st.ready.pop_front() {
+                    let jobs = st.pending.remove(&key).unwrap_or_default();
+                    st.queued_rhs -= jobs.iter().map(|j| j.rhs.len()).sum::<usize>();
+                    st.active.insert(key.clone());
+                    break (key, jobs);
+                }
+                st = inner.work.wait(st).unwrap();
+            }
+        };
+
+        // Clone the replica out under a short lock; solve unlocked so
+        // other keys' dispatches and all cache traffic keep flowing.
+        // The dispatch-level fetch is deliberately peek (no counters,
+        // no frequency bump): hits/misses/LFU heat are counted once per
+        // *request* at resolve time, not re-counted per batch.
+        let replica = inner.cache.lock().unwrap().peek(&key).cloned();
+
+        match replica {
+            None => {
+                // Evicted between resolve and dispatch (tiny cache under
+                // churn): the client re-prepares and retries.
+                for job in &jobs {
+                    let _ = job.reply.send(Err(ServeError::NotPrepared {
+                        fingerprint: key.fingerprint,
+                    }));
+                }
+            }
+            Some(mut replica) => {
+                let batch: Vec<Vec<f64>> =
+                    jobs.iter().flat_map(|j| j.rhs.iter().cloned()).collect();
+                inner
+                    .counters
+                    .dispatch_batches
+                    .fetch_add(1, Ordering::Relaxed);
+                inner
+                    .counters
+                    .coalesced_requests
+                    .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+                match replica.solve_batch_parallel(&batch, inner.cfg.batch_workers.max(1)) {
+                    Ok(xs) => {
+                        inner
+                            .counters
+                            .solved_rhs
+                            .fetch_add(xs.len() as u64, Ordering::Relaxed);
+                        let mut xs = xs.into_iter();
+                        for job in &jobs {
+                            let slice: Vec<Vec<f64>> = xs.by_ref().take(job.rhs.len()).collect();
+                            let _ = job.reply.send(Ok(slice));
+                        }
+                    }
+                    Err(e) => {
+                        let message = e.to_string();
+                        for job in &jobs {
+                            let _ = job.reply.send(Err(ServeError::Remote(message.clone())));
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut st = inner.state.lock().unwrap();
+        st.active.remove(&key);
+        // Jobs that arrived while the key was active: re-enqueue — they
+        // form the next coalesced batch.
+        if st.pending.get(&key).is_some_and(|q| !q.is_empty()) {
+            st.ready.push_back(key);
+            inner.work.notify_one();
+        }
+    }
+}

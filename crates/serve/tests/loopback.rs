@@ -1,0 +1,355 @@
+//! Integration tests of the full served path over in-process loopback
+//! transports (plus one TCP smoke test): protocol, cache behavior,
+//! coalescing, backpressure, and clean shutdown.
+
+use amc_linalg::Matrix;
+use amc_serve::client::Client;
+use amc_serve::loadgen::{workload_matrix, workload_rhs};
+use amc_serve::server::{Server, ServerConfig};
+use amc_serve::wire::{EngineRef, MatrixRef};
+use amc_serve::ServeError;
+use blockamc::solver::SolverConfig;
+
+fn quiet_config() -> SolverConfig {
+    SolverConfig::builder()
+        .capture_trace(false)
+        .finish()
+        .unwrap()
+}
+
+#[test]
+fn prepare_solve_evict_stats_lifecycle() {
+    let server = Server::with_builtin_engines(ServerConfig::default());
+    let mut client = Client::new(server.loopback());
+    let config = quiet_config();
+    let engine = EngineRef::new("numeric", 0);
+    let a = workload_matrix(8, 1);
+
+    let (fp, hit) = client.prepare(&a, &config, &engine).unwrap();
+    assert_eq!(fp, a.fingerprint());
+    assert!(!hit);
+    // Preparing again is a pure cache hit.
+    let (fp2, hit2) = client.prepare(&a, &config, &engine).unwrap();
+    assert_eq!((fp2, hit2), (fp, true));
+
+    let rhs = workload_rhs(8, 1, 0);
+    let x = client
+        .solve(MatrixRef::Cached(fp), &config, &engine, &rhs)
+        .unwrap();
+    assert_eq!(x.len(), 8);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.insertions, 1);
+    assert!(stats.hits >= 2, "prepare-hit + solve-hit, got {stats:?}");
+    assert_eq!(stats.solved_rhs, 1);
+
+    assert!(client.evict(fp, &config, &engine).unwrap());
+    assert!(!client.evict(fp, &config, &engine).unwrap());
+    // Solving by fingerprint after eviction is NotPrepared.
+    let err = client
+        .solve(MatrixRef::Cached(fp), &config, &engine, &rhs)
+        .unwrap_err();
+    assert!(matches!(err, ServeError::NotPrepared { fingerprint } if fingerprint == fp));
+
+    client.shutdown().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn inline_solve_prepares_on_first_sight() {
+    let server = Server::with_builtin_engines(ServerConfig::default());
+    let mut client = Client::new(server.loopback());
+    let config = quiet_config();
+    let engine = EngineRef::new("numeric", 0);
+    let a = workload_matrix(8, 2);
+    let rhs = workload_rhs(8, 2, 0);
+
+    let x1 = client
+        .solve(MatrixRef::Inline(a.clone()), &config, &engine, &rhs)
+        .unwrap();
+    // Second inline solve of the same matrix hits the cache.
+    let x2 = client
+        .solve(MatrixRef::Inline(a.clone()), &config, &engine, &rhs)
+        .unwrap();
+    assert_eq!(x1, x2);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.insertions, 1, "one prepare for two inline solves");
+    assert!(stats.hits >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn batch_solutions_come_back_in_order_and_match_singles() {
+    let server = Server::with_builtin_engines(ServerConfig::default());
+    let mut client = Client::new(server.loopback());
+    let config = quiet_config();
+    let engine = EngineRef::new("numeric", 3);
+    let a = workload_matrix(12, 3);
+    let (fp, _) = client.prepare(&a, &config, &engine).unwrap();
+
+    let batch: Vec<Vec<f64>> = (0..5).map(|k| workload_rhs(12, 3, k)).collect();
+    let xs = client
+        .solve_batch(MatrixRef::Cached(fp), &config, &engine, batch.clone())
+        .unwrap();
+    assert_eq!(xs.len(), 5);
+    for (k, rhs) in batch.iter().enumerate() {
+        let single = client
+            .solve(MatrixRef::Cached(fp), &config, &engine, rhs)
+            .unwrap();
+        assert_eq!(xs[k], single, "batch entry {k} diverged from single solve");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn distinct_engines_and_seeds_are_distinct_cache_entries() {
+    let server = Server::with_builtin_engines(ServerConfig::default());
+    let mut client = Client::new(server.loopback());
+    let config = quiet_config();
+    let a = workload_matrix(8, 4);
+
+    client
+        .prepare(&a, &config, &EngineRef::new("numeric", 0))
+        .unwrap();
+    client
+        .prepare(&a, &config, &EngineRef::new("circuit", 0))
+        .unwrap();
+    client
+        .prepare(&a, &config, &EngineRef::new("circuit", 1))
+        .unwrap();
+    assert_eq!(client.stats().unwrap().entries, 3);
+
+    // Same key with same circuit seed is deterministic: bit-identical
+    // results across evict + re-prepare.
+    let engine = EngineRef::new("circuit", 0);
+    let fp = a.fingerprint();
+    let rhs = workload_rhs(8, 4, 0);
+    let x1 = client
+        .solve(MatrixRef::Cached(fp), &config, &engine, &rhs)
+        .unwrap();
+    client.evict(fp, &config, &engine).unwrap();
+    client.prepare(&a, &config, &engine).unwrap();
+    let x2 = client
+        .solve(MatrixRef::Cached(fp), &config, &engine, &rhs)
+        .unwrap();
+    assert_eq!(x1, x2, "registry build from a seed must replay bitwise");
+    server.shutdown();
+}
+
+#[test]
+fn unknown_engine_and_bad_matrix_are_remote_errors() {
+    let server = Server::with_builtin_engines(ServerConfig::default());
+    let mut client = Client::new(server.loopback());
+    let config = quiet_config();
+    let a = workload_matrix(8, 5);
+
+    let err = client
+        .prepare(&a, &config, &EngineRef::new("warp-drive", 0))
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Remote(_)), "{err}");
+
+    // Non-square inline matrix: rejected by prepare, not a panic.
+    let rect = Matrix::from_vec(2, 3, vec![0.0; 6]).unwrap();
+    let err = client
+        .solve(
+            MatrixRef::Inline(rect),
+            &config,
+            &EngineRef::new("numeric", 0),
+            &[1.0, 2.0],
+        )
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Remote(_)), "{err}");
+    server.shutdown();
+}
+
+#[test]
+fn lfu_cache_capacity_is_respected_under_request_churn() {
+    let server = Server::with_builtin_engines(ServerConfig {
+        cache_capacity: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::new(server.loopback());
+    let config = quiet_config();
+    let engine = EngineRef::new("numeric", 0);
+
+    for seed in 0..5 {
+        client
+            .prepare(&workload_matrix(8, seed), &config, &engine)
+            .unwrap();
+        assert!(client.stats().unwrap().entries <= 2);
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.entries, 2);
+    assert_eq!(stats.insertions, 5);
+    assert_eq!(stats.evictions, 3);
+    server.shutdown();
+}
+
+#[test]
+fn saturated_queue_returns_busy_instead_of_hanging() {
+    // solver_workers: 0 is the documented accept-only mode — jobs
+    // queue but never drain, so the queue's fill level is fully
+    // deterministic: no race against a draining worker.
+    let server = Server::with_builtin_engines(ServerConfig {
+        solver_workers: 0,
+        queue_capacity: 3,
+        ..ServerConfig::default()
+    });
+    let config = quiet_config();
+    let engine = EngineRef::new("numeric", 0);
+    let a = workload_matrix(8, 6);
+    let mut setup = Client::new(server.loopback());
+    let (fp, _) = setup.prepare(&a, &config, &engine).unwrap();
+
+    // Fill the queue exactly to capacity with blocking solves.
+    let fillers: Vec<_> = (0..3)
+        .map(|k| {
+            let transport = server.loopback();
+            let config = config.clone();
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::new(transport);
+                let rhs = workload_rhs(8, 6, k);
+                client.solve(MatrixRef::Cached(fp), &config, &engine, &rhs)
+            })
+        })
+        .collect();
+    // Wait until all three right-hand sides are queued — with no
+    // workers the fill level only rises, so this is deterministic.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while server.queued_rhs() < 3 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fillers never queued their solves"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // The fourth RHS must be rejected with Busy — immediately, not
+    // after a timeout, and without being queued.
+    let rhs = workload_rhs(8, 6, 99);
+    let err = setup
+        .solve(MatrixRef::Cached(fp), &config, &engine, &rhs)
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Busy), "{err}");
+    assert_eq!(
+        server.queued_rhs(),
+        3,
+        "the rejected request was not queued"
+    );
+
+    // Shutdown drains the queued jobs with errors: the blocked filler
+    // clients unblock instead of hanging forever.
+    server.shutdown();
+    for filler in fillers {
+        let result = filler.join().unwrap();
+        assert!(
+            matches!(result, Err(ServeError::Closed)),
+            "filler should unblock with Closed, got {result:?}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_same_key_requests_coalesce_into_shared_batches() {
+    // One slow-ish dispatcher + many concurrent clients on one key:
+    // while the first batch solves, the rest pile up and must ship as
+    // shared batches (coalescing factor > 1), bit-identical to serial.
+    let server = Server::with_builtin_engines(ServerConfig {
+        solver_workers: 1,
+        queue_capacity: 1024,
+        ..ServerConfig::default()
+    });
+    let config = quiet_config();
+    let engine = EngineRef::new("numeric", 0);
+    let n = 48;
+    let a = workload_matrix(n, 7);
+    let mut setup = Client::new(server.loopback());
+    let (fp, _) = setup.prepare(&a, &config, &engine).unwrap();
+
+    let clients = 8;
+    let per_client = 6;
+    let results: Vec<Vec<(u64, Vec<f64>)>> = std::thread::scope(|scope| {
+        (0..clients)
+            .map(|c| {
+                let transport = server.loopback();
+                let config = &config;
+                let engine = &engine;
+                scope.spawn(move || {
+                    let mut client = Client::new(transport);
+                    (0..per_client)
+                        .map(|k| {
+                            let id = (c * per_client + k) as u64;
+                            let rhs = workload_rhs(n, 7, id);
+                            let x = client
+                                .solve(MatrixRef::Cached(fp), config, engine, &rhs)
+                                .unwrap();
+                            (id, x)
+                        })
+                        .collect()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.solved_rhs, (clients * per_client) as u64);
+    assert!(
+        stats.dispatch_batches < stats.coalesced_requests,
+        "expected coalescing: {} batches for {} requests",
+        stats.dispatch_batches,
+        stats.coalesced_requests
+    );
+
+    // Every solution is bit-identical to a direct serial solve.
+    let mut direct = Client::new(server.loopback());
+    for (id, x) in results.into_iter().flatten() {
+        let expected = direct
+            .solve(
+                MatrixRef::Cached(fp),
+                &config,
+                &engine,
+                &workload_rhs(n, 7, id),
+            )
+            .unwrap();
+        assert_eq!(x, expected, "request {id}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn tcp_transport_round_trips_through_a_real_socket() {
+    let server = Server::with_builtin_engines(ServerConfig::default());
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let acceptor = {
+        let server = server.clone();
+        std::thread::spawn(move || server.serve_tcp(listener))
+    };
+
+    let config = quiet_config();
+    let engine = EngineRef::new("numeric", 0);
+    let a = workload_matrix(16, 8);
+    let rhs = workload_rhs(16, 8, 0);
+
+    let mut tcp_client = Client::connect(addr).unwrap();
+    let (fp, _) = tcp_client.prepare(&a, &config, &engine).unwrap();
+    let x_tcp = tcp_client
+        .solve(MatrixRef::Cached(fp), &config, &engine, &rhs)
+        .unwrap();
+
+    // Bit-identical to the loopback path: the transport is invisible.
+    let mut loop_client = Client::new(server.loopback());
+    let x_loop = loop_client
+        .solve(MatrixRef::Cached(fp), &config, &engine, &rhs)
+        .unwrap();
+    assert_eq!(x_tcp, x_loop);
+
+    tcp_client.shutdown().unwrap();
+    server.shutdown();
+    acceptor.join().unwrap().unwrap();
+}

@@ -1,0 +1,241 @@
+//! End-to-end test of the solver service: N concurrent clients submit
+//! overlapping workloads over loopback transports, and every response
+//! must be **bit-identical** to a direct `PreparedSolver::solve` in
+//! this process — through cache hits, request coalescing, and batch
+//! sharding. Also pins the cache accounting (hits observed, capacity
+//! bound respected) and the backpressure contract (saturated queue →
+//! `Busy`, never a hang).
+
+use amc_serve::client::Client;
+use amc_serve::loadgen::{workload_matrix, workload_rhs};
+use amc_serve::server::{Server, ServerConfig};
+use amc_serve::wire::{EngineRef, MatrixRef};
+use amc_serve::ServeError;
+use blockamc::engine::EngineRegistry;
+use blockamc::solver::{BlockAmcSolver, SolverConfig, Stages};
+
+fn solver_config() -> SolverConfig {
+    SolverConfig::builder()
+        .stages(Stages::One)
+        .capture_trace(false)
+        .finish()
+        .unwrap()
+}
+
+/// Direct in-process reference: registry-built engine, one prepare,
+/// serial solves — the baseline the served path must reproduce bitwise.
+fn direct_solutions(a: &amc_linalg::Matrix, engine: &EngineRef, rhs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let built = EngineRegistry::builtin()
+        .build(&engine.name, engine.seed)
+        .unwrap();
+    let mut solver = BlockAmcSolver::from_config(built, solver_config());
+    let mut prepared = solver.prepare(a).unwrap();
+    rhs.iter().map(|b| prepared.solve(b).unwrap().x).collect()
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_results_with_cache_hits() {
+    // The circuit engine draws programming variation at prepare time,
+    // so bit-identity here proves the server reuses one cached draw —
+    // approximate equality would pass even if it re-prepared per
+    // request; `==` on f64 bits does not.
+    let engine = EngineRef::new("circuit", 42);
+    let n = 24;
+    let matrices: Vec<_> = (0..3).map(|s| workload_matrix(n, s)).collect();
+    let clients = 6;
+    let per_client = 8;
+
+    let server = Server::with_builtin_engines(ServerConfig {
+        cache_capacity: 4,
+        solver_workers: 2,
+        batch_workers: 2,
+        queue_capacity: 256,
+    });
+    let config = solver_config();
+
+    // Reference solutions, computed directly (no server involved).
+    let all_rhs: Vec<Vec<Vec<f64>>> = (0..matrices.len())
+        .map(|m| {
+            (0..clients * per_client)
+                .map(|k| workload_rhs(n, m as u64, k as u64))
+                .collect()
+        })
+        .collect();
+    let expected: Vec<Vec<Vec<f64>>> = matrices
+        .iter()
+        .zip(&all_rhs)
+        .map(|(a, rhs)| direct_solutions(a, &engine, rhs))
+        .collect();
+
+    // Warm the cache, then hammer it from N concurrent clients with
+    // overlapping (matrix, rhs) picks.
+    let mut setup = Client::new(server.loopback());
+    let fingerprints: Vec<u64> = matrices
+        .iter()
+        .map(|a| setup.prepare(a, &config, &engine).unwrap().0)
+        .collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let transport = server.loopback();
+                let config = &config;
+                let engine = &engine;
+                let fingerprints = &fingerprints;
+                let expected = &expected;
+                let all_rhs = &all_rhs;
+                scope.spawn(move || {
+                    let mut client = Client::new(transport);
+                    for k in 0..per_client {
+                        // Overlap by construction: every client visits
+                        // every matrix; rhs index interleaves clients.
+                        let m = (c + k) % fingerprints.len();
+                        let r = c * per_client + k;
+                        let x = client
+                            .solve(
+                                MatrixRef::Cached(fingerprints[m]),
+                                config,
+                                engine,
+                                &all_rhs[m][r],
+                            )
+                            .unwrap();
+                        assert_eq!(
+                            x, expected[m][r],
+                            "client {c} request {k}: served != direct"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    });
+
+    let stats = server.stats();
+    // Every solve after the three prepares fetched from the cache.
+    assert_eq!(stats.solved_rhs, (clients * per_client) as u64);
+    assert!(
+        stats.hits >= stats.solved_rhs,
+        "every served solve was a cache hit: {stats:?}"
+    );
+    assert_eq!(stats.entries, 3);
+    assert!(stats.entries <= stats.capacity);
+    server.shutdown();
+}
+
+#[test]
+fn cache_respects_capacity_under_overlapping_load() {
+    let server = Server::with_builtin_engines(ServerConfig {
+        cache_capacity: 2,
+        ..ServerConfig::default()
+    });
+    let config = solver_config();
+    let engine = EngineRef::new("numeric", 0);
+    let n = 8;
+
+    // More distinct matrices than capacity, solved inline from several
+    // clients: entries may never exceed the bound.
+    std::thread::scope(|scope| {
+        for c in 0..4u64 {
+            let transport = server.loopback();
+            let config = &config;
+            let engine = &engine;
+            scope.spawn(move || {
+                let mut client = Client::new(transport);
+                for seed in 0..5u64 {
+                    let a = workload_matrix(n, seed);
+                    let rhs = workload_rhs(n, seed, c);
+                    // With churn this aggressive an entry can be evicted
+                    // between resolve and dispatch; the protocol answers
+                    // NotPrepared and the client re-submits — same
+                    // contract the load generator implements.
+                    let x = loop {
+                        match client.solve(MatrixRef::Inline(a.clone()), config, engine, &rhs) {
+                            Ok(x) => break x,
+                            Err(ServeError::NotPrepared { .. }) => continue,
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    };
+                    let direct = direct_solutions(&a, engine, std::slice::from_ref(&rhs));
+                    assert_eq!(x, direct[0]);
+                }
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.entries, 2, "capacity bound violated: {stats:?}");
+    assert!(stats.evictions > 0, "churn must have evicted: {stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn saturated_queue_is_busy_not_a_hang() {
+    // Accept-only mode (0 workers) makes saturation deterministic; the
+    // whole test is bounded by its own deadline rather than any solver
+    // progress.
+    let server = Server::with_builtin_engines(ServerConfig {
+        solver_workers: 0,
+        queue_capacity: 2,
+        ..ServerConfig::default()
+    });
+    let config = solver_config();
+    let engine = EngineRef::new("numeric", 0);
+    let a = workload_matrix(8, 11);
+    let mut setup = Client::new(server.loopback());
+    let (fp, _) = setup.prepare(&a, &config, &engine).unwrap();
+
+    let blocked: Vec<_> = (0..2)
+        .map(|k| {
+            let transport = server.loopback();
+            let config = config.clone();
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                Client::new(transport).solve(
+                    MatrixRef::Cached(fp),
+                    &config,
+                    &engine,
+                    &workload_rhs(8, 11, k),
+                )
+            })
+        })
+        .collect();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while server.queued_rhs() < 2 {
+        assert!(std::time::Instant::now() < deadline, "queue never filled");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    let t0 = std::time::Instant::now();
+    let err = setup
+        .solve(
+            MatrixRef::Cached(fp),
+            &config,
+            &engine,
+            &workload_rhs(8, 11, 9),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Busy), "{err}");
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(5),
+        "Busy must be immediate, not a timeout"
+    );
+
+    // A batch that alone exceeds the bound is also Busy, even with an
+    // empty queue slot accounting (cost = its RHS count).
+    let err = setup
+        .solve_batch(
+            MatrixRef::Cached(fp),
+            &config,
+            &engine,
+            (0..3).map(|k| workload_rhs(8, 11, 20 + k)).collect(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Busy), "{err}");
+
+    server.shutdown();
+    for handle in blocked {
+        let result = handle.join().unwrap();
+        assert!(matches!(result, Err(ServeError::Closed)), "{result:?}");
+    }
+}
