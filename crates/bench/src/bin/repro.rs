@@ -148,6 +148,10 @@ fn main() {
         serve_bench(&opts);
         ran_any = true;
     }
+    if run("lifetime") {
+        lifetime(&opts);
+        ran_any = true;
+    }
     // The server blocks until a wire Shutdown; it is not part of `all`.
     if cmd == "serve" {
         serve(&opts);
@@ -158,7 +162,7 @@ fn main() {
             "unknown command '{cmd}'. usage: repro [--quick] [--trials N] [--seed N] \
              [--addr HOST:PORT] \
              <fig6|fig7|fig8|fig9|fig10|headline|scaling|ablation|transient|yield|parallel\
-             |scenarios|engines|simd|serve|serve-bench|all>"
+             |scenarios|engines|simd|serve|serve-bench|lifetime|all>"
         );
         std::process::exit(2);
     }
@@ -216,6 +220,7 @@ fn serve_bench(opts: &RunOpts) {
         solver_workers: amc_par::available_workers().clamp(2, 4),
         batch_workers: opts.pick(1, 2),
         queue_capacity: 64,
+        aging: None,
     };
     let base = LoadGenConfig {
         clients: opts.pick(4, 8),
@@ -1406,6 +1411,244 @@ fn headline() {
         Ok(h) => println!("{h}"),
         Err(e) => println!("headline failed: {e}"),
     }
+}
+
+/// Lifetime reliability study: streaming drift/fault campaigns under
+/// the repair-policy ladder, with worker-sweep bit-identity and the
+/// policy frontier (accuracy × energy × availability) as the headline.
+fn lifetime(opts: &RunOpts) {
+    use amc_device::drift::DriftModel;
+    use amc_device::faults::FaultModel;
+    use amc_scenario::lifetime::{run_lifetime_worker_sweep, LifetimeCampaign, RepairPolicy};
+    use amc_scenario::workload::{WorkloadFamily, WorkloadSpec};
+    use blockamc::aging::AgingModel;
+
+    banner("Lifetime — drift, faults, and the repair-policy frontier");
+
+    // Accelerated aging so a short trace spans the interesting regime:
+    // strong power-law drift plus a small stuck-at rate per tick.
+    let model = AgingModel {
+        drift: DriftModel {
+            nu: 0.05,
+            nu_sigma: 0.01,
+            t0_s: 1.0,
+        },
+        faults: FaultModel {
+            p_stuck_on: 1e-4,
+            p_stuck_off: 1e-4,
+            g_on: 1.0,
+            g_off: 0.0,
+        },
+        tick_s: 100.0,
+        ..AgingModel::typical_rram()
+    };
+    let ticks = opts.pick(8, 30);
+    let campaign = LifetimeCampaign::builder("policy-frontier")
+        .workload(WorkloadSpec::new(
+            "wishart",
+            WorkloadFamily::Wishart,
+            opts.pick(12, 24),
+            1,
+        ))
+        .workload(WorkloadSpec::new(
+            "poisson2d",
+            WorkloadFamily::Poisson2d,
+            opts.pick(16, 36),
+            2,
+        ))
+        .policy("never", RepairPolicy::Never)
+        .policy("always", RepairPolicy::Always)
+        .policy(
+            "threshold",
+            RepairPolicy::ResidualThreshold {
+                refine_above: 1e-6,
+                reprogram_above: 0.4,
+            },
+        )
+        .policy(
+            "budgeted",
+            RepairPolicy::Budgeted {
+                energy_budget_j: opts.pick(3e-9, 1e-7),
+                reprogram_above: 1e-2,
+                arrays_per_repair: 2,
+            },
+        )
+        .model(model)
+        .ticks(ticks)
+        .rhs_per_tick(opts.pick(1, 2))
+        .seed(opts.seed)
+        .finish();
+    let campaign = match campaign {
+        Ok(c) => c,
+        Err(e) => {
+            println!("lifetime campaign failed to build: {e}");
+            return;
+        }
+    };
+
+    println!(
+        "[{}] {} workload(s) x {} policies, {} tick(s), {} host core(s)",
+        campaign.name(),
+        campaign.workloads().len(),
+        campaign.policies().len(),
+        campaign.ticks(),
+        amc_par::available_workers()
+    );
+    let sweep = match run_lifetime_worker_sweep(&campaign, &[1, 2, 4]) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("lifetime campaign failed: {e}");
+            return;
+        }
+    };
+    let report = &sweep.report;
+
+    let mut table = TextTable::new([
+        "workload",
+        "n",
+        "policy",
+        "mean res",
+        "worst res",
+        "energy J",
+        "avail",
+        "repairs",
+        "refines",
+        "stuck",
+    ]);
+    for c in &report.cells {
+        table.row([
+            c.workload.clone(),
+            c.n.to_string(),
+            c.policy.clone(),
+            format!("{:.3e}", c.summary.mean_accuracy),
+            format!("{:.3e}", c.summary.worst_accuracy),
+            format!("{:.3e}", c.summary.total_energy_j),
+            format!("{:.3}", c.summary.mean_availability),
+            c.summary.total_repairs.to_string(),
+            c.summary.refine_ticks.to_string(),
+            c.stuck_cells.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let yn = |b: bool| if b { "yes" } else { "no" };
+    let serial = sweep.timings.first().map_or(0.0, |&(_, s)| s);
+    for &(workers, wall) in &sweep.timings {
+        println!(
+            "  workers {workers:>2}: {:>9.3} ms wall ({:>5.2}x vs 1)",
+            wall * 1e3,
+            if wall > 0.0 { serial / wall } else { 1.0 }
+        );
+    }
+    println!(
+        "  bit-identical across worker counts: {}",
+        yn(sweep.bit_identical)
+    );
+
+    // The frontier claim, checked per workload: a reactive policy
+    // (threshold or budgeted) must dominate Never on accuracy and
+    // Always on energy.
+    let mut frontier_holds = true;
+    let policy_cell = |workload: &str, policy: &str| {
+        report
+            .cells
+            .iter()
+            .find(|c| c.workload == workload && c.policy == policy)
+    };
+    for w in campaign.workloads() {
+        let (Some(never), Some(always), Some(threshold), Some(budgeted)) = (
+            policy_cell(&w.name, "never"),
+            policy_cell(&w.name, "always"),
+            policy_cell(&w.name, "threshold"),
+            policy_cell(&w.name, "budgeted"),
+        ) else {
+            continue;
+        };
+        // A reactive cell dominates when it is strictly more accurate
+        // than Never AND strictly cheaper than Always.
+        let dominates = |c: &amc_scenario::lifetime::LifetimeCellRecord| {
+            c.summary.mean_accuracy < never.summary.mean_accuracy
+                && c.summary.total_energy_j < always.summary.total_energy_j
+        };
+        let threshold_dominates = dominates(threshold);
+        let budgeted_dominates = dominates(budgeted);
+        frontier_holds &= threshold_dominates || budgeted_dominates;
+        println!(
+            "  [{}] dominates never+always — threshold: {}, budgeted: {} \
+             (anchors: never {:.3e} res / always {:.3e} J)",
+            w.name,
+            yn(threshold_dominates),
+            yn(budgeted_dominates),
+            never.summary.mean_accuracy,
+            always.summary.total_energy_j,
+        );
+    }
+
+    let cells_json: Vec<Json> = report
+        .cells
+        .iter()
+        .map(|c| {
+            Json::obj([
+                ("workload", c.workload.clone().into()),
+                ("family", c.family.clone().into()),
+                ("n", c.n.into()),
+                ("policy", c.policy.clone().into()),
+                ("arrays", c.arrays.into()),
+                ("stuck_cells", c.stuck_cells.into()),
+                ("mean_accuracy", c.summary.mean_accuracy.into()),
+                ("worst_accuracy", c.summary.worst_accuracy.into()),
+                ("total_energy_j", c.summary.total_energy_j.into()),
+                ("mean_availability", c.summary.mean_availability.into()),
+                ("total_repairs", Json::Int(c.summary.total_repairs as i64)),
+                ("refine_ticks", Json::Int(c.summary.refine_ticks as i64)),
+                ("iterations_saved", Json::Int(c.summary.iterations_saved)),
+                (
+                    "health_trace",
+                    Json::Arr(c.ticks.iter().map(|t| t.health.into()).collect()),
+                ),
+                (
+                    "actions",
+                    Json::Arr(
+                        c.ticks
+                            .iter()
+                            .map(|t| t.action.label().to_string().into())
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let json = Json::obj([
+        ("bench", "lifetime".into()),
+        ("quick", opts.quick.into()),
+        ("host_workers", amc_par::available_workers().into()),
+        ("ticks", report.ticks.into()),
+        ("rhs_per_tick", report.rhs_per_tick.into()),
+        ("seed", Json::Int(opts.seed as i64)),
+        ("bit_identical", sweep.bit_identical.into()),
+        ("frontier_holds", frontier_holds.into()),
+        (
+            "timings",
+            Json::Arr(
+                sweep
+                    .timings
+                    .iter()
+                    .map(|&(w, s)| Json::obj([("workers", w.into()), ("wall_s", s.into())]))
+                    .collect(),
+            ),
+        ),
+        ("cells", Json::Arr(cells_json)),
+    ]);
+    match report::write_json("BENCH_lifetime.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_lifetime.json"),
+        Err(e) => println!("\ncould not write BENCH_lifetime.json: {e}"),
+    }
+    println!(
+        "-> lifetime is a streaming campaign over aging solvers: drift and \
+         stuck-at faults accumulate per tick, the repair scheduler chooses \
+         serve/refine/reprogram, and the reactive policies sit on the \
+         accuracy x energy frontier between Never and Always."
+    );
 }
 
 fn banner(title: &str) {

@@ -102,6 +102,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aging;
 pub mod batch;
 pub mod converter;
 pub mod engine;

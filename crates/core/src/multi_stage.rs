@@ -722,6 +722,103 @@ impl PreparedMultiStage {
         self.plan
     }
 
+    /// Visits every programmed operand in **canonical program order** —
+    /// the exact order [`prepare_node`]/[`program_tree`] issued the
+    /// `program` calls (a1 subtree, a2 tile, a3 tile, a4s subtree;
+    /// quadrant tiles in row-major `[TL, TR, BL, BR]` order) — so
+    /// callers can snapshot per-array state under a stable index.
+    pub(crate) fn for_each_operand(&self, f: &mut dyn FnMut(usize, &Operand)) {
+        fn visit_block(block: &MvmBlock, idx: &mut usize, f: &mut dyn FnMut(usize, &Operand)) {
+            match block {
+                MvmBlock::Whole(op) => {
+                    f(*idx, op);
+                    *idx += 1;
+                }
+                MvmBlock::Tiled(q) => {
+                    for tile in q.tiles.iter().flatten() {
+                        visit_block(tile, idx, f);
+                    }
+                }
+            }
+        }
+        fn visit(node: &Node, idx: &mut usize, f: &mut dyn FnMut(usize, &Operand)) {
+            match node {
+                Node::Leaf(op) => {
+                    f(*idx, op);
+                    *idx += 1;
+                }
+                Node::Split {
+                    a1, a4s, a2, a3, ..
+                } => {
+                    visit(a1, idx, f);
+                    if let Some(block) = a2 {
+                        visit_block(block, idx, f);
+                    }
+                    if let Some(block) = a3 {
+                        visit_block(block, idx, f);
+                    }
+                    visit(a4s, idx, f);
+                }
+            }
+        }
+        let mut idx = 0;
+        visit(&self.root, &mut idx, f);
+    }
+
+    /// Mutable [`Self::for_each_operand`]: same canonical order, but the
+    /// callback may replace each operand (the aging layer reprograms
+    /// arrays in place through the engine).
+    pub(crate) fn for_each_operand_mut(
+        &mut self,
+        f: &mut dyn FnMut(usize, &mut Operand) -> Result<()>,
+    ) -> Result<()> {
+        fn visit_block(
+            block: &mut MvmBlock,
+            idx: &mut usize,
+            f: &mut dyn FnMut(usize, &mut Operand) -> Result<()>,
+        ) -> Result<()> {
+            match block {
+                MvmBlock::Whole(op) => {
+                    f(*idx, op)?;
+                    *idx += 1;
+                }
+                MvmBlock::Tiled(q) => {
+                    for tile in q.tiles.iter_mut().flatten() {
+                        visit_block(tile, idx, f)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        fn visit(
+            node: &mut Node,
+            idx: &mut usize,
+            f: &mut dyn FnMut(usize, &mut Operand) -> Result<()>,
+        ) -> Result<()> {
+            match node {
+                Node::Leaf(op) => {
+                    f(*idx, op)?;
+                    *idx += 1;
+                }
+                Node::Split {
+                    a1, a4s, a2, a3, ..
+                } => {
+                    visit(a1, idx, f)?;
+                    if let Some(block) = a2 {
+                        visit_block(block, idx, f)?;
+                    }
+                    if let Some(block) = a3 {
+                        visit_block(block, idx, f)?;
+                    }
+                    visit(a4s, idx, f)?;
+                }
+            }
+            Ok(())
+        }
+        let mut idx = 0;
+        visit(&mut self.root, &mut idx, f)
+    }
+
     /// Largest array (leaf or MVM-tile) size in the tree.
     pub fn max_leaf_size(&self) -> usize {
         fn walk(node: &Node) -> usize {

@@ -700,6 +700,14 @@ impl<E: AmcEngine> SolverReplica<E> {
         &self.config
     }
 
+    /// Splits the replica into disjoint mutable borrows of its engine,
+    /// configuration, and programmed tree — the aging layer rewrites
+    /// operands through the engine while walking the tree, which needs
+    /// both halves mutable at once.
+    pub(crate) fn parts_mut(&mut self) -> (&mut E, &SolverConfig, &mut PreparedMultiStage) {
+        (&mut self.engine, &self.config, &mut self.tree)
+    }
+
     /// Solves `A·x = b` against the replica's programmed arrays.
     ///
     /// # Errors

@@ -79,6 +79,19 @@ impl FaultModel {
         })
     }
 
+    /// Validates the parameters of a literally-constructed model — the
+    /// same checks [`FaultModel::new`] performs, exposed so lifetime
+    /// schedulers can fail fast at build time instead of deep inside a
+    /// trial.
+    ///
+    /// # Errors
+    ///
+    /// The [`DeviceError::InvalidConfig`] conditions of
+    /// [`FaultModel::new`].
+    pub fn validate(&self) -> Result<()> {
+        Self::new(self.p_stuck_on, self.p_stuck_off, self.g_on, self.g_off).map(|_| ())
+    }
+
     /// Returns `true` if the model can never produce a fault.
     pub fn is_none(&self) -> bool {
         self.p_stuck_on == 0.0 && self.p_stuck_off == 0.0

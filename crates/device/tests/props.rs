@@ -2,6 +2,7 @@
 
 use amc_device::array::ProgrammedMatrix;
 use amc_device::drift::DriftModel;
+use amc_device::faults::FaultModel;
 use amc_device::mapping::{MappingConfig, MatrixMapping};
 use amc_device::quant::Quantizer;
 use amc_device::variation::VariationModel;
@@ -105,6 +106,52 @@ proptest! {
             prop_assert!(o <= i + 1e-18);
             prop_assert!(o >= 0.0);
         }
+    }
+
+    #[test]
+    fn decay_factor_starts_at_one_and_never_recovers(
+        nu in 0.0f64..0.5,
+        t0 in 1e-3f64..10.0,
+        t_lo in 0.0f64..1e6,
+        dt in 0.0f64..1e6,
+    ) {
+        let m = DriftModel { nu, nu_sigma: 0.0, t0_s: t0 };
+        // No drift at (or before) the verify reference.
+        prop_assert_eq!(m.decay_factor(0.0), 1.0);
+        prop_assert_eq!(m.decay_factor(t0), 1.0);
+        // Monotone nonincreasing in elapsed time, never above 1.
+        let (a, b) = (m.decay_factor(t_lo), m.decay_factor(t_lo + dt));
+        prop_assert!(a <= 1.0 && b <= a, "decay {a} -> {b} at t={t_lo}+{dt}");
+    }
+
+    #[test]
+    fn none_models_are_identities_on_apply(
+        a in any_matrix(),
+        t in 0.0f64..1e9,
+        target in -1e3f64..1e3,
+        seed in any::<u64>(),
+    ) {
+        let g = a.map(f64::abs);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let drifted = DriftModel::none().apply(&g, t, &mut rng).unwrap();
+        prop_assert_eq!(drifted, g);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let stored = FaultModel::none().apply(target, &mut rng);
+        prop_assert_eq!(stored.to_bits(), target.to_bits());
+    }
+
+    #[test]
+    fn fault_draws_are_deterministic_for_a_fixed_seed(
+        p_on in 0.0f64..0.5,
+        p_off in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let m = FaultModel { p_stuck_on: p_on, p_stuck_off: p_off, g_on: 1e-4, g_off: 0.0 };
+        let draw_all = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            (0..64).map(|_| m.draw(&mut rng)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(draw_all(), draw_all());
     }
 
     #[test]

@@ -65,10 +65,15 @@
 pub mod campaign;
 pub mod campaigns;
 mod error;
+pub mod lifetime;
 pub mod workload;
 
 pub use campaign::{Campaign, CampaignReport, CellRecord, EngineSel, Nonideality, SolverCell};
 pub use error::ScenarioError;
+pub use lifetime::{
+    run_lifetime_worker_sweep, LifetimeCampaign, LifetimeCellRecord, LifetimeReport,
+    LifetimeSummary, PolicyCell, RepairPolicy,
+};
 pub use workload::{WorkloadFamily, WorkloadInstance, WorkloadMeta, WorkloadSpec};
 
 /// Convenient result alias used across the crate.

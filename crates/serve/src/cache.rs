@@ -151,6 +151,14 @@ impl<V> LfuCache<V> {
         Some(&self.slab[idx].as_ref().unwrap().value)
     }
 
+    /// Mutable [`peek`](LfuCache::peek): no counters move, no frequency
+    /// is bumped. Lets the dispatcher write an aged solver's advanced
+    /// clock back into its slot without re-heating the entry.
+    pub fn peek_mut(&mut self, key: &CacheKey) -> Option<&mut V> {
+        let idx = *self.index.get(key)?;
+        Some(&mut self.slab[idx].as_mut().unwrap().value)
+    }
+
     /// Fetches the entry under `key`, bumping its frequency and the
     /// hit/miss counters.
     pub fn get(&mut self, key: &CacheKey) -> Option<&V> {
@@ -331,6 +339,18 @@ mod tests {
         assert_eq!((n.hits, n.misses, n.insertions, n.evictions), (1, 1, 1, 0));
         // contains() moved no counters.
         assert_eq!(c.counters(), n);
+    }
+
+    #[test]
+    fn peek_and_peek_mut_move_no_counters() {
+        let mut c: LfuCache<i32> = LfuCache::new(2);
+        c.insert(key(1), 10);
+        let before = c.counters();
+        assert_eq!(c.peek(&key(1)), Some(&10));
+        *c.peek_mut(&key(1)).unwrap() = 11;
+        assert!(c.peek_mut(&key(2)).is_none());
+        assert_eq!(c.peek(&key(1)), Some(&11));
+        assert_eq!(c.counters(), before, "peeks are not fetches");
     }
 
     #[test]

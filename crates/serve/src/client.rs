@@ -94,13 +94,35 @@ impl<T: Transport> Client<T> {
         engine: &EngineRef,
         rhs: &[f64],
     ) -> Result<Vec<f64>> {
+        self.solve_accepting(matrix, config, engine, rhs, false)
+            .map(|(x, _)| x)
+    }
+
+    /// [`Client::solve`] with an explicit stale-but-fast opt-in: when
+    /// `accept_degraded` is set, an aging server serves a solver its
+    /// health monitor has flagged as degraded rather than evicting and
+    /// re-preparing it. Returns the solution plus whether it actually
+    /// came from a degraded solver.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::solve`].
+    pub fn solve_accepting(
+        &mut self,
+        matrix: MatrixRef,
+        config: &SolverConfig,
+        engine: &EngineRef,
+        rhs: &[f64],
+        accept_degraded: bool,
+    ) -> Result<(Vec<f64>, bool)> {
         match self.request(&Request::Solve {
             matrix,
             config: config.clone(),
             engine: engine.clone(),
             rhs: rhs.to_vec(),
+            accept_degraded,
         })? {
-            Response::Solved { x } => Ok(x),
+            Response::Solved { x, degraded } => Ok((x, degraded)),
             other => Err(unexpected(other)),
         }
     }
@@ -118,13 +140,32 @@ impl<T: Transport> Client<T> {
         engine: &EngineRef,
         batch: Vec<Vec<f64>>,
     ) -> Result<Vec<Vec<f64>>> {
+        self.solve_batch_accepting(matrix, config, engine, batch, false)
+            .map(|(xs, _)| xs)
+    }
+
+    /// [`Client::solve_batch`] with the stale-but-fast opt-in of
+    /// [`Client::solve_accepting`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::solve`].
+    pub fn solve_batch_accepting(
+        &mut self,
+        matrix: MatrixRef,
+        config: &SolverConfig,
+        engine: &EngineRef,
+        batch: Vec<Vec<f64>>,
+        accept_degraded: bool,
+    ) -> Result<(Vec<Vec<f64>>, bool)> {
         match self.request(&Request::SolveBatch {
             matrix,
             config: config.clone(),
             engine: engine.clone(),
             batch,
+            accept_degraded,
         })? {
-            Response::SolvedBatch { xs } => Ok(xs),
+            Response::SolvedBatch { xs, degraded } => Ok((xs, degraded)),
             other => Err(unexpected(other)),
         }
     }

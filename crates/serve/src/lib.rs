@@ -24,6 +24,16 @@
 //! * [`loadgen`] — the closed-loop multi-client load generator behind
 //!   `repro serve-bench`.
 //!
+//! With [`ServerConfig::aging`](server::ServerConfig::aging) set, every
+//! cached solver additionally ages under a device lifetime model
+//! ([`blockamc::aging`]): its virtual clock advances one tick per
+//! dispatch round, the dispatcher probes its health (sentinel residual)
+//! before serving, and an entry degraded past the threshold is either
+//! served stale — when every coalesced request opted in with
+//! `accept_degraded`, flagged `degraded` in the response — or evicted
+//! (the `staleness_evictions` counter, disjoint from LFU capacity
+//! `evictions`) and re-prepared fresh before serving.
+//!
 //! Results are **bit-identical** to calling
 //! [`PreparedSolver::solve`](blockamc::solver::PreparedSolver::solve)
 //! directly: floats cross the wire as exact bit patterns, cached
@@ -49,10 +59,13 @@
 //!
 //! ```text
 //! offset  size  field
-//! 0       1     protocol version, currently 1
+//! 0       1     protocol version, currently 2
 //! 1       1     message tag
 //! 2       …     tag-specific fields, packed in order, no padding
 //! ```
+//!
+//! (Version 2 added degraded-mode serving: the `accept_degraded` /
+//! `degraded` flags on solves and the two trailing stats counters.)
 //!
 //! All multi-byte integers are little-endian; `f64` travels as its
 //! IEEE-754 bit pattern in a `u64` (bit-exact — `-0.0`, subnormals,
@@ -89,8 +102,10 @@
 //! ```text
 //! tag  message     fields after the tag byte
 //! 0    Prepare     matrix · config · engine_ref
-//! 1    Solve       matrix_ref · config · engine_ref · rhs vec<f64>
-//! 2    SolveBatch  matrix_ref · config · engine_ref · count u32 · (vec<f64>)*
+//! 1    Solve       matrix_ref · config · engine_ref · rhs vec<f64> ·
+//!                  accept_degraded u8
+//! 2    SolveBatch  matrix_ref · config · engine_ref · count u32 ·
+//!                  (vec<f64>)* · accept_degraded u8
 //! 3    Evict       fingerprint u64 · config · engine_ref
 //! 4    Stats       (none)
 //! 5    Shutdown    (none)
@@ -101,12 +116,13 @@
 //! ```text
 //! tag  message       fields after the tag byte
 //! 0    Prepared      fingerprint u64 · hit u8
-//! 1    Solved        x vec<f64>
-//! 2    SolvedBatch   count u32 · (vec<f64>)*
+//! 1    Solved        x vec<f64> · degraded u8
+//! 2    SolvedBatch   count u32 · (vec<f64>)* · degraded u8
 //! 3    Evicted       found u8
-//! 4    Stats         10 × u64: hits, misses, evictions, insertions,
+//! 4    Stats         12 × u64: hits, misses, evictions, insertions,
 //!                    entries, capacity, requests, solved_rhs,
-//!                    dispatch_batches, coalesced_requests
+//!                    dispatch_batches, coalesced_requests,
+//!                    staleness_evictions, degraded_served
 //! 5    Busy          (none)
 //! 6    NotPrepared   fingerprint u64
 //! 7    ShuttingDown  (none)

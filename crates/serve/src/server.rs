@@ -49,6 +49,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use amc_linalg::Matrix;
+use blockamc::aging::{AgedSolver, AgingModel};
 use blockamc::engine::{AmcEngine, EngineRegistry};
 use blockamc::solver::{BlockAmcSolver, SolverConfig, SolverReplica};
 
@@ -63,6 +64,15 @@ const POLL: Duration = Duration::from_millis(25);
 /// cloneable onto worker threads (`Send` is compile-time asserted in
 /// `blockamc::solver`).
 pub type CachedSolver = SolverReplica<Box<dyn AmcEngine>>;
+
+/// One cache slot: the bare replica on an ageless server, or the aging
+/// wrapper (replica + virtual clock + pristine snapshots) when
+/// [`ServerConfig::aging`] is set.
+#[derive(Clone)]
+enum Entry {
+    Plain(CachedSolver),
+    Aged(Box<AgedSolver<Box<dyn AmcEngine>>>),
+}
 
 // ---------------------------------------------------------------------
 // Transports.
@@ -229,6 +239,31 @@ impl Transport for LoopbackTransport {
 // Server configuration and state.
 // ---------------------------------------------------------------------
 
+/// Lifetime configuration of a serving cache: every cached solver is
+/// wrapped in an [`AgedSolver`] whose virtual clock advances one tick
+/// per dispatch round (**serve-then-age**: a batch is served against
+/// the state the previous round left behind, so the first request
+/// against a fresh entry is bit-identical to a direct solve).
+///
+/// Before each round the dispatcher probes the entry's health (sentinel
+/// residual). Past `max_residual` the entry is *degraded*: it is served
+/// anyway — flagged `degraded = true` — when every coalesced request
+/// opted in with `accept_degraded`, and otherwise evicted (counted in
+/// `staleness_evictions`) and re-prepared from the retained pristine
+/// matrix before serving fresh.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeAging {
+    /// Device lifetime model every cached solver ages under.
+    pub model: AgingModel,
+    /// Health threshold: a sentinel residual above this marks the
+    /// cached solver degraded.
+    pub max_residual: f64,
+    /// Base seed of the per-entry aging streams (combined with the
+    /// matrix fingerprint, so distinct matrices age independently but
+    /// replays are deterministic).
+    pub seed: u64,
+}
+
 /// Tunables of a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -248,6 +283,10 @@ pub struct ServerConfig {
     /// Bound on queued right-hand sides across all keys; a submit that
     /// would exceed it gets [`Response::Busy`].
     pub queue_capacity: usize,
+    /// Lifetime/aging behavior of cached solvers; `None` (the default)
+    /// means arrays never age and the server behaves exactly as before
+    /// aging existed.
+    pub aging: Option<ServeAging>,
 }
 
 impl Default for ServerConfig {
@@ -257,15 +296,22 @@ impl Default for ServerConfig {
             solver_workers: 2,
             batch_workers: 1,
             queue_capacity: 64,
+            aging: None,
         }
     }
 }
 
-/// One queued unit of work: the right-hand sides of a single request
-/// plus the channel its connection loop blocks on.
+/// What a dispatched job replies with: the solutions in input order,
+/// plus whether they came from a degraded (stale) solver.
+type JobReply = std::result::Result<(Vec<Vec<f64>>, bool), ServeError>;
+
+/// One queued unit of work: the right-hand sides of a single request,
+/// its stale-but-fast opt-in, and the channel its connection loop
+/// blocks on.
 struct Job {
     rhs: Vec<Vec<f64>>,
-    reply: mpsc::Sender<std::result::Result<Vec<Vec<f64>>, ServeError>>,
+    accept_degraded: bool,
+    reply: mpsc::Sender<JobReply>,
 }
 
 /// Dispatcher state behind one mutex: which keys have work, which are
@@ -291,12 +337,14 @@ struct Counters {
     solved_rhs: AtomicU64,
     dispatch_batches: AtomicU64,
     coalesced_requests: AtomicU64,
+    staleness_evictions: AtomicU64,
+    degraded_served: AtomicU64,
 }
 
 struct Inner {
     cfg: ServerConfig,
     registry: EngineRegistry,
-    cache: Mutex<LfuCache<CachedSolver>>,
+    cache: Mutex<LfuCache<Entry>>,
     state: Mutex<DispatchState>,
     work: Condvar,
     closing: AtomicBool,
@@ -464,6 +512,12 @@ impl Server {
                 .counters
                 .coalesced_requests
                 .load(Ordering::Relaxed),
+            staleness_evictions: self
+                .inner
+                .counters
+                .staleness_evictions
+                .load(Ordering::Relaxed),
+            degraded_served: self.inner.counters.degraded_served.load(Ordering::Relaxed),
         }
     }
 
@@ -528,25 +582,31 @@ impl Server {
                 config,
                 engine,
                 rhs,
-            } => match self.resolve_and_submit(matrix, &config, &engine, vec![rhs]) {
-                Ok(mut xs) => Response::Solved {
-                    x: xs.pop().unwrap_or_default(),
-                },
-                Err(e) => error_response(e),
-            },
+                accept_degraded,
+            } => {
+                match self.resolve_and_submit(matrix, &config, &engine, vec![rhs], accept_degraded)
+                {
+                    Ok((mut xs, degraded)) => Response::Solved {
+                        x: xs.pop().unwrap_or_default(),
+                        degraded,
+                    },
+                    Err(e) => error_response(e),
+                }
+            }
             Request::SolveBatch {
                 matrix,
                 config,
                 engine,
                 batch,
+                accept_degraded,
             } => {
                 if batch.is_empty() {
                     return Response::Error {
                         message: "batch must contain at least one RHS".into(),
                     };
                 }
-                match self.resolve_and_submit(matrix, &config, &engine, batch) {
-                    Ok(xs) => Response::SolvedBatch { xs },
+                match self.resolve_and_submit(matrix, &config, &engine, batch, accept_degraded) {
+                    Ok((xs, degraded)) => Response::SolvedBatch { xs, degraded },
                     Err(e) => error_response(e),
                 }
             }
@@ -586,9 +646,9 @@ impl Server {
         // concurrent equal Prepare would only produce a bit-identical
         // replica (deterministic engine build from the seed), so a
         // benign double-prepare beats serializing every connection.
-        match self.build_and_prepare(matrix, config, engine) {
-            Ok(replica) => {
-                self.inner.cache.lock().unwrap().insert(key, replica);
+        match build_entry(&self.inner, matrix, config, engine) {
+            Ok(entry) => {
+                self.inner.cache.lock().unwrap().insert(key, entry);
                 Response::Prepared {
                     fingerprint,
                     hit: false,
@@ -596,22 +656,6 @@ impl Server {
             }
             Err(message) => Response::Error { message },
         }
-    }
-
-    fn build_and_prepare(
-        &self,
-        matrix: &Matrix,
-        config: &SolverConfig,
-        engine: &EngineRef,
-    ) -> std::result::Result<CachedSolver, String> {
-        let built = self
-            .inner
-            .registry
-            .build(&engine.name, engine.seed)
-            .map_err(|e| e.to_string())?;
-        let mut solver = BlockAmcSolver::from_config(built, config.clone());
-        let prepared = solver.prepare(matrix).map_err(|e| e.to_string())?;
-        Ok(prepared.replicate(1).remove(0))
     }
 
     /// Resolves a [`MatrixRef`] to a cache key — preparing inline
@@ -623,7 +667,8 @@ impl Server {
         config: &SolverConfig,
         engine: &EngineRef,
         rhs: Vec<Vec<f64>>,
-    ) -> std::result::Result<Vec<Vec<f64>>, ServeError> {
+        accept_degraded: bool,
+    ) -> std::result::Result<(Vec<Vec<f64>>, bool), ServeError> {
         let key = match matrix {
             MatrixRef::Cached(fingerprint) => {
                 let key = CacheKey::new(fingerprint, config, engine);
@@ -636,19 +681,14 @@ impl Server {
                 let fingerprint = m.fingerprint();
                 let key = CacheKey::new(fingerprint, config, engine);
                 if self.inner.cache.lock().unwrap().get(&key).is_none() {
-                    let replica = self
-                        .build_and_prepare(&m, config, engine)
-                        .map_err(ServeError::Remote)?;
-                    self.inner
-                        .cache
-                        .lock()
-                        .unwrap()
-                        .insert(key.clone(), replica);
+                    let entry =
+                        build_entry(&self.inner, &m, config, engine).map_err(ServeError::Remote)?;
+                    self.inner.cache.lock().unwrap().insert(key.clone(), entry);
                 }
                 key
             }
         };
-        self.submit(key, rhs)
+        self.submit(key, rhs, accept_degraded)
     }
 
     /// Queues jobs under `key` (respecting the backpressure bound) and
@@ -657,7 +697,8 @@ impl Server {
         &self,
         key: CacheKey,
         rhs: Vec<Vec<f64>>,
-    ) -> std::result::Result<Vec<Vec<f64>>, ServeError> {
+        accept_degraded: bool,
+    ) -> std::result::Result<(Vec<Vec<f64>>, bool), ServeError> {
         let (tx, rx) = mpsc::channel();
         {
             let mut st = self.inner.state.lock().unwrap();
@@ -671,7 +712,11 @@ impl Server {
             st.queued_rhs += cost;
             let queue = st.pending.entry(key.clone()).or_default();
             let first_for_key = queue.is_empty();
-            queue.push(Job { rhs, reply: tx });
+            queue.push(Job {
+                rhs,
+                accept_degraded,
+                reply: tx,
+            });
             // A key is enqueued exactly once: if jobs were already
             // pending it is in `ready` or `active`; otherwise it joins
             // `ready` unless a worker holds it active (that worker
@@ -714,6 +759,36 @@ fn error_response(e: ServeError) -> Response {
     }
 }
 
+/// Builds, prepares, and (when the server ages) wraps one cache entry.
+/// A free function so both the request handlers and the dispatcher's
+/// staleness re-prepare path can call it.
+fn build_entry(
+    inner: &Inner,
+    matrix: &Matrix,
+    config: &SolverConfig,
+    engine: &EngineRef,
+) -> std::result::Result<Entry, String> {
+    let built = inner
+        .registry
+        .build(&engine.name, engine.seed)
+        .map_err(|e| e.to_string())?;
+    let mut solver = BlockAmcSolver::from_config(built, config.clone());
+    let prepared = solver.prepare(matrix).map_err(|e| e.to_string())?;
+    let replica = prepared.replicate(1).remove(0);
+    match &inner.cfg.aging {
+        None => Ok(Entry::Plain(replica)),
+        Some(aging) => {
+            // Fingerprint-keyed seed: distinct matrices age on
+            // independent streams, yet a replay of the same requests
+            // degrades identically.
+            let seed = aging.seed ^ matrix.fingerprint();
+            AgedSolver::new(replica, matrix.clone(), aging.model, seed)
+                .map(|aged| Entry::Aged(Box::new(aged)))
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
 /// One dispatcher thread: claim a key, coalesce its queue into a
 /// batch, solve, reply, release.
 fn worker_loop(inner: &Inner) {
@@ -734,14 +809,16 @@ fn worker_loop(inner: &Inner) {
             }
         };
 
-        // Clone the replica out under a short lock; solve unlocked so
-        // other keys' dispatches and all cache traffic keep flowing.
-        // The dispatch-level fetch is deliberately peek (no counters,
-        // no frequency bump): hits/misses/LFU heat are counted once per
-        // *request* at resolve time, not re-counted per batch.
-        let replica = inner.cache.lock().unwrap().peek(&key).cloned();
+        // Clone the entry out under a short lock; everything else runs
+        // unlocked so other keys' dispatches and all cache traffic keep
+        // flowing. The dispatch-level fetch is deliberately peek (no
+        // counters, no frequency bump): hits/misses/LFU heat are
+        // counted once per *request* at resolve time, not re-counted
+        // per batch. The key sits in `active`, so no other worker
+        // touches this entry concurrently.
+        let entry = inner.cache.lock().unwrap().peek(&key).cloned();
 
-        match replica {
+        match entry {
             None => {
                 // Evicted between resolve and dispatch (tiny cache under
                 // churn): the client re-prepares and retries.
@@ -751,36 +828,11 @@ fn worker_loop(inner: &Inner) {
                     }));
                 }
             }
-            Some(mut replica) => {
-                let batch: Vec<Vec<f64>> =
-                    jobs.iter().flat_map(|j| j.rhs.iter().cloned()).collect();
-                inner
-                    .counters
-                    .dispatch_batches
-                    .fetch_add(1, Ordering::Relaxed);
-                inner
-                    .counters
-                    .coalesced_requests
-                    .fetch_add(jobs.len() as u64, Ordering::Relaxed);
-                match replica.solve_batch_parallel(&batch, inner.cfg.batch_workers.max(1)) {
-                    Ok(xs) => {
-                        inner
-                            .counters
-                            .solved_rhs
-                            .fetch_add(xs.len() as u64, Ordering::Relaxed);
-                        let mut xs = xs.into_iter();
-                        for job in &jobs {
-                            let slice: Vec<Vec<f64>> = xs.by_ref().take(job.rhs.len()).collect();
-                            let _ = job.reply.send(Ok(slice));
-                        }
-                    }
-                    Err(e) => {
-                        let message = e.to_string();
-                        for job in &jobs {
-                            let _ = job.reply.send(Err(ServeError::Remote(message.clone())));
-                        }
-                    }
-                }
+            Some(Entry::Plain(replica)) => {
+                serve_batch(inner, replica, &jobs, false);
+            }
+            Some(Entry::Aged(aged)) => {
+                dispatch_aged(inner, &key, &jobs, *aged);
             }
         }
 
@@ -792,5 +844,123 @@ fn worker_loop(inner: &Inner) {
             st.ready.push_back(key);
             inner.work.notify_one();
         }
+    }
+}
+
+/// Solves one coalesced batch on `replica` and replies to every job,
+/// flagging the answers `degraded` as instructed.
+fn serve_batch(inner: &Inner, mut replica: CachedSolver, jobs: &[Job], degraded: bool) {
+    let batch: Vec<Vec<f64>> = jobs.iter().flat_map(|j| j.rhs.iter().cloned()).collect();
+    inner
+        .counters
+        .dispatch_batches
+        .fetch_add(1, Ordering::Relaxed);
+    inner
+        .counters
+        .coalesced_requests
+        .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    match replica.solve_batch_parallel(&batch, inner.cfg.batch_workers.max(1)) {
+        Ok(xs) => {
+            inner
+                .counters
+                .solved_rhs
+                .fetch_add(xs.len() as u64, Ordering::Relaxed);
+            if degraded {
+                inner
+                    .counters
+                    .degraded_served
+                    .fetch_add(xs.len() as u64, Ordering::Relaxed);
+            }
+            let mut xs = xs.into_iter();
+            for job in jobs {
+                let slice: Vec<Vec<f64>> = xs.by_ref().take(job.rhs.len()).collect();
+                let _ = job.reply.send(Ok((slice, degraded)));
+            }
+        }
+        Err(e) => {
+            let message = e.to_string();
+            for job in jobs {
+                let _ = job.reply.send(Err(ServeError::Remote(message.clone())));
+            }
+        }
+    }
+}
+
+/// The aged dispatch round: probe health, decide between serving as-is,
+/// serving degraded (unanimous opt-in), or staleness-evicting and
+/// re-preparing — then serve and advance the entry's clock one tick
+/// (serve-then-age).
+fn dispatch_aged(
+    inner: &Inner,
+    key: &CacheKey,
+    jobs: &[Job],
+    mut aged: AgedSolver<Box<dyn AmcEngine>>,
+) {
+    let aging = inner
+        .cfg
+        .aging
+        .as_ref()
+        .expect("aged cache entry on a server without aging config");
+    let health = match aged.health() {
+        Ok(h) => h,
+        Err(e) => {
+            let message = e.to_string();
+            for job in jobs {
+                let _ = job.reply.send(Err(ServeError::Remote(message.clone())));
+            }
+            return;
+        }
+    };
+    let mut degraded = false;
+    let mut reprepared = false;
+    if health > aging.max_residual {
+        if jobs.iter().all(|j| j.accept_degraded) {
+            // Every coalesced request opted in: stale-but-fast.
+            degraded = true;
+        } else {
+            // Staleness eviction: drop the degraded entry (not an LFU
+            // capacity eviction — counted separately) and re-prepare
+            // from the retained pristine matrix.
+            inner.cache.lock().unwrap().remove(key);
+            inner
+                .counters
+                .staleness_evictions
+                .fetch_add(1, Ordering::Relaxed);
+            let matrix = aged.matrix().clone();
+            let config = aged.replica().config().clone();
+            match build_entry(inner, &matrix, &config, &key.engine) {
+                Ok(Entry::Aged(fresh)) => {
+                    aged = *fresh;
+                    reprepared = true;
+                }
+                Ok(Entry::Plain(_)) => unreachable!("aging config produces aged entries"),
+                Err(message) => {
+                    for job in jobs {
+                        let _ = job.reply.send(Err(ServeError::Remote(message.clone())));
+                    }
+                    return;
+                }
+            }
+        }
+    }
+    serve_batch(inner, aged.replica().clone(), jobs, degraded);
+    // Serve-then-age: the batch above saw the state the previous round
+    // left behind; only now does the clock tick.
+    if aged.advance(1).is_err() {
+        // Aging the arrays failed (engine programming error). Leave the
+        // cache as-is: the entry keeps its pre-advance state and the
+        // next round probes it again.
+        return;
+    }
+    let mut cache = inner.cache.lock().unwrap();
+    if reprepared {
+        // The degraded entry was removed above; install its healthy
+        // replacement (racing Evict requests at worst re-insert a fresh
+        // solver, same as a prepare racing an evict).
+        cache.insert(key.clone(), Entry::Aged(Box::new(aged)));
+    } else if let Some(Entry::Aged(slot)) = cache.peek_mut(key) {
+        // Write the advanced clock back into the existing slot — unless
+        // an Evict raced us and the entry is gone, which stays gone.
+        **slot = aged;
     }
 }

@@ -37,7 +37,12 @@ use crate::error::{Result, ServeError};
 
 /// Version byte every payload starts with; decoding any other value is
 /// a [`ServeError::Protocol`].
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// Version 2 added degraded-mode serving: `Solve`/`SolveBatch` carry an
+/// `accept_degraded` flag, `Solved`/`SolvedBatch` carry a `degraded`
+/// flag, and the stats block grew `staleness_evictions` and
+/// `degraded_served`.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on a frame's payload length (64 MiB). A length prefix
 /// beyond this is rejected before any allocation, so a corrupt or
@@ -427,6 +432,11 @@ pub enum Request {
         engine: EngineRef,
         /// The right-hand side `b` of `A·x = b`.
         rhs: Vec<f64>,
+        /// Opt in to a stale-but-fast answer: when the server's health
+        /// monitor flags the cached solver as degraded, serve it anyway
+        /// (flagged `degraded = true` in the response) instead of
+        /// evicting and re-preparing. Ignored on servers without aging.
+        accept_degraded: bool,
     },
     /// Solve many right-hand sides in one request. Answered by
     /// [`Response::SolvedBatch`] with solutions in input order.
@@ -439,6 +449,8 @@ pub enum Request {
         engine: EngineRef,
         /// The right-hand sides, each of length `n`.
         batch: Vec<Vec<f64>>,
+        /// Same stale-but-fast opt-in as [`Request::Solve`].
+        accept_degraded: bool,
     },
     /// Drop the cached solver under this exact key, if present.
     /// Answered by [`Response::Evicted`].
@@ -485,18 +497,21 @@ impl Request {
                 config,
                 engine,
                 rhs,
+                accept_degraded,
             } => {
                 put_u8(&mut out, REQ_SOLVE);
                 put_matrix_ref(&mut out, matrix);
                 put_config(&mut out, config);
                 put_engine(&mut out, engine);
                 put_f64s(&mut out, rhs);
+                put_bool(&mut out, *accept_degraded);
             }
             Request::SolveBatch {
                 matrix,
                 config,
                 engine,
                 batch,
+                accept_degraded,
             } => {
                 put_u8(&mut out, REQ_SOLVE_BATCH);
                 put_matrix_ref(&mut out, matrix);
@@ -506,6 +521,7 @@ impl Request {
                 for rhs in batch {
                     put_f64s(&mut out, rhs);
                 }
+                put_bool(&mut out, *accept_degraded);
             }
             Request::Evict {
                 fingerprint,
@@ -545,6 +561,7 @@ impl Request {
                 config: read_config(&mut r)?,
                 engine: read_engine(&mut r)?,
                 rhs: r.f64s()?,
+                accept_degraded: r.bool()?,
             },
             REQ_SOLVE_BATCH => {
                 let matrix = read_matrix_ref(&mut r)?;
@@ -562,6 +579,7 @@ impl Request {
                     config,
                     engine,
                     batch,
+                    accept_degraded: r.bool()?,
                 }
             }
             REQ_EVICT => Request::Evict {
@@ -617,6 +635,13 @@ pub struct ServerStats {
     /// Jobs (requests) folded into those rounds; `coalesced_requests /
     /// dispatch_batches` > 1 means concurrent requests shared batches.
     pub coalesced_requests: u64,
+    /// Cached solvers dropped because the health monitor found them
+    /// degraded past the staleness threshold (disjoint from the LFU
+    /// capacity `evictions`).
+    pub staleness_evictions: u64,
+    /// Right-hand sides served from a degraded solver because every
+    /// coalesced request opted in with `accept_degraded`.
+    pub degraded_served: u64,
 }
 
 impl ServerStats {
@@ -654,6 +679,8 @@ fn put_stats(out: &mut Vec<u8>, s: &ServerStats) {
         s.solved_rhs,
         s.dispatch_batches,
         s.coalesced_requests,
+        s.staleness_evictions,
+        s.degraded_served,
     ] {
         put_u64(out, v);
     }
@@ -671,6 +698,8 @@ fn read_stats(r: &mut Reader<'_>) -> Result<ServerStats> {
         solved_rhs: r.u64()?,
         dispatch_batches: r.u64()?,
         coalesced_requests: r.u64()?,
+        staleness_evictions: r.u64()?,
+        degraded_served: r.u64()?,
     })
 }
 
@@ -689,11 +718,17 @@ pub enum Response {
     Solved {
         /// The solution `x` of `A·x = b`.
         x: Vec<f64>,
+        /// `true` when the answer came from a solver the health monitor
+        /// had flagged as degraded (only possible when the request set
+        /// `accept_degraded`).
+        degraded: bool,
     },
     /// A `SolveBatch` completed.
     SolvedBatch {
         /// One solution per right-hand side, in input order.
         xs: Vec<Vec<f64>>,
+        /// Same degraded-origin flag as [`Response::Solved`].
+        degraded: bool,
     },
     /// An `Evict` completed.
     Evicted {
@@ -739,16 +774,18 @@ impl Response {
                 put_u64(&mut out, *fingerprint);
                 put_bool(&mut out, *hit);
             }
-            Response::Solved { x } => {
+            Response::Solved { x, degraded } => {
                 put_u8(&mut out, RESP_SOLVED);
                 put_f64s(&mut out, x);
+                put_bool(&mut out, *degraded);
             }
-            Response::SolvedBatch { xs } => {
+            Response::SolvedBatch { xs, degraded } => {
                 put_u8(&mut out, RESP_SOLVED_BATCH);
                 put_u32(&mut out, xs.len() as u32);
                 for x in xs {
                     put_f64s(&mut out, x);
                 }
+                put_bool(&mut out, *degraded);
             }
             Response::Evicted { found } => {
                 put_u8(&mut out, RESP_EVICTED);
@@ -786,7 +823,10 @@ impl Response {
                 fingerprint: r.u64()?,
                 hit: r.bool()?,
             },
-            RESP_SOLVED => Response::Solved { x: r.f64s()? },
+            RESP_SOLVED => Response::Solved {
+                x: r.f64s()?,
+                degraded: r.bool()?,
+            },
             RESP_SOLVED_BATCH => {
                 let k = r.u32()? as usize;
                 if k > r.buf.len() - r.pos {
@@ -795,7 +835,10 @@ impl Response {
                     )));
                 }
                 let xs = (0..k).map(|_| r.f64s()).collect::<Result<Vec<_>>>()?;
-                Response::SolvedBatch { xs }
+                Response::SolvedBatch {
+                    xs,
+                    degraded: r.bool()?,
+                }
             }
             RESP_EVICTED => Response::Evicted { found: r.bool()? },
             RESP_STATS => Response::Stats(read_stats(&mut r)?),
@@ -846,12 +889,14 @@ mod tests {
                 config: sample_config(),
                 engine: engine.clone(),
                 rhs: vec![4.0, -0.0],
+                accept_degraded: true,
             },
             Request::SolveBatch {
                 matrix: MatrixRef::Inline(sample_matrix()),
                 config: sample_config(),
                 engine: engine.clone(),
                 batch: vec![vec![1.0, 2.0], vec![f64::MIN_POSITIVE, -3.5]],
+                accept_degraded: false,
             },
             Request::Evict {
                 fingerprint: 42,
@@ -871,9 +916,11 @@ mod tests {
             },
             Response::Solved {
                 x: vec![1.0, -0.0, f64::NEG_INFINITY],
+                degraded: false,
             },
             Response::SolvedBatch {
                 xs: vec![vec![0.5], vec![-0.25]],
+                degraded: true,
             },
             Response::Evicted { found: false },
             Response::Stats(ServerStats {
@@ -887,6 +934,8 @@ mod tests {
                 solved_rhs: 8,
                 dispatch_batches: 9,
                 coalesced_requests: 10,
+                staleness_evictions: 11,
+                degraded_served: 12,
             }),
             Response::Busy,
             Response::NotPrepared { fingerprint: 7 },
@@ -918,17 +967,22 @@ mod tests {
     #[test]
     fn golden_frame_bytes_are_pinned() {
         // The exact bytes of two simple messages, spelled out. A change
-        // here is a wire-format break and must bump PROTOCOL_VERSION.
-        assert_eq!(Request::Stats.encode(), [1, 4]);
-        assert_eq!(Response::Busy.encode(), [1, 5]);
-        let solved = Response::Solved { x: vec![1.0, -2.0] };
+        // here is a wire-format break and must bump PROTOCOL_VERSION
+        // (version 2 added the degraded-serving fields).
+        assert_eq!(Request::Stats.encode(), [2, 4]);
+        assert_eq!(Response::Busy.encode(), [2, 5]);
+        let solved = Response::Solved {
+            x: vec![1.0, -2.0],
+            degraded: false,
+        };
         let mut expected = vec![
-            1, // version
+            2, // version
             1, // tag: Solved
             2, 0, 0, 0, // vec length, u32 LE
         ];
         expected.extend_from_slice(&1.0f64.to_bits().to_le_bytes());
         expected.extend_from_slice(&(-2.0f64).to_bits().to_le_bytes());
+        expected.push(0); // degraded = false
         assert_eq!(solved.encode(), expected);
         // NotPrepared: version, tag 6, fingerprint u64 LE.
         let np = Response::NotPrepared {
@@ -936,15 +990,18 @@ mod tests {
         };
         assert_eq!(
             np.encode(),
-            [1, 6, 0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]
+            [2, 6, 0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]
         );
     }
 
     #[test]
     fn float_bit_patterns_survive_the_round_trip() {
         let weird = vec![-0.0, f64::NAN, f64::INFINITY, f64::MIN_POSITIVE, 1e-308];
-        let resp = Response::Solved { x: weird.clone() };
-        let Response::Solved { x } = Response::decode(&resp.encode()).unwrap() else {
+        let resp = Response::Solved {
+            x: weird.clone(),
+            degraded: false,
+        };
+        let Response::Solved { x, .. } = Response::decode(&resp.encode()).unwrap() else {
             panic!("wrong variant");
         };
         let bits: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
@@ -971,11 +1028,12 @@ mod tests {
     fn malformed_frames_are_rejected_not_panicked_on() {
         // Empty payload.
         assert!(Request::decode(&[]).is_err());
-        // Wrong version.
-        assert!(Request::decode(&[2, 4]).is_err());
+        // Wrong version (the retired version 1 included).
+        assert!(Request::decode(&[1, 4]).is_err());
+        assert!(Request::decode(&[3, 4]).is_err());
         // Unknown tags.
-        assert!(Request::decode(&[1, 200]).is_err());
-        assert!(Response::decode(&[1, 200]).is_err());
+        assert!(Request::decode(&[2, 200]).is_err());
+        assert!(Response::decode(&[2, 200]).is_err());
         // Truncation at every prefix of a real message must error, never
         // panic or loop.
         let bytes = requests()
@@ -994,7 +1052,7 @@ mod tests {
         assert!(Request::decode(&long).is_err());
         // A vector length lying about the remaining frame is caught
         // before allocation.
-        let mut lying = vec![1, RESP_SOLVED];
+        let mut lying = vec![PROTOCOL_VERSION, RESP_SOLVED];
         lying.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(Response::decode(&lying).is_err());
     }

@@ -5,9 +5,10 @@
 use amc_linalg::Matrix;
 use amc_serve::client::Client;
 use amc_serve::loadgen::{workload_matrix, workload_rhs};
-use amc_serve::server::{Server, ServerConfig};
+use amc_serve::server::{ServeAging, Server, ServerConfig};
 use amc_serve::wire::{EngineRef, MatrixRef};
 use amc_serve::ServeError;
+use blockamc::aging::{AgingModel, DriftModel};
 use blockamc::solver::SolverConfig;
 
 fn quiet_config() -> SolverConfig {
@@ -15,6 +16,24 @@ fn quiet_config() -> SolverConfig {
         .capture_trace(false)
         .finish()
         .unwrap()
+}
+
+/// Aging so aggressive that a cached solver fails its health probe one
+/// tick (= one dispatch round) after preparation.
+fn fast_aging() -> ServeAging {
+    ServeAging {
+        model: AgingModel {
+            drift: DriftModel {
+                nu: 0.05,
+                nu_sigma: 0.01,
+                t0_s: 1.0,
+            },
+            tick_s: 100.0,
+            ..AgingModel::typical_rram()
+        },
+        max_residual: 1e-6,
+        seed: 17,
+    }
 }
 
 #[test]
@@ -318,6 +337,91 @@ fn concurrent_same_key_requests_coalesce_into_shared_batches() {
             .unwrap();
         assert_eq!(x, expected, "request {id}");
     }
+    server.shutdown();
+}
+
+#[test]
+fn capacity_and_staleness_evictions_are_counted_separately() {
+    let server = Server::with_builtin_engines(ServerConfig {
+        cache_capacity: 2,
+        aging: Some(fast_aging()),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::new(server.loopback());
+    let config = quiet_config();
+    let engine = EngineRef::new("numeric", 0);
+    let a = workload_matrix(8, 21);
+    let (fp, _) = client.prepare(&a, &config, &engine).unwrap();
+    let rhs = workload_rhs(8, 21, 0);
+
+    // First solve serves the fresh entry (age 0), then advances its
+    // clock; the second finds it past max_residual with no degraded
+    // opt-in, so the dispatcher staleness-evicts and re-prepares.
+    for _ in 0..2 {
+        let (_, degraded) = client
+            .solve_accepting(MatrixRef::Cached(fp), &config, &engine, &rhs, false)
+            .unwrap();
+        assert!(!degraded, "without the opt-in nothing may be degraded");
+    }
+    // The re-prepared entry is written back after the reply is sent
+    // (serve-then-age), so poll briefly for the settled state.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let stats = loop {
+        let stats = client.stats().unwrap();
+        if stats.entries == 1 || std::time::Instant::now() >= deadline {
+            break stats;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    };
+    assert_eq!(stats.staleness_evictions, 1, "{stats:?}");
+    assert_eq!(stats.evictions, 0, "staleness must not count as capacity");
+    assert_eq!(stats.entries, 1, "the re-prepared entry is back in place");
+
+    // Now overflow the 2-slot cache with fresh keys: LFU capacity
+    // evictions land in the other counter.
+    for seed in 30..33 {
+        client
+            .prepare(&workload_matrix(8, seed), &config, &engine)
+            .unwrap();
+    }
+    let stats = client.stats().unwrap();
+    assert!(stats.evictions >= 2, "capacity churn must evict: {stats:?}");
+    assert_eq!(stats.staleness_evictions, 1, "{stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn degraded_optin_serves_stale_without_evicting() {
+    let server = Server::with_builtin_engines(ServerConfig {
+        aging: Some(fast_aging()),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::new(server.loopback());
+    let config = quiet_config();
+    let engine = EngineRef::new("numeric", 0);
+    let a = workload_matrix(8, 22);
+    let (fp, _) = client.prepare(&a, &config, &engine).unwrap();
+
+    // Age the entry past the health threshold (request 1 is fresh).
+    let rhs = workload_rhs(8, 22, 0);
+    let (fresh_x, degraded) = client
+        .solve_accepting(MatrixRef::Cached(fp), &config, &engine, &rhs, true)
+        .unwrap();
+    assert!(!degraded, "the first request sees an age-0 solver");
+
+    // Request 2 opts in: the stale solver is served flagged, kept in
+    // the cache, and the answer differs from the fresh one (the arrays
+    // really drifted).
+    let (stale_x, degraded) = client
+        .solve_accepting(MatrixRef::Cached(fp), &config, &engine, &rhs, true)
+        .unwrap();
+    assert!(degraded, "opt-in must surface the degraded flag");
+    assert_ne!(stale_x, fresh_x, "a drifted solver must answer differently");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.degraded_served, 1, "{stats:?}");
+    assert_eq!(stats.staleness_evictions, 0, "{stats:?}");
+    assert_eq!(stats.entries, 1);
     server.shutdown();
 }
 

@@ -8,9 +8,10 @@
 
 use amc_serve::client::Client;
 use amc_serve::loadgen::{workload_matrix, workload_rhs};
-use amc_serve::server::{Server, ServerConfig};
+use amc_serve::server::{ServeAging, Server, ServerConfig};
 use amc_serve::wire::{EngineRef, MatrixRef};
 use amc_serve::ServeError;
+use blockamc::aging::{AgingModel, DriftModel};
 use blockamc::engine::EngineRegistry;
 use blockamc::solver::{BlockAmcSolver, SolverConfig, Stages};
 
@@ -50,6 +51,7 @@ fn concurrent_clients_get_bit_identical_results_with_cache_hits() {
         solver_workers: 2,
         batch_workers: 2,
         queue_capacity: 256,
+        aging: None,
     });
     let config = solver_config();
 
@@ -166,6 +168,79 @@ fn cache_respects_capacity_under_overlapping_load() {
     let stats = server.stats();
     assert_eq!(stats.entries, 2, "capacity bound violated: {stats:?}");
     assert!(stats.evictions > 0, "churn must have evicted: {stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn aging_server_serves_fresh_entries_bit_identical_then_heals_by_reprepare() {
+    // Health degrades past max_residual after one dispatch round, so
+    // every request alternates fresh → stale under this model. The
+    // threshold sits above the circuit engine's programming-variation
+    // floor (an age-0 probe is imperfect but healthy) and far below the
+    // drifted residual one accelerated tick produces.
+    let server = Server::with_builtin_engines(ServerConfig {
+        aging: Some(ServeAging {
+            model: AgingModel {
+                drift: DriftModel {
+                    nu: 0.05,
+                    nu_sigma: 0.01,
+                    t0_s: 1.0,
+                },
+                tick_s: 100.0,
+                ..AgingModel::typical_rram()
+            },
+            max_residual: 5e-2,
+            seed: 29,
+        }),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::new(server.loopback());
+    let config = solver_config();
+    // The circuit engine draws variation at prepare time — bit-identity
+    // on a fresh aged entry proves serve-then-age really serves the
+    // pre-advance state of the one cached draw.
+    let engine = EngineRef::new("circuit", 5);
+    let n = 12;
+    let a = workload_matrix(n, 31);
+    let rhs = workload_rhs(n, 31, 0);
+    let expected = direct_solutions(&a, &engine, std::slice::from_ref(&rhs));
+
+    let (fp, _) = client.prepare(&a, &config, &engine).unwrap();
+    let (x, degraded) = client
+        .solve_accepting(MatrixRef::Cached(fp), &config, &engine, &rhs, false)
+        .unwrap();
+    assert!(!degraded);
+    assert_eq!(
+        x, expected[0],
+        "age-0 served solve must match direct bitwise"
+    );
+
+    // The next request finds the entry past the health threshold: the
+    // dispatcher staleness-evicts, re-prepares from the retained
+    // pristine matrix, and serves the fresh (age-0) state — which is
+    // again bit-identical to the direct solve.
+    let (x2, degraded) = client
+        .solve_accepting(MatrixRef::Cached(fp), &config, &engine, &rhs, false)
+        .unwrap();
+    assert!(!degraded);
+    assert_eq!(
+        x2, expected[0],
+        "re-prepared solve must match direct bitwise"
+    );
+
+    // The dispatcher writes the re-prepared entry back *after* replying
+    // (serve-then-age), so poll briefly for the settled cache state.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let stats = loop {
+        let stats = server.stats();
+        if stats.entries == 1 || std::time::Instant::now() >= deadline {
+            break stats;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    };
+    assert_eq!(stats.entries, 1, "{stats:?}");
+    assert_eq!(stats.staleness_evictions, 1, "{stats:?}");
+    assert_eq!(stats.degraded_served, 0, "{stats:?}");
     server.shutdown();
 }
 
