@@ -32,6 +32,8 @@ struct RunOpts {
     seed: u64,
     /// Listen address of `repro serve`.
     addr: String,
+    /// `repro serve --metrics`: dump the full metrics registry on exit.
+    metrics: bool,
 }
 
 impl RunOpts {
@@ -57,6 +59,7 @@ impl RunOpts {
             addr: flag("--addr")
                 .cloned()
                 .unwrap_or_else(|| "127.0.0.1:7171".to_string()),
+            metrics: args.iter().any(|a| a == "--metrics"),
         }
     }
 
@@ -152,6 +155,10 @@ fn main() {
         lifetime(&opts);
         ran_any = true;
     }
+    if run("trace") {
+        trace(&opts);
+        ran_any = true;
+    }
     // The server blocks until a wire Shutdown; it is not part of `all`.
     if cmd == "serve" {
         serve(&opts);
@@ -160,9 +167,9 @@ fn main() {
     if !ran_any {
         eprintln!(
             "unknown command '{cmd}'. usage: repro [--quick] [--trials N] [--seed N] \
-             [--addr HOST:PORT] \
+             [--addr HOST:PORT] [--metrics] \
              <fig6|fig7|fig8|fig9|fig10|headline|scaling|ablation|transient|yield|parallel\
-             |scenarios|engines|simd|serve|serve-bench|lifetime|all>"
+             |scenarios|engines|simd|serve|serve-bench|lifetime|trace|all>"
         );
         std::process::exit(2);
     }
@@ -203,6 +210,10 @@ fn serve(opts: &RunOpts) {
         stats.solved_rhs,
         stats.hit_rate() * 100.0
     );
+    if opts.metrics {
+        println!("\nmetrics registry at shutdown:");
+        print!("{}", server.metrics().render());
+    }
 }
 
 /// Closed-loop load generation against an in-process server, written to
@@ -220,7 +231,7 @@ fn serve_bench(opts: &RunOpts) {
         solver_workers: amc_par::available_workers().clamp(2, 4),
         batch_workers: opts.pick(1, 2),
         queue_capacity: 64,
-        aging: None,
+        ..ServerConfig::default()
     };
     let base = LoadGenConfig {
         clients: opts.pick(4, 8),
@@ -229,6 +240,7 @@ fn serve_bench(opts: &RunOpts) {
         n: opts.pick(32, 64),
         engine: EngineRef::new("numeric", 0),
         seed: opts.seed,
+        ..LoadGenConfig::default()
     };
     println!(
         "cache capacity {cache_capacity}, {} dispatch worker(s), {} clients x {} requests, n = {}\n",
@@ -276,6 +288,7 @@ fn serve_bench(opts: &RunOpts) {
             ("requests", Json::Int(r.requests as i64)),
             ("solved", Json::Int(r.solved as i64)),
             ("busy_rejections", Json::Int(r.busy_rejections as i64)),
+            ("busy_giveups", Json::Int(r.busy_giveups as i64)),
             ("elapsed_s", r.elapsed_s.into()),
             ("throughput_rps", r.throughput_rps.into()),
             ("p50_ms", r.p50_ms.into()),
@@ -331,6 +344,257 @@ fn serve_bench(opts: &RunOpts) {
         "-> the hot phase shows what a resident prepared solver buys (pure \
          cache hits, coalesced batches); the churn phase prices eviction: \
          every re-prepare pays the programming cost the cache amortizes."
+    );
+}
+
+/// The observability study, written to `BENCH_obs.json` plus a Chrome
+/// trace-event artifact (`BENCH_obs_trace.json`, loadable in Perfetto
+/// or `chrome://tracing`):
+///
+/// 1. traces one prepare + solve on the circuit engine and breaks the
+///    wall time down per phase from the recorded span tree;
+/// 2. proves the tracing contract — tracing **on** is bit-identical to
+///    tracing **off**, for single solves and for parallel batches at
+///    1/2/4 workers (the command exits nonzero if this ever fails);
+/// 3. measures the disabled-recorder overhead ratio (the no-op guard;
+///    reported, not asserted — wall clocks are machine noise);
+/// 4. runs a traced loopback serve burst and reports the serve latency
+///    histograms (`serve.dispatch_us`, `serve.wait_us`,
+///    `loadgen.latency_us`) with exact p50/p95/p99.
+fn trace(opts: &RunOpts) {
+    use amc_obs::{MetricValue, MetricsSnapshot, Recorder, Trace, TraceSession};
+    use amc_serve::loadgen::{self, LoadGenConfig};
+    use amc_serve::server::{Server, ServerConfig};
+    use amc_serve::wire::EngineRef;
+
+    banner("Trace — spans, metrics, and the bit-identity guarantee");
+    let n = opts.pick(64, 256);
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let (a, b) = make_workload(MatrixFamily::Wishart, n, &mut rng);
+    let batch: Vec<Vec<f64>> = (0..8)
+        .map(|i| b.iter().map(|v| v * (1.0 + i as f64 * 0.01)).collect())
+        .collect();
+
+    // One prepare + solve + batch under `recorder`; the returned
+    // numbers must not depend on whether the recorder records.
+    let run_solves = |recorder: Recorder, workers: usize| -> (Vec<u64>, Vec<Vec<u64>>) {
+        let mut solver = BlockAmcSolver::new(
+            CircuitEngine::new(CircuitEngineConfig::paper_variation(), opts.seed),
+            Stages::Two,
+        );
+        solver.set_recorder(recorder);
+        let mut prepared = solver.prepare(&a).expect("prepare");
+        let x = prepared.solve(&b).expect("solve").x;
+        let mut replica = prepared.replicate(1).remove(0);
+        let xs = replica
+            .solve_batch_parallel(&batch, workers)
+            .expect("batch solve");
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<u64>>();
+        (bits(&x), xs.iter().map(|x| bits(x)).collect())
+    };
+
+    // --- Bit identity: tracing off vs on, at 1/2/4 batch workers. ---
+    let mut bit_identical = true;
+    let reference = run_solves(Recorder::disabled(), 1);
+    for workers in [1usize, 2, 4] {
+        let session = TraceSession::new();
+        let traced = run_solves(session.recorder(), workers);
+        let trace = session.drain();
+        if traced != reference {
+            bit_identical = false;
+            println!("BIT-IDENTITY VIOLATION: tracing on, {workers} worker(s)");
+        }
+        println!(
+            "tracing on, {workers} worker(s): {} span(s) recorded, outputs {}",
+            trace.events().len(),
+            if traced == reference {
+                "bit-identical to tracing off"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+
+    // --- The traced run kept for the artifact + phase breakdown. ---
+    let session = TraceSession::new();
+    let solve_t0 = std::time::Instant::now();
+    run_solves(session.recorder(), 2);
+    let traced_s = solve_t0.elapsed().as_secs_f64();
+    let solve_trace = session.drain();
+    let noop_t0 = std::time::Instant::now();
+    run_solves(Recorder::disabled(), 2);
+    let disabled_s = noop_t0.elapsed().as_secs_f64();
+    let overhead_ratio = if disabled_s > 0.0 {
+        traced_s / disabled_s
+    } else {
+        1.0
+    };
+    println!(
+        "\nno-op guard: traced {traced_s:.4}s vs disabled {disabled_s:.4}s \
+         (ratio {overhead_ratio:.3})\n"
+    );
+    print!("{}", solve_trace.flame_tree());
+
+    let phase_cell = |trace: &Trace, name: &'static str| -> Json {
+        let calls = trace.events().iter().filter(|e| e.name == name).count();
+        Json::obj([
+            ("span", name.into()),
+            ("calls", calls.into()),
+            ("total_ns", Json::Int(trace.total_ns(name) as i64)),
+        ])
+    };
+    let phases: Vec<Json> = [
+        "prepare",
+        "prepare.partition",
+        "prepare.schur",
+        "prepare.program",
+        "prepare.program_mvm",
+        "solve",
+        "cascade.inv1",
+        "cascade.mvm2",
+        "cascade.inv3",
+        "cascade.mvm4",
+        "cascade.inv5",
+        "engine.inv",
+        "batch",
+    ]
+    .iter()
+    .map(|name| phase_cell(&solve_trace, name))
+    .collect();
+
+    // --- A traced serve burst for the latency histograms. ---
+    let serve_session = TraceSession::new();
+    let server = Server::new(
+        ServerConfig {
+            cache_capacity: 4,
+            solver_workers: 2,
+            batch_workers: 2,
+            queue_capacity: 64,
+            aging: None,
+            trace: Some(serve_session.clone()),
+        },
+        amc_scenario::campaigns::extended_registry(),
+    );
+    let load = LoadGenConfig {
+        clients: opts.pick(2, 4),
+        requests_per_client: opts.pick(16, 64),
+        distinct_matrices: 3,
+        n: 32,
+        engine: EngineRef::new("numeric", 0),
+        seed: opts.seed,
+        ..LoadGenConfig::default()
+    };
+    let (serve_metrics, load_report) = match loadgen::run(&server, &load) {
+        Ok(r) => (server.metrics(), Some(r)),
+        Err(e) => {
+            println!("serve burst failed: {e}");
+            (server.metrics(), None)
+        }
+    };
+    server.shutdown();
+    // Every worker and connection lane must flush before the drain.
+    server.join_connections();
+    let serve_trace = serve_session.drain();
+    println!(
+        "\nserve burst: {} span(s) recorded",
+        serve_trace.events().len()
+    );
+    print!("{}", serve_metrics.render());
+
+    let hist_cell = |m: &MetricsSnapshot, name: &str| -> Json {
+        match m.get(name) {
+            Some(MetricValue::Histogram(h)) => Json::obj([
+                ("count", Json::Int(h.count as i64)),
+                ("min_us", Json::Int(h.min as i64)),
+                ("p50_us", Json::Int(h.p50 as i64)),
+                ("p95_us", Json::Int(h.p95 as i64)),
+                ("p99_us", Json::Int(h.p99 as i64)),
+                ("max_us", Json::Int(h.max as i64)),
+                ("mean_us", h.mean.into()),
+            ]),
+            _ => Json::Null,
+        }
+    };
+    let load_metrics = load_report.as_ref().map(|r| r.metrics.clone());
+
+    // --- The Chrome trace artifact: solve + serve lanes, one file. ---
+    let lane_offset = solve_trace
+        .events()
+        .iter()
+        .map(|e| e.worker)
+        .max()
+        .map_or(0, |w| w + 1);
+    let mut events = solve_trace.events().to_vec();
+    events.extend(serve_trace.events().iter().cloned().map(|mut e| {
+        e.worker += lane_offset;
+        e
+    }));
+    let combined = Trace::from_events(events);
+    match std::fs::write("BENCH_obs_trace.json", combined.chrome_trace_json()) {
+        Ok(()) => println!("\nwrote BENCH_obs_trace.json (open in Perfetto / chrome://tracing)"),
+        Err(e) => println!("\ncould not write BENCH_obs_trace.json: {e}"),
+    }
+
+    let json = Json::obj([
+        ("bench", "obs".into()),
+        ("quick", opts.quick.into()),
+        ("n", n.into()),
+        ("seed", Json::Int(opts.seed as i64)),
+        ("bit_identical", bit_identical.into()),
+        ("solve_spans", solve_trace.events().len().into()),
+        ("serve_spans", serve_trace.events().len().into()),
+        (
+            "dropped_spans",
+            Json::Int((solve_trace.dropped() + serve_trace.dropped()) as i64),
+        ),
+        ("disabled_overhead_ratio", overhead_ratio.into()),
+        ("phases", Json::Arr(phases)),
+        (
+            "serve",
+            Json::obj([
+                (
+                    "dispatch_us",
+                    hist_cell(&serve_metrics, "serve.dispatch_us"),
+                ),
+                ("wait_us", hist_cell(&serve_metrics, "serve.wait_us")),
+                ("batch_rhs", hist_cell(&serve_metrics, "serve.batch_rhs")),
+                (
+                    "latency_us",
+                    load_metrics
+                        .as_ref()
+                        .map_or(Json::Null, |m| hist_cell(m, "loadgen.latency_us")),
+                ),
+                (
+                    "busy_rejections",
+                    Json::Int(serve_metrics.counter("serve.busy_rejections") as i64),
+                ),
+                (
+                    "busy_retries",
+                    load_metrics.as_ref().map_or(Json::Null, |m| {
+                        Json::Int(m.counter("loadgen.busy_retries") as i64)
+                    }),
+                ),
+                (
+                    "busy_giveups",
+                    load_metrics.as_ref().map_or(Json::Null, |m| {
+                        Json::Int(m.counter("loadgen.busy_giveups") as i64)
+                    }),
+                ),
+            ]),
+        ),
+    ]);
+    match report::write_json("BENCH_obs.json", &json) {
+        Ok(()) => println!("wrote BENCH_obs.json"),
+        Err(e) => println!("could not write BENCH_obs.json: {e}"),
+    }
+    if !bit_identical {
+        eprintln!("tracing changed the numbers — the read-only contract is broken");
+        std::process::exit(1);
+    }
+    println!(
+        "-> spans record only at phase boundaries (two clock reads each), \
+         so tracing is safe to leave on; the guarantee that matters is \
+         bit-identity, checked above at every worker count."
     );
 }
 

@@ -486,8 +486,18 @@ impl<E: AmcEngine> AgedSolver<E> {
     /// Engine failures during the sentinel solve.
     pub fn health(&mut self) -> Result<f64> {
         let sentinel = self.sentinel.clone();
+        let span = self.replica.recorder_mut().enter("aging.probe");
         let report = self.replica.solve(&sentinel)?;
-        refine::seed_quality(&self.matrix, &sentinel, &report.x)
+        let quality = refine::seed_quality(&self.matrix, &sentinel, &report.x)?;
+        self.replica.recorder_mut().exit(span);
+        Ok(quality)
+    }
+
+    /// Attaches a span [`amc_obs::Recorder`] to the underlying replica:
+    /// subsequent probe/repair/serve ticks record `aging.*` spans on it
+    /// (read-only instrumentation; results are unchanged).
+    pub fn set_recorder(&mut self, recorder: amc_obs::Recorder) {
+        self.replica.set_recorder(recorder);
     }
 
     /// The current degraded target matrix of array `idx`: pristine
@@ -593,6 +603,7 @@ impl<E: AmcEngine> AgedSolver<E> {
     ///
     /// Returns `(energy_j, row_parallel_time_s)`.
     fn reprogram_arrays(&mut self, idxs: &[usize]) -> Result<(f64, f64)> {
+        let span = self.replica.recorder_mut().enter("aging.reprogram");
         let mut energy = 0.0;
         let mut time = 0.0;
         for &i in idxs {
@@ -608,6 +619,10 @@ impl<E: AmcEngine> AgedSolver<E> {
             self.generation[i] += 1;
         }
         self.install_all()?;
+        let arrays = idxs.len() as f64;
+        self.replica
+            .recorder_mut()
+            .exit_with(span, &[("arrays", arrays)]);
         Ok((energy, time))
     }
 
@@ -649,6 +664,7 @@ impl<E: AmcEngine> AgedSolver<E> {
         scheduler: &mut RepairScheduler,
         rhs: &[Vec<f64>],
     ) -> Result<TickRecord> {
+        let tick_span = self.replica.recorder_mut().enter("aging.tick");
         self.advance(1)?;
         let health = self.health()?;
 
@@ -725,8 +741,13 @@ impl<E: AmcEngine> AgedSolver<E> {
             let x = if refine {
                 let tolerance = (self.model.slo_residual * 0.1).max(1e-14);
                 let max_iterations = 20 * self.size() + 100;
+                let span = self.replica.recorder_mut().enter("aging.refine");
                 let outcome =
                     refine::refine_with_cg(&self.matrix, b, &degraded, tolerance, max_iterations)?;
+                let iters = outcome.iterations_with_seed as f64;
+                self.replica
+                    .recorder_mut()
+                    .exit_with(span, &[("iterations", iters)]);
                 refine_iterations += outcome.iterations_with_seed as u64;
                 iterations_saved += outcome.iterations_saved() as i64;
                 outcome.x
@@ -746,6 +767,9 @@ impl<E: AmcEngine> AgedSolver<E> {
             0.0
         };
 
+        self.replica
+            .recorder_mut()
+            .exit_with(tick_span, &[("health", health)]);
         Ok(TickRecord {
             tick: self.tick,
             health,

@@ -125,7 +125,10 @@ pub fn solve_batch<E: AmcEngine>(
         ));
     }
     let before = solver.engine().stats();
+    let span = solver.recorder_mut().enter("batch");
     let solutions = solver.prepare(a)?.solve_batch(batch)?;
+    let rhs = batch.len() as f64;
+    solver.recorder_mut().exit_with(span, &[("rhs", rhs)]);
     let stats = solver.engine().stats() - before;
     assemble_solution(solutions, stats, a, batch.len(), opamp, conversion_s)
 }

@@ -95,7 +95,7 @@ impl BlockedNumericEngine {
 
 impl AmcEngine for BlockedNumericEngine {
     fn program(&mut self, a: &Matrix) -> Result<Operand> {
-        self.stats.program_ops += 1;
+        self.stats.count_program();
         Ok(Operand::new(BlockedOperand {
             a: a.clone(),
             lu: None,
@@ -118,7 +118,7 @@ impl AmcEngine for BlockedNumericEngine {
         out.resize(lu.dim(), 0.0);
         lu.solve_into(b, out)?;
         amc_linalg::vector::neg_in_place(out);
-        self.stats.inv_ops += 1;
+        self.stats.count_inv();
         Ok(())
     }
 
@@ -133,7 +133,7 @@ impl AmcEngine for BlockedNumericEngine {
         out.resize(state.a.rows(), 0.0);
         state.a.matvec_into(x, out)?;
         amc_linalg::vector::neg_in_place(out);
-        self.stats.mvm_ops += 1;
+        self.stats.count_mvm();
         Ok(())
     }
 

@@ -170,14 +170,14 @@ impl AmcEngine for CircuitEngine {
             &self.config.variation,
             &mut self.rng,
         )?;
-        self.stats.program_ops += 1;
+        self.stats.count_program();
         Ok(Operand::new(CircuitOperand { programmed }))
     }
 
     fn inv(&mut self, operand: &mut Operand, b: &[f64]) -> Result<Vec<f64>> {
         let state = operand.expect_state_mut::<CircuitOperand>("circuit")?;
         let out = self.sim.inv(&state.programmed, b)?;
-        self.stats.inv_ops += 1;
+        self.stats.count_inv();
         self.stats.analog_time_s += out.settle_time_s;
         self.stats.analog_energy_j += out.settle_time_s * out.power_w;
         Ok(out.values)
@@ -186,7 +186,7 @@ impl AmcEngine for CircuitEngine {
     fn mvm(&mut self, operand: &mut Operand, x: &[f64]) -> Result<Vec<f64>> {
         let state = operand.expect_state_mut::<CircuitOperand>("circuit")?;
         let out = self.sim.mvm(&state.programmed, x)?;
-        self.stats.mvm_ops += 1;
+        self.stats.count_mvm();
         self.stats.analog_time_s += out.settle_time_s;
         self.stats.analog_energy_j += out.settle_time_s * out.power_w;
         Ok(out.values)

@@ -127,7 +127,7 @@ impl AmcEngine for FixedPointEngine {
     fn program(&mut self, a: &Matrix) -> Result<Operand> {
         let step = self.step(a.max_abs());
         let a_q = a.map(|v| quantize(v, step));
-        self.stats.program_ops += 1;
+        self.stats.count_program();
         Ok(Operand::new(FixedPointOperand { a_q, lu: None }))
     }
 
@@ -155,7 +155,7 @@ impl AmcEngine for FixedPointEngine {
         solved?;
         amc_linalg::vector::neg_in_place(out);
         self.quantize_in_place(out);
-        self.stats.inv_ops += 1;
+        self.stats.count_inv();
         Ok(())
     }
 
@@ -175,7 +175,7 @@ impl AmcEngine for FixedPointEngine {
         multiplied?;
         amc_linalg::vector::neg_in_place(out);
         self.quantize_in_place(out);
-        self.stats.mvm_ops += 1;
+        self.stats.count_mvm();
         Ok(())
     }
 

@@ -153,7 +153,10 @@ impl Operand {
 ///
 /// Counters are additive: [`Add`]/[`AddAssign`] sum the counters of
 /// independent engines (e.g. the per-replica engines of a sharded batch
-/// solve), and [`Sub`] recovers the delta across an operation.
+/// solve), and [`Sub`] recovers the delta across an operation. All op
+/// counts use saturating arithmetic (asserting in debug builds), so a
+/// long-lived serving process can never wrap a counter back to a small
+/// value or panic in release on overflow.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EngineStats {
     /// Number of matrices programmed.
@@ -169,11 +172,37 @@ pub struct EngineStats {
     pub analog_energy_j: f64,
 }
 
+/// Saturating op-count addition: loud in debug builds, safe in release.
+fn saturating_count_add(lhs: usize, rhs: usize, what: &'static str) -> usize {
+    debug_assert!(
+        lhs.checked_add(rhs).is_some(),
+        "EngineStats::{what} overflow: {lhs} + {rhs} saturated"
+    );
+    lhs.saturating_add(rhs)
+}
+
+impl EngineStats {
+    /// Counts one `program` op (saturating; see struct docs).
+    pub fn count_program(&mut self) {
+        self.program_ops = saturating_count_add(self.program_ops, 1, "program_ops");
+    }
+
+    /// Counts one `inv` op (saturating; see struct docs).
+    pub fn count_inv(&mut self) {
+        self.inv_ops = saturating_count_add(self.inv_ops, 1, "inv_ops");
+    }
+
+    /// Counts one `mvm` op (saturating; see struct docs).
+    pub fn count_mvm(&mut self) {
+        self.mvm_ops = saturating_count_add(self.mvm_ops, 1, "mvm_ops");
+    }
+}
+
 impl AddAssign for EngineStats {
     fn add_assign(&mut self, rhs: EngineStats) {
-        self.program_ops += rhs.program_ops;
-        self.inv_ops += rhs.inv_ops;
-        self.mvm_ops += rhs.mvm_ops;
+        self.program_ops = saturating_count_add(self.program_ops, rhs.program_ops, "program_ops");
+        self.inv_ops = saturating_count_add(self.inv_ops, rhs.inv_ops, "inv_ops");
+        self.mvm_ops = saturating_count_add(self.mvm_ops, rhs.mvm_ops, "mvm_ops");
         self.analog_time_s += rhs.analog_time_s;
         self.analog_energy_j += rhs.analog_energy_j;
     }
@@ -192,10 +221,16 @@ impl Sub for EngineStats {
     type Output = EngineStats;
 
     fn sub(self, rhs: EngineStats) -> EngineStats {
+        debug_assert!(
+            self.program_ops >= rhs.program_ops
+                && self.inv_ops >= rhs.inv_ops
+                && self.mvm_ops >= rhs.mvm_ops,
+            "EngineStats subtraction underflow (delta taken backwards?)"
+        );
         EngineStats {
-            program_ops: self.program_ops - rhs.program_ops,
-            inv_ops: self.inv_ops - rhs.inv_ops,
-            mvm_ops: self.mvm_ops - rhs.mvm_ops,
+            program_ops: self.program_ops.saturating_sub(rhs.program_ops),
+            inv_ops: self.inv_ops.saturating_sub(rhs.inv_ops),
+            mvm_ops: self.mvm_ops.saturating_sub(rhs.mvm_ops),
             analog_time_s: self.analog_time_s - rhs.analog_time_s,
             analog_energy_j: self.analog_energy_j - rhs.analog_energy_j,
         }
@@ -324,8 +359,12 @@ impl<E: AmcEngine + ?Sized> crate::multi_stage::InvExec<E> for Operand {
         b: &[f64],
         _path: crate::multi_stage::SignalPath<'_>,
         _log: &mut crate::multi_stage::TraceLog,
+        rec: &mut amc_obs::Recorder,
     ) -> Result<Vec<f64>> {
-        engine.inv(self, b)
+        let span = rec.enter("engine.inv");
+        let out = engine.inv(self, b)?;
+        rec.exit_with(span, &[("n", b.len() as f64)]);
+        Ok(out)
     }
 }
 
@@ -395,6 +434,79 @@ mod tests {
         acc += b;
         assert_eq!(acc, sum);
         assert_eq!(sum - b, a);
+    }
+
+    #[test]
+    fn stats_count_methods_increment() {
+        let mut s = EngineStats::default();
+        s.count_program();
+        s.count_inv();
+        s.count_inv();
+        s.count_mvm();
+        assert_eq!((s.program_ops, s.inv_ops, s.mvm_ops), (1, 2, 1));
+    }
+
+    #[test]
+    fn stats_addition_at_boundary_without_overflow_is_exact() {
+        let mut s = EngineStats {
+            inv_ops: usize::MAX - 1,
+            ..EngineStats::default()
+        };
+        s.count_inv(); // lands exactly on MAX: no overflow, no assertion
+        assert_eq!(s.inv_ops, usize::MAX);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn stats_addition_saturates_in_release() {
+        let mut s = EngineStats {
+            inv_ops: usize::MAX,
+            ..EngineStats::default()
+        };
+        s.count_inv();
+        assert_eq!(s.inv_ops, usize::MAX, "saturates instead of wrapping");
+        let sum = s + s;
+        assert_eq!(sum.inv_ops, usize::MAX);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overflow")]
+    fn stats_addition_overflow_asserts_in_debug() {
+        let mut s = EngineStats {
+            inv_ops: usize::MAX,
+            ..EngineStats::default()
+        };
+        s.count_inv();
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn stats_subtraction_saturates_in_release() {
+        let a = EngineStats {
+            inv_ops: 1,
+            ..EngineStats::default()
+        };
+        let b = EngineStats {
+            inv_ops: 5,
+            ..EngineStats::default()
+        };
+        assert_eq!((a - b).inv_ops, 0, "underflow clamps to zero");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "underflow")]
+    fn stats_subtraction_underflow_asserts_in_debug() {
+        let a = EngineStats {
+            inv_ops: 1,
+            ..EngineStats::default()
+        };
+        let b = EngineStats {
+            inv_ops: 5,
+            ..EngineStats::default()
+        };
+        let _ = a - b;
     }
 
     #[test]

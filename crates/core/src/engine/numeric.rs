@@ -69,7 +69,7 @@ impl NumericEngine {
 
 impl AmcEngine for NumericEngine {
     fn program(&mut self, a: &Matrix) -> Result<Operand> {
-        self.stats.program_ops += 1;
+        self.stats.count_program();
         Ok(Operand::new(NumericOperand {
             a: a.clone(),
             lu: None,
@@ -91,7 +91,7 @@ impl AmcEngine for NumericEngine {
         out.resize(lu.dim(), 0.0);
         lu.solve_into(b, out)?;
         amc_linalg::vector::neg_in_place(out);
-        self.stats.inv_ops += 1;
+        self.stats.count_inv();
         Ok(())
     }
 
@@ -106,7 +106,7 @@ impl AmcEngine for NumericEngine {
         out.resize(state.a.rows(), 0.0);
         state.a.matvec_into(x, out)?;
         amc_linalg::vector::neg_in_place(out);
-        self.stats.mvm_ops += 1;
+        self.stats.count_mvm();
         Ok(())
     }
 

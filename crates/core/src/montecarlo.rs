@@ -140,8 +140,15 @@ pub fn yield_analysis_parallel(
     let run_trial = |t: usize| -> Option<f64> {
         let mut engine = engine.build(engine_seed.wrapping_add(t as u64)).ok()?;
         let mut tree = multi_stage::prepare_plan(&mut engine, a, &plan).ok()?;
-        let (x, _) =
-            multi_stage::solve_with_signal(&mut engine, &mut tree, b, signal, false).ok()?;
+        let (x, _) = multi_stage::solve_with_signal(
+            &mut engine,
+            &mut tree,
+            b,
+            signal,
+            false,
+            &mut amc_obs::Recorder::disabled(),
+        )
+        .ok()?;
         let err = metrics::relative_error(&x_ref, &x);
         err.is_finite().then_some(err)
     };

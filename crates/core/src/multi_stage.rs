@@ -36,6 +36,7 @@
 //! paper's two-stage layout instead, tiling them into quadrants.
 
 use amc_linalg::{vector, Matrix};
+use amc_obs::Recorder;
 
 use crate::converter::IoConfig;
 use crate::engine::{AmcEngine, Operand};
@@ -281,12 +282,14 @@ impl TraceLog {
 /// [`crate::one_stage::PreparedOneStage`] (a whole macro), and by
 /// [`Node`] (a partition subtree).
 pub(crate) trait InvExec<E: AmcEngine + ?Sized> {
+    #[allow(clippy::too_many_arguments)] // signal path + signal log + span recorder
     fn inv_signed(
         &mut self,
         engine: &mut E,
         b: &[f64],
         path: SignalPath<'_>,
         log: &mut TraceLog,
+        rec: &mut Recorder,
     ) -> Result<Vec<f64>>;
 }
 
@@ -318,6 +321,7 @@ pub(crate) fn run_cascade<E, I, M>(
     b: &[f64],
     path: SignalPath<'_>,
     log: &mut TraceLog,
+    rec: &mut Recorder,
 ) -> Result<Vec<f64>>
 where
     E: AmcEngine + ?Sized,
@@ -337,19 +341,22 @@ where
     let bus = |v: &[f64]| io.apply_dac(&io.apply_adc(v));
 
     // Step 1: INV(A1, f) -> −y_t = −A1⁻¹·f.
+    let span = rec.enter("cascade.inv1");
     let neg_yt = match policy {
         StageIo::Bus => {
-            let c1 = a1.inv_signed(engine, &f, inner, &mut TraceLog::disabled())?;
+            let c1 = a1.inv_signed(engine, &f, inner, &mut TraceLog::disabled(), rec)?;
             bus(&c1)
         }
         _ => {
-            let out = a1.inv_signed(engine, &f, inner, &mut TraceLog::disabled())?;
+            let out = a1.inv_signed(engine, &f, inner, &mut TraceLog::disabled(), rec)?;
             log.record(StepId::Inv1, &f, &out);
             out
         }
     };
+    rec.exit_with(span, &[("n", split as f64)]);
 
     // Step 2: MVM(A3, −y_t) -> g_t (= −A3·(−y_t)).
+    let span = rec.enter("cascade.mvm2");
     let gt = match a3 {
         Some(m) => {
             let sh_input;
@@ -371,10 +378,12 @@ where
         }
         None => vec![0.0; bottom],
     };
+    rec.exit(span);
 
     // Step 3: INV(A4s, g_t − g) -> z (the bottom half of x).
     // The owned g/g_t vectors die here, so the subtractions reuse their
     // buffers instead of allocating per phase.
+    let span = rec.enter("cascade.inv3");
     let z = match policy {
         StageIo::Bus => {
             // The inner macro is handed the right-hand side g − g_t and
@@ -383,7 +392,7 @@ where
             let mut rhs3 = g;
             vector::sub_assign(&mut rhs3, &gt);
             let mut sub = TraceLog::new(log.enabled);
-            let mut c3 = a4s.inv_signed(engine, &rhs3, inner, &mut sub)?;
+            let mut c3 = a4s.inv_signed(engine, &rhs3, inner, &mut sub, rec)?;
             log.capture_inner("A4s", sub);
             vector::neg_in_place(&mut c3);
             c3
@@ -394,11 +403,12 @@ where
                 _ => gt,
             };
             vector::sub_assign(&mut input3, &g);
-            let out = a4s.inv_signed(engine, &input3, inner, &mut TraceLog::disabled())?;
+            let out = a4s.inv_signed(engine, &input3, inner, &mut TraceLog::disabled(), rec)?;
             log.record(StepId::Inv3, &input3, &out);
             out
         }
     };
+    rec.exit_with(span, &[("n", bottom as f64)]);
     // The value step 4 consumes and the exit re-reads: the bus hop for
     // inter-macro transfers, the raw analog z otherwise.
     let z_held = match policy {
@@ -407,6 +417,7 @@ where
     };
 
     // Step 4: MVM(A2, z) -> −f_t = −A2·z.
+    let span = rec.enter("cascade.mvm4");
     let neg_ft = match a2 {
         Some(m) => {
             let sh_input;
@@ -428,6 +439,7 @@ where
         }
         None => vec![0.0; split],
     };
+    rec.exit(span);
 
     // Step 5: INV(A1, f − f_t) -> −y (the negated upper half of x),
     // reusing the very same A1 executor as step 1 — the paper's "the A1
@@ -438,19 +450,21 @@ where
         _ => neg_ft,
     };
     vector::add_assign(&mut input5, &f);
+    let span = rec.enter("cascade.inv5");
     let c5 = match policy {
         StageIo::Bus => {
             let mut sub = TraceLog::new(log.enabled);
-            let c5 = a1.inv_signed(engine, &input5, inner, &mut sub)?;
+            let c5 = a1.inv_signed(engine, &input5, inner, &mut sub, rec)?;
             log.capture_inner("A1", sub);
             c5
         }
         _ => {
-            let out = a1.inv_signed(engine, &input5, inner, &mut TraceLog::disabled())?;
+            let out = a1.inv_signed(engine, &input5, inner, &mut TraceLog::disabled(), rec)?;
             log.record(StepId::Inv5, &input5, &out);
             out
         }
     };
+    rec.exit_with(span, &[("n", split as f64)]);
 
     // This node's "INV output" must be −x for the parent cascade:
     // x = [y; z] with y = −c5, so −x = [c5; −z]. The tail buffer is
@@ -620,9 +634,15 @@ impl<E: AmcEngine + ?Sized> InvExec<E> for Node {
         b: &[f64],
         path: SignalPath<'_>,
         log: &mut TraceLog,
+        rec: &mut Recorder,
     ) -> Result<Vec<f64>> {
         match self {
-            Node::Leaf(op) => engine.inv(op, b),
+            Node::Leaf(op) => {
+                let span = rec.enter("engine.inv");
+                let out = engine.inv(op, b)?;
+                rec.exit_with(span, &[("n", b.len() as f64)]);
+                Ok(out)
+            }
             Node::Split {
                 split,
                 a1,
@@ -639,6 +659,7 @@ impl<E: AmcEngine + ?Sized> InvExec<E> for Node {
                 b,
                 path,
                 log,
+                rec,
             ),
         }
     }
@@ -866,27 +887,39 @@ fn prepare_node<E: AmcEngine + ?Sized>(
     a: &Matrix,
     depth: usize,
     plan: &PartitionPlan,
+    rec: &mut Recorder,
 ) -> Result<Node> {
     if depth == 0 || a.rows() < 2 {
-        return Ok(Node::Leaf(engine.program(a)?));
+        let span = rec.enter("prepare.program");
+        let op = engine.program(a)?;
+        rec.exit_with(span, &[("n", a.rows() as f64)]);
+        return Ok(Node::Leaf(op));
     }
+    let node_span = rec.enter("prepare.node");
+    let span = rec.enter("prepare.partition");
     let p = match plan.split {
         SplitRule::Halves => BlockPartition::halves(a)?,
         SplitRule::Searched(opts) if a.rows() >= 4 => split_search::best_partition(a, &opts)?,
         SplitRule::Searched(_) => BlockPartition::halves(a)?,
     };
+    rec.exit(span);
+    let span = rec.enter("prepare.schur");
     let a4s = p.schur_complement()?;
+    rec.exit_with(span, &[("n", a4s.rows() as f64)]);
     // Programming order mirrors one_stage::prepare (A1, A2, A3, A4s) so
     // a depth-1 tree consumes the engine's variation stream identically
     // to the one-stage macro — see tests/solver_equivalence.rs.
-    let a1 = prepare_node(engine, &p.a1, depth - 1, plan)?;
+    let a1 = prepare_node(engine, &p.a1, depth - 1, plan, rec)?;
     // In the paper layout, MVM blocks tile down to the same size as the
     // INV leaves below them: one quadrant level per remaining INV split
     // (depth 2 ⇒ one level, the two-stage inventory; deeper ⇒ recurse).
     let tile_levels = if plan.tile_mvm { depth - 1 } else { 0 };
+    let span = rec.enter("prepare.program_mvm");
     let a2 = prepare_mvm_tile(engine, &p.a2, tile_levels)?;
     let a3 = prepare_mvm_tile(engine, &p.a3, tile_levels)?;
-    let a4s_node = prepare_node(engine, &a4s, depth - 1, plan)?;
+    rec.exit(span);
+    let a4s_node = prepare_node(engine, &a4s, depth - 1, plan, rec)?;
+    rec.exit_with(node_span, &[("n", a.rows() as f64)]);
     Ok(Node::Split {
         split: p.split,
         a1: Box::new(a1),
@@ -907,6 +940,25 @@ pub fn prepare_plan<E: AmcEngine + ?Sized>(
     a: &Matrix,
     plan: &PartitionPlan,
 ) -> Result<PreparedMultiStage> {
+    prepare_plan_recorded(engine, a, plan, &mut Recorder::disabled())
+}
+
+/// [`prepare_plan`] with span tracing: per-level partition / Schur /
+/// program-arrays spans are recorded on `rec` (pass
+/// [`Recorder::disabled`] for the zero-cost no-op).
+///
+/// Instrumentation is strictly read-only: the prepared tree is
+/// bit-identical to [`prepare_plan`]'s regardless of the recorder.
+///
+/// # Errors
+///
+/// Same conditions as [`prepare_plan`].
+pub fn prepare_plan_recorded<E: AmcEngine + ?Sized>(
+    engine: &mut E,
+    a: &Matrix,
+    plan: &PartitionPlan,
+    rec: &mut Recorder,
+) -> Result<PreparedMultiStage> {
     if !a.is_square() {
         return Err(BlockAmcError::ShapeMismatch {
             op: "multi_stage prepare",
@@ -914,9 +966,15 @@ pub fn prepare_plan<E: AmcEngine + ?Sized>(
             got: a.cols(),
         });
     }
+    let span = rec.enter("prepare");
+    let root = prepare_node(engine, a, plan.depth, plan, rec)?;
+    rec.exit_with(
+        span,
+        &[("n", a.rows() as f64), ("depth", plan.depth as f64)],
+    );
     Ok(PreparedMultiStage {
         n: a.rows(),
-        root: prepare_node(engine, a, plan.depth, plan)?,
+        root,
         plan: *plan,
     })
 }
@@ -1062,9 +1120,18 @@ fn plan_tree(a: &Matrix, plan: &PartitionPlan, workers: usize) -> Result<MatrixT
 
 /// Phase 2: programs the planned tree serially, in the exact program-call
 /// order of [`prepare_node`] (a1 subtree, a2 tile, a3 tile, a4s subtree).
-fn program_tree<E: AmcEngine + ?Sized>(engine: &mut E, tree: &MatrixTree) -> Result<Node> {
+fn program_tree<E: AmcEngine + ?Sized>(
+    engine: &mut E,
+    tree: &MatrixTree,
+    rec: &mut Recorder,
+) -> Result<Node> {
     match tree {
-        MatrixTree::Leaf(m) => Ok(Node::Leaf(engine.program(m)?)),
+        MatrixTree::Leaf(m) => {
+            let span = rec.enter("prepare.program");
+            let op = engine.program(m)?;
+            rec.exit_with(span, &[("n", m.rows() as f64)]);
+            Ok(Node::Leaf(op))
+        }
         MatrixTree::Split {
             split,
             a1,
@@ -1073,10 +1140,12 @@ fn program_tree<E: AmcEngine + ?Sized>(engine: &mut E, tree: &MatrixTree) -> Res
             a3,
             tile_levels,
         } => {
-            let a1_node = program_tree(engine, a1)?;
+            let a1_node = program_tree(engine, a1, rec)?;
+            let span = rec.enter("prepare.program_mvm");
             let a2_block = prepare_mvm_tile(engine, a2, *tile_levels)?;
             let a3_block = prepare_mvm_tile(engine, a3, *tile_levels)?;
-            let a4s_node = program_tree(engine, a4s)?;
+            rec.exit(span);
+            let a4s_node = program_tree(engine, a4s, rec)?;
             Ok(Node::Split {
                 split: *split,
                 a1: Box::new(a1_node),
@@ -1106,6 +1175,25 @@ pub fn prepare_plan_workers<E: AmcEngine + ?Sized>(
     plan: &PartitionPlan,
     workers: usize,
 ) -> Result<PreparedMultiStage> {
+    prepare_plan_workers_recorded(engine, a, plan, workers, &mut Recorder::disabled())
+}
+
+/// [`prepare_plan_workers`] with span tracing: one coarse
+/// `prepare.plan` span over the sharded partition/Schur phase (the
+/// recorder is single-threaded, so per-node spans are not recorded
+/// inside the worker pool) and per-node `prepare.program` spans over
+/// the serial programming phase.
+///
+/// # Errors
+///
+/// Same conditions as [`prepare_plan`].
+pub fn prepare_plan_workers_recorded<E: AmcEngine + ?Sized>(
+    engine: &mut E,
+    a: &Matrix,
+    plan: &PartitionPlan,
+    workers: usize,
+    rec: &mut Recorder,
+) -> Result<PreparedMultiStage> {
     if !a.is_square() {
         return Err(BlockAmcError::ShapeMismatch {
             op: "multi_stage prepare",
@@ -1113,10 +1201,18 @@ pub fn prepare_plan_workers<E: AmcEngine + ?Sized>(
             got: a.cols(),
         });
     }
+    let span = rec.enter("prepare");
+    let plan_span = rec.enter("prepare.plan");
     let tree = plan_tree(a, plan, workers)?;
+    rec.exit_with(plan_span, &[("workers", workers as f64)]);
+    let root = program_tree(engine, &tree, rec)?;
+    rec.exit_with(
+        span,
+        &[("n", a.rows() as f64), ("depth", plan.depth as f64)],
+    );
     Ok(PreparedMultiStage {
         n: a.rows(),
-        root: program_tree(engine, &tree)?,
+        root,
         plan: *plan,
     })
 }
@@ -1132,7 +1228,14 @@ pub fn solve<E: AmcEngine + ?Sized>(
     prepared: &mut PreparedMultiStage,
     b: &[f64],
 ) -> Result<Vec<f64>> {
-    let (x, _) = solve_with_signal(engine, prepared, b, &SignalPlan::pure(), false)?;
+    let (x, _) = solve_with_signal(
+        engine,
+        prepared,
+        b,
+        &SignalPlan::pure(),
+        false,
+        &mut Recorder::disabled(),
+    )?;
     Ok(x)
 }
 
@@ -1149,6 +1252,7 @@ pub(crate) fn solve_with_signal<E: AmcEngine + ?Sized>(
     b: &[f64],
     signal: &SignalPlan,
     capture: bool,
+    rec: &mut Recorder,
 ) -> Result<(Vec<f64>, TraceLog)> {
     if b.len() != prepared.n {
         return Err(BlockAmcError::ShapeMismatch {
@@ -1170,10 +1274,10 @@ pub(crate) fn solve_with_signal<E: AmcEngine + ?Sized>(
         (root @ Node::Leaf(_), LevelIo::Macro(io) | LevelIo::Bus(io)) => {
             io.validate()?;
             let input = io.apply_dac(b);
-            let out = root.inv_signed(engine, &input, path, &mut log)?;
+            let out = root.inv_signed(engine, &input, path, &mut log, rec)?;
             io.apply_adc(&out)
         }
-        (root, _) => root.inv_signed(engine, b, path, &mut log)?,
+        (root, _) => root.inv_signed(engine, b, path, &mut log, rec)?,
     };
     vector::neg_in_place(&mut x);
     Ok((x, log))

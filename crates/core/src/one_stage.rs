@@ -198,7 +198,13 @@ pub fn solve<E: AmcEngine + ?Sized>(
     }
     let mut log = TraceLog::enabled();
     let levels = [LevelIo::Macro(*io)];
-    let neg_x = prepared.inv_signed(engine, b, SignalPath::new(&levels), &mut log)?;
+    let neg_x = prepared.inv_signed(
+        engine,
+        b,
+        SignalPath::new(&levels),
+        &mut log,
+        &mut amc_obs::Recorder::disabled(),
+    )?;
     Ok(OneStageSolution {
         x: vector::neg(&neg_x),
         trace: log.steps,
@@ -217,6 +223,7 @@ impl<E: AmcEngine + ?Sized> InvExec<E> for PreparedOneStage {
         b: &[f64],
         path: SignalPath<'_>,
         log: &mut TraceLog,
+        rec: &mut amc_obs::Recorder,
     ) -> Result<Vec<f64>> {
         run_cascade(
             engine,
@@ -228,6 +235,7 @@ impl<E: AmcEngine + ?Sized> InvExec<E> for PreparedOneStage {
             b,
             path,
             log,
+            rec,
         )
     }
 }

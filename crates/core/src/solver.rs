@@ -25,6 +25,7 @@
 //! [`prepare`]: BlockAmcSolver::prepare
 
 use amc_linalg::Matrix;
+use amc_obs::Recorder;
 
 use crate::converter::IoConfig;
 use crate::engine::{AmcEngine, EngineStats};
@@ -393,6 +394,7 @@ fn stats_delta(before: &EngineStats, after: &EngineStats) -> EngineStats {
 pub struct BlockAmcSolver<E: AmcEngine> {
     engine: E,
     config: SolverConfig,
+    recorder: Recorder,
 }
 
 impl<E: AmcEngine> BlockAmcSolver<E> {
@@ -414,12 +416,35 @@ impl<E: AmcEngine> BlockAmcSolver<E> {
                 split: SplitRule::Halves,
                 capture_trace: true,
             },
+            recorder: Recorder::disabled(),
         }
     }
 
     /// Binds a finished configuration to an engine.
     pub fn from_config(engine: E, config: SolverConfig) -> Self {
-        BlockAmcSolver { engine, config }
+        BlockAmcSolver {
+            engine,
+            config,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attaches a span [`Recorder`]: subsequent [`prepare`] /
+    /// [`solve`] calls record hierarchical prepare/solve spans on it.
+    ///
+    /// Instrumentation is strictly read-only — results are bit-identical
+    /// whether the recorder is enabled, disabled (the default), or
+    /// absent; only timing observation changes.
+    ///
+    /// [`prepare`]: BlockAmcSolver::prepare
+    /// [`solve`]: BlockAmcSolver::solve
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// Borrows the attached recorder (e.g. to flush it mid-run).
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
     }
 
     /// Sets the DAC/ADC/S&H configuration, rebuilding the architecture's
@@ -472,11 +497,13 @@ impl<E: AmcEngine> BlockAmcSolver<E> {
         }
         self.config.validate_for_size(a.rows())?;
         let plan = self.config.partition_plan();
-        let tree = multi_stage::prepare_plan(&mut self.engine, a, &plan)?;
+        let tree =
+            multi_stage::prepare_plan_recorded(&mut self.engine, a, &plan, &mut self.recorder)?;
         Ok(PreparedSolver {
             engine: &mut self.engine,
             config: &self.config,
             tree,
+            recorder: &mut self.recorder,
         })
     }
 
@@ -503,11 +530,18 @@ impl<E: AmcEngine> BlockAmcSolver<E> {
         }
         self.config.validate_for_size(a.rows())?;
         let plan = self.config.partition_plan();
-        let tree = multi_stage::prepare_plan_workers(&mut self.engine, a, &plan, workers)?;
+        let tree = multi_stage::prepare_plan_workers_recorded(
+            &mut self.engine,
+            a,
+            &plan,
+            workers,
+            &mut self.recorder,
+        )?;
         Ok(PreparedSolver {
             engine: &mut self.engine,
             config: &self.config,
             tree,
+            recorder: &mut self.recorder,
         })
     }
 
@@ -557,6 +591,7 @@ pub struct PreparedSolver<'a, E: AmcEngine> {
     engine: &'a mut E,
     config: &'a SolverConfig,
     tree: PreparedMultiStage,
+    recorder: &'a mut Recorder,
 }
 
 impl<E: AmcEngine> PreparedSolver<'_, E> {
@@ -591,7 +626,7 @@ impl<E: AmcEngine> PreparedSolver<'_, E> {
     ///
     /// Shape mismatches and engine failures.
     pub fn solve(&mut self, b: &[f64]) -> Result<SolveReport> {
-        solve_prepared(self.engine, self.config, &mut self.tree, b)
+        solve_prepared(self.engine, self.config, &mut self.tree, b, self.recorder)
     }
 
     /// Clones this prepared solver into `n` independently owned
@@ -620,6 +655,9 @@ impl<E: AmcEngine> PreparedSolver<'_, E> {
                 engine: self.engine.clone(),
                 config: self.config.clone(),
                 tree: self.tree.clone(),
+                // Recorder clones fork: each replica records on its own
+                // worker lane of the same trace session.
+                recorder: self.recorder.clone(),
             })
             .collect()
     }
@@ -651,11 +689,28 @@ fn solve_prepared<E: AmcEngine>(
     config: &SolverConfig,
     tree: &mut PreparedMultiStage,
     b: &[f64],
+    rec: &mut Recorder,
 ) -> Result<SolveReport> {
     let before = engine.stats();
+    let span = rec.enter("solve");
     let (x, log) =
-        multi_stage::solve_with_signal(engine, tree, b, &config.signal, config.capture_trace)?;
+        multi_stage::solve_with_signal(engine, tree, b, &config.signal, config.capture_trace, rec)?;
     let after = engine.stats();
+    // Fold the engine op-count delta of this solve into the root span.
+    rec.exit_with(
+        span,
+        &[
+            ("n", b.len() as f64),
+            (
+                "inv_ops",
+                after.inv_ops.saturating_sub(before.inv_ops) as f64,
+            ),
+            (
+                "mvm_ops",
+                after.mvm_ops.saturating_sub(before.mvm_ops) as f64,
+            ),
+        ],
+    );
     let trace = (!log.steps.is_empty()).then_some(log.steps);
     Ok(SolveReport {
         x,
@@ -681,6 +736,9 @@ pub struct SolverReplica<E: AmcEngine> {
     engine: E,
     config: SolverConfig,
     tree: PreparedMultiStage,
+    // Cloned replicas fork the recorder, so each worker's solves land
+    // on a distinct lane of the same trace session.
+    recorder: Recorder,
 }
 
 impl<E: AmcEngine> SolverReplica<E> {
@@ -708,13 +766,31 @@ impl<E: AmcEngine> SolverReplica<E> {
         (&mut self.engine, &self.config, &mut self.tree)
     }
 
+    /// Attaches a span [`Recorder`]: subsequent solves on this replica
+    /// record hierarchical solve spans on it. See
+    /// [`BlockAmcSolver::set_recorder`] for the bit-identity contract.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// Borrows the attached recorder (e.g. to flush it mid-run).
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
+    }
+
     /// Solves `A·x = b` against the replica's programmed arrays.
     ///
     /// # Errors
     ///
     /// Shape mismatches and engine failures.
     pub fn solve(&mut self, b: &[f64]) -> Result<SolveReport> {
-        solve_prepared(&mut self.engine, &self.config, &mut self.tree, b)
+        solve_prepared(
+            &mut self.engine,
+            &self.config,
+            &mut self.tree,
+            b,
+            &mut self.recorder,
+        )
     }
 
     /// Solves one right-hand side after another against the replica's

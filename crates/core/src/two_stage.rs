@@ -262,6 +262,7 @@ pub fn solve<E: AmcEngine + ?Sized>(
         b,
         SignalPath::new(&levels),
         &mut log,
+        &mut amc_obs::Recorder::disabled(),
     )?;
     Ok(TwoStageSolution {
         x: vector::neg(&neg_x),

@@ -107,7 +107,7 @@ impl SimdEngine {
 
 impl AmcEngine for SimdEngine {
     fn program(&mut self, a: &Matrix) -> Result<Operand> {
-        self.stats.program_ops += 1;
+        self.stats.count_program();
         Ok(Operand::new(SimdOperand {
             a: a.clone(),
             lu: None,
@@ -129,7 +129,7 @@ impl AmcEngine for SimdEngine {
         out.resize(lu.dim(), 0.0);
         lu.solve_into(b, out)?;
         amc_linalg::vector::neg_in_place(out);
-        self.stats.inv_ops += 1;
+        self.stats.count_inv();
         Ok(())
     }
 
@@ -144,7 +144,7 @@ impl AmcEngine for SimdEngine {
         out.resize(state.a.rows(), 0.0);
         state.a.matvec_into(x, out)?;
         amc_linalg::vector::neg_in_place(out);
-        self.stats.mvm_ops += 1;
+        self.stats.count_mvm();
         Ok(())
     }
 

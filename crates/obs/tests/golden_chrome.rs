@@ -1,0 +1,58 @@
+//! Golden-file pin for the Chrome trace-event JSON schema.
+//!
+//! `chrome_trace_json` output must stay byte-stable for a fixed event
+//! list: external tooling (Perfetto imports, trace diffing in CI
+//! artifacts) depends on the exact field set and formatting. If this
+//! test fails because the schema changed *intentionally*, regenerate
+//! `tests/golden/chrome_trace.json` from the `expected()` events below
+//! and update the README's Observability section.
+
+use amc_obs::{SpanEvent, Trace};
+
+fn golden_events() -> Vec<SpanEvent> {
+    vec![
+        SpanEvent {
+            name: "prepare",
+            worker: 0,
+            start_ns: 0,
+            end_ns: 125_000,
+            depth: 0,
+            args: vec![("n", 16.0)],
+        },
+        SpanEvent {
+            name: "prepare.schur",
+            worker: 0,
+            start_ns: 10_500,
+            end_ns: 60_250,
+            depth: 1,
+            args: vec![],
+        },
+        SpanEvent {
+            name: "solve",
+            worker: 0,
+            start_ns: 130_000,
+            end_ns: 310_999,
+            depth: 0,
+            args: vec![("inv_ops", 3.0), ("mvm_ops", 2.0)],
+        },
+        SpanEvent {
+            name: "engine.inv",
+            worker: 1,
+            start_ns: 140_000,
+            end_ns: 190_000,
+            depth: 0,
+            args: vec![("elapsed_s", 0.05)],
+        },
+    ]
+}
+
+#[test]
+fn chrome_trace_json_matches_golden() {
+    let trace = Trace::from_events(golden_events());
+    let rendered = trace.chrome_trace_json();
+    let golden = include_str!("golden/chrome_trace.json");
+    assert_eq!(
+        rendered, golden,
+        "Chrome trace JSON schema drifted from the committed golden file"
+    );
+}

@@ -493,6 +493,32 @@ pub struct CampaignReport {
     pub cells: Vec<CellRecord>,
 }
 
+impl CampaignReport {
+    /// The report's trial/op totals as a metrics snapshot — the same
+    /// queryable surface the server exposes, built purely from the
+    /// (deterministic) report so it is bit-identical at any worker
+    /// count.
+    pub fn metrics(&self) -> amc_obs::MetricsSnapshot {
+        let registry = amc_obs::Registry::new();
+        registry
+            .counter("campaign.cells")
+            .set(self.cells.len() as u64);
+        let attempted = registry.counter("campaign.trials_attempted");
+        let completed = registry.counter("campaign.trials_completed");
+        let inv_ops = registry.counter("campaign.inv_ops_per_trial");
+        let mvm_ops = registry.counter("campaign.mvm_ops_per_trial");
+        let program_ops = registry.counter("campaign.program_ops_per_trial");
+        for cell in &self.cells {
+            attempted.add(cell.trials as u64);
+            completed.add(cell.completed as u64);
+            inv_ops.add(cell.inv_ops as u64);
+            mvm_ops.add(cell.mvm_ops as u64);
+            program_ops.add(cell.program_ops as u64);
+        }
+        registry.snapshot()
+    }
+}
+
 /// Result of [`run_worker_sweep`]: the (identical) report plus wall
 /// timings per worker count.
 #[derive(Debug, Clone, PartialEq)]

@@ -240,6 +240,8 @@ pub struct LifetimeSummary {
     /// Total CG iterations saved by warm-starting from degraded
     /// answers (across all refined ticks).
     pub iterations_saved: i64,
+    /// Ticks whose served answers missed the SLO (availability 0).
+    pub degraded_ticks: u64,
 }
 
 impl LifetimeSummary {
@@ -254,6 +256,7 @@ impl LifetimeSummary {
             total_repairs: 0,
             refine_ticks: 0,
             iterations_saved: 0,
+            degraded_ticks: 0,
         };
         for t in ticks {
             s.mean_accuracy += t.accuracy / count;
@@ -263,6 +266,7 @@ impl LifetimeSummary {
             s.total_repairs += t.arrays_reprogrammed;
             s.refine_ticks += u64::from(t.refine_iterations > 0);
             s.iterations_saved += t.iterations_saved;
+            s.degraded_ticks += u64::from(t.availability == 0.0);
         }
         s
     }
@@ -301,6 +305,35 @@ pub struct LifetimeReport {
     pub rhs_per_tick: usize,
     /// One record per `workload × policy` cell, workload-major.
     pub cells: Vec<LifetimeCellRecord>,
+}
+
+impl LifetimeReport {
+    /// The report's repair/refine/degraded totals as a metrics
+    /// snapshot — the same queryable surface the server exposes, built
+    /// purely from the (deterministic) report so it is bit-identical
+    /// at any worker count.
+    pub fn metrics(&self) -> amc_obs::MetricsSnapshot {
+        let registry = amc_obs::Registry::new();
+        registry
+            .counter("lifetime.cells")
+            .set(self.cells.len() as u64);
+        registry
+            .counter("lifetime.ticks")
+            .set(self.cells.iter().map(|c| c.ticks.len() as u64).sum());
+        let repairs = registry.counter("lifetime.total_repairs");
+        let refines = registry.counter("lifetime.refine_ticks");
+        let degraded = registry.counter("lifetime.degraded_ticks");
+        let repairs_per_tick = registry.histogram("lifetime.repairs_per_tick");
+        for cell in &self.cells {
+            repairs.add(cell.summary.total_repairs);
+            refines.add(cell.summary.refine_ticks);
+            degraded.add(cell.summary.degraded_ticks);
+            for tick in &cell.ticks {
+                repairs_per_tick.record(tick.arrays_reprogrammed);
+            }
+        }
+        registry.snapshot()
+    }
 }
 
 /// The result of [`run_lifetime_worker_sweep`].

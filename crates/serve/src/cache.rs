@@ -65,6 +65,14 @@ pub struct CacheCounters {
     pub insertions: u64,
 }
 
+/// Saturating counter bump: a counter at `u64::MAX` stays pinned there
+/// (and trips a debug assertion) instead of wrapping to a misleadingly
+/// small number.
+fn saturating_bump(counter: &mut u64, what: &'static str) {
+    debug_assert!(*counter < u64::MAX, "CacheCounters::{what} saturated");
+    *counter = counter.saturating_add(1);
+}
+
 /// Sentinel for "no neighbor" in the intrusive lists.
 const NIL: usize = usize::MAX;
 
@@ -164,11 +172,11 @@ impl<V> LfuCache<V> {
     pub fn get(&mut self, key: &CacheKey) -> Option<&V> {
         match self.index.get(key).copied() {
             None => {
-                self.counters.misses += 1;
+                saturating_bump(&mut self.counters.misses, "misses");
                 None
             }
             Some(idx) => {
-                self.counters.hits += 1;
+                saturating_bump(&mut self.counters.hits, "hits");
                 self.touch(idx);
                 Some(&self.slab[idx].as_ref().unwrap().value)
             }
@@ -206,9 +214,9 @@ impl<V> LfuCache<V> {
         self.index.insert(key, idx);
         self.push_head(1, idx);
         self.min_freq = 1;
-        self.counters.insertions += 1;
+        saturating_bump(&mut self.counters.insertions, "insertions");
         if evicted.is_some() {
-            self.counters.evictions += 1;
+            saturating_bump(&mut self.counters.evictions, "evictions");
         }
         evicted
     }
@@ -324,6 +332,33 @@ mod tests {
             config: vec![1, 2, 3],
             engine: EngineRef::new("numeric", 0),
         }
+    }
+
+    #[test]
+    fn counter_bump_is_exact_up_to_the_boundary() {
+        let mut c: LfuCache<i32> = LfuCache::new(2);
+        c.counters.misses = u64::MAX - 1;
+        assert!(c.get(&key(1)).is_none());
+        // The last representable bump is exact, not prematurely pinned.
+        assert_eq!(c.counters().misses, u64::MAX);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn counter_saturates_at_max_in_release() {
+        let mut c: LfuCache<i32> = LfuCache::new(2);
+        c.counters.misses = u64::MAX;
+        assert!(c.get(&key(1)).is_none());
+        assert_eq!(c.counters().misses, u64::MAX, "saturated, not wrapped");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "CacheCounters::misses saturated")]
+    fn counter_overflow_asserts_in_debug() {
+        let mut c: LfuCache<i32> = LfuCache::new(2);
+        c.counters.misses = u64::MAX;
+        let _ = c.get(&key(1));
     }
 
     #[test]

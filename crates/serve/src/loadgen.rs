@@ -20,6 +20,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use amc_linalg::Matrix;
+use amc_obs::{MetricsSnapshot, Registry};
 use blockamc::solver::SolverConfig;
 
 use crate::client::Client;
@@ -43,6 +44,11 @@ pub struct LoadGenConfig {
     pub engine: EngineRef,
     /// Seed of the matrix/RHS/selection streams.
     pub seed: u64,
+    /// Maximum `Busy` retries per request before the request is
+    /// abandoned (counted as a give-up, not an error). Bounds the
+    /// formerly unbounded retry loop so a saturated server cannot hang
+    /// the generator.
+    pub busy_retry_cap: u32,
 }
 
 impl Default for LoadGenConfig {
@@ -54,6 +60,7 @@ impl Default for LoadGenConfig {
             n: 32,
             engine: EngineRef::new("numeric", 0),
             seed: 7,
+            busy_retry_cap: 64,
         }
     }
 }
@@ -61,12 +68,17 @@ impl Default for LoadGenConfig {
 /// What one run measured.
 #[derive(Debug, Clone)]
 pub struct LoadGenReport {
-    /// Solve requests issued (excluding warm-up prepares).
+    /// Solve requests attempted (excluding warm-up prepares); exceeds
+    /// `solved` exactly when requests gave up under sustained `Busy`.
     pub requests: u64,
     /// Requests answered with a solution.
     pub solved: u64,
-    /// Requests rejected with `Busy` (each retried until solved).
+    /// `Busy` rejections observed (each followed by a backed-off retry
+    /// while under the cap).
     pub busy_rejections: u64,
+    /// Requests abandoned after [`LoadGenConfig::busy_retry_cap`]
+    /// consecutive `Busy` rejections.
+    pub busy_giveups: u64,
     /// Wall-clock duration of the measured phase, seconds.
     pub elapsed_s: f64,
     /// Solved requests per second.
@@ -83,6 +95,21 @@ pub struct LoadGenReport {
     pub coalescing_factor: f64,
     /// Full server counter snapshot at the end of the run.
     pub server: ServerStats,
+    /// Generator-side metrics (`loadgen.busy_retries`,
+    /// `loadgen.busy_giveups`, `loadgen.latency_us`) snapshotted at the
+    /// end of the run.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Backoff before Busy retry `attempt` (0-based): 100 µs doubling per
+/// attempt, capped at ~3.2 ms, plus a seeded jitter of up to the base
+/// drawn from `jitter_state` — deterministic per client stream, and
+/// desynchronized across clients so they don't re-slam the queue in
+/// lockstep.
+fn busy_backoff(attempt: u32, jitter_state: &mut u64) -> std::time::Duration {
+    let base_us = 100u64 << attempt.min(5);
+    let jitter_us = splitmix(jitter_state) % base_us;
+    std::time::Duration::from_micros(base_us + jitter_us)
 }
 
 /// SplitMix64 step — the workspace-standard cheap deterministic stream.
@@ -152,8 +179,11 @@ pub fn run(server: &Server, cfg: &LoadGenConfig) -> Result<LoadGenReport> {
         })
         .collect::<Result<_>>()?;
 
+    let metrics = Registry::new();
+    let busy_retries = metrics.counter("loadgen.busy_retries");
+    let busy_giveups = metrics.counter("loadgen.busy_giveups");
+    let latency_us = metrics.histogram("loadgen.latency_us");
     let latencies = Mutex::new(Vec::new());
-    let busy = Mutex::new(0u64);
     let started = Instant::now();
     std::thread::scope(|scope| -> Result<()> {
         let mut handles = Vec::new();
@@ -163,17 +193,20 @@ pub fn run(server: &Server, cfg: &LoadGenConfig) -> Result<LoadGenReport> {
             let matrices = &matrices;
             let fingerprints = &fingerprints;
             let latencies = &latencies;
-            let busy = &busy;
+            let busy_retries = &busy_retries;
+            let busy_giveups = &busy_giveups;
+            let latency_us = &latency_us;
             handles.push(scope.spawn(move || -> Result<()> {
                 let mut client = Client::new(transport);
                 let mut select = cfg.seed ^ (client_idx as u64).wrapping_mul(0x517c_c1b7_2722_0a95);
+                let mut jitter = cfg.seed ^ (client_idx as u64).wrapping_mul(0xd6e8_feb8_6659_fd93);
                 let mut my_latencies = Vec::with_capacity(cfg.requests_per_client);
-                let mut my_busy = 0u64;
                 for request in 0..cfg.requests_per_client {
                     let pick = (splitmix(&mut select) % matrices.len() as u64) as usize;
                     let rhs = workload_rhs(cfg.n, cfg.seed ^ client_idx as u64, request as u64);
                     let t0 = Instant::now();
                     let mut inline = false;
+                    let mut busy_attempts = 0u32;
                     loop {
                         let result = client.solve(
                             if inline {
@@ -186,12 +219,25 @@ pub fn run(server: &Server, cfg: &LoadGenConfig) -> Result<LoadGenReport> {
                             &rhs,
                         );
                         match result {
-                            Ok(_) => break,
-                            // Backpressure: back off and retry — the
-                            // closed loop's natural response to Busy.
+                            Ok(_) => {
+                                let elapsed = t0.elapsed();
+                                latency_us.record(elapsed.as_micros() as u64);
+                                my_latencies.push(elapsed.as_secs_f64() * 1e3);
+                                break;
+                            }
+                            // Backpressure: back off (doubling, seeded
+                            // jitter) and retry — up to the cap, past
+                            // which the request is abandoned rather
+                            // than hammering a saturated server
+                            // forever.
                             Err(ServeError::Busy) => {
-                                my_busy += 1;
-                                std::thread::sleep(std::time::Duration::from_micros(200));
+                                if busy_attempts >= cfg.busy_retry_cap {
+                                    busy_giveups.inc();
+                                    break;
+                                }
+                                busy_retries.inc();
+                                std::thread::sleep(busy_backoff(busy_attempts, &mut jitter));
+                                busy_attempts += 1;
                             }
                             // Evicted under churn (possibly between
                             // resolve and dispatch): re-submit inline
@@ -200,10 +246,8 @@ pub fn run(server: &Server, cfg: &LoadGenConfig) -> Result<LoadGenReport> {
                             Err(e) => return Err(e),
                         }
                     }
-                    my_latencies.push(t0.elapsed().as_secs_f64() * 1e3);
                 }
                 latencies.lock().unwrap().extend(my_latencies);
-                *busy.lock().unwrap() += my_busy;
                 Ok(())
             }));
         }
@@ -219,9 +263,10 @@ pub fn run(server: &Server, cfg: &LoadGenConfig) -> Result<LoadGenReport> {
     let server_stats = server.stats();
     let solved = lat.len() as u64;
     Ok(LoadGenReport {
-        requests: solved,
+        requests: (cfg.clients.max(1) * cfg.requests_per_client) as u64,
         solved,
-        busy_rejections: busy.into_inner().unwrap(),
+        busy_rejections: busy_retries.get(),
+        busy_giveups: busy_giveups.get(),
         elapsed_s,
         throughput_rps: if elapsed_s > 0.0 {
             solved as f64 / elapsed_s
@@ -234,6 +279,7 @@ pub fn run(server: &Server, cfg: &LoadGenConfig) -> Result<LoadGenReport> {
         hit_rate: server_stats.hit_rate(),
         coalescing_factor: server_stats.coalescing_factor(),
         server: server_stats,
+        metrics: metrics.snapshot(),
     })
 }
 
@@ -268,6 +314,28 @@ mod tests {
         // RHS stream is deterministic too.
         assert_eq!(workload_rhs(8, 1, 2), workload_rhs(8, 1, 2));
         assert_ne!(workload_rhs(8, 1, 2), workload_rhs(8, 1, 3));
+    }
+
+    #[test]
+    fn busy_backoff_doubles_caps_and_jitters_deterministically() {
+        let mut jitter = 42u64;
+        let mut prev_base = 0u64;
+        for attempt in 0..8 {
+            let base_us = 100u64 << attempt.min(5);
+            let d = busy_backoff(attempt, &mut jitter);
+            let us = d.as_micros() as u64;
+            assert!(us >= base_us && us < 2 * base_us, "attempt {attempt}: {us}");
+            assert!(base_us >= prev_base, "base must be non-decreasing");
+            prev_base = base_us;
+        }
+        // Capped: attempts past 5 keep the 3.2 ms base.
+        let mut j = 3u64;
+        assert!(busy_backoff(7, &mut j).as_micros() < 6400);
+        // Same stream, same delays.
+        let (mut a, mut b) = (7u64, 7u64);
+        for attempt in 0..6 {
+            assert_eq!(busy_backoff(attempt, &mut a), busy_backoff(attempt, &mut b));
+        }
     }
 
     #[test]

@@ -42,13 +42,14 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use amc_linalg::Matrix;
+use amc_obs::{Counter, Histogram, MetricsSnapshot, Recorder, Registry, TraceSession};
 use blockamc::aging::{AgedSolver, AgingModel};
 use blockamc::engine::{AmcEngine, EngineRegistry};
 use blockamc::solver::{BlockAmcSolver, SolverConfig, SolverReplica};
@@ -287,6 +288,12 @@ pub struct ServerConfig {
     /// means arrays never age and the server behaves exactly as before
     /// aging existed.
     pub aging: Option<ServeAging>,
+    /// Trace session connection loops and dispatcher workers record
+    /// spans into (`serve.decode` → `serve.lookup` → `serve.wait` →
+    /// `serve.dispatch` → `serve.encode`). `None` (the default) records
+    /// nothing; either way the served numbers are bit-identical —
+    /// tracing is strictly read-only.
+    pub trace: Option<TraceSession>,
 }
 
 impl Default for ServerConfig {
@@ -297,6 +304,7 @@ impl Default for ServerConfig {
             batch_workers: 1,
             queue_capacity: 64,
             aging: None,
+            trace: None,
         }
     }
 }
@@ -312,6 +320,10 @@ struct Job {
     rhs: Vec<Vec<f64>>,
     accept_degraded: bool,
     reply: mpsc::Sender<JobReply>,
+    /// When the job entered the queue — the coalesce-wait clock
+    /// (`serve.wait_us`) starts here and stops when a worker claims the
+    /// key.
+    enqueued: Instant,
 }
 
 /// Dispatcher state behind one mutex: which keys have work, which are
@@ -330,20 +342,49 @@ struct DispatchState {
     shutdown: bool,
 }
 
-/// Throughput counters (the non-cache half of [`ServerStats`]).
-#[derive(Default)]
+/// Throughput counters (the non-cache half of [`ServerStats`]), held as
+/// handles into the server's metrics registry: the same saturating
+/// counters answer the wire `Stats` request and [`Server::metrics`],
+/// one surface instead of two books.
 struct Counters {
-    requests: AtomicU64,
-    solved_rhs: AtomicU64,
-    dispatch_batches: AtomicU64,
-    coalesced_requests: AtomicU64,
-    staleness_evictions: AtomicU64,
-    degraded_served: AtomicU64,
+    requests: Counter,
+    solved_rhs: Counter,
+    dispatch_batches: Counter,
+    coalesced_requests: Counter,
+    staleness_evictions: Counter,
+    degraded_served: Counter,
+    busy_rejections: Counter,
+    /// Wall time of one dispatched batch solve, µs.
+    dispatch_us: Histogram,
+    /// Queue-entry → worker-claim latency per job, µs (the price of
+    /// coalescing).
+    wait_us: Histogram,
+    /// Right-hand sides per dispatched batch (the coalescing factor's
+    /// numerator; `dispatch_batches` is its denominator).
+    batch_rhs: Histogram,
+}
+
+impl Counters {
+    fn new(metrics: &Registry) -> Counters {
+        Counters {
+            requests: metrics.counter("serve.requests"),
+            solved_rhs: metrics.counter("serve.solved_rhs"),
+            dispatch_batches: metrics.counter("serve.dispatch_batches"),
+            coalesced_requests: metrics.counter("serve.coalesced_requests"),
+            staleness_evictions: metrics.counter("serve.staleness_evictions"),
+            degraded_served: metrics.counter("serve.degraded_served"),
+            busy_rejections: metrics.counter("serve.busy_rejections"),
+            dispatch_us: metrics.histogram("serve.dispatch_us"),
+            wait_us: metrics.histogram("serve.wait_us"),
+            batch_rhs: metrics.histogram("serve.batch_rhs"),
+        }
+    }
 }
 
 struct Inner {
     cfg: ServerConfig,
     registry: EngineRegistry,
+    metrics: Registry,
     cache: Mutex<LfuCache<Entry>>,
     state: Mutex<DispatchState>,
     work: Condvar,
@@ -352,6 +393,17 @@ struct Inner {
     counters: Counters,
     workers: Mutex<Vec<JoinHandle<()>>>,
     connections: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Inner {
+    /// A recorder on the configured trace session — disabled (and
+    /// free) when tracing is off.
+    fn recorder(&self) -> Recorder {
+        self.cfg
+            .trace
+            .as_ref()
+            .map_or_else(Recorder::disabled, TraceSession::recorder)
+    }
 }
 
 /// The solver service: prepared-solver cache + coalescing dispatcher +
@@ -369,15 +421,18 @@ impl Server {
     /// Starts a server: spawns `cfg.solver_workers` dispatcher threads
     /// and resolves engines against `registry`.
     pub fn new(cfg: ServerConfig, registry: EngineRegistry) -> Server {
+        let metrics = Registry::new();
+        let counters = Counters::new(&metrics);
         let inner = Arc::new(Inner {
             cache: Mutex::new(LfuCache::new(cfg.cache_capacity)),
             state: Mutex::new(DispatchState::default()),
             work: Condvar::new(),
             closing: AtomicBool::new(false),
             shutdown_once: AtomicBool::new(false),
-            counters: Counters::default(),
+            counters,
             workers: Mutex::new(Vec::new()),
             connections: Mutex::new(Vec::new()),
+            metrics,
             registry,
             cfg,
         });
@@ -388,7 +443,12 @@ impl Server {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("amc-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || {
+                        // One recorder (= one trace lane) per dispatcher
+                        // thread, flushed when the worker exits.
+                        let mut rec = inner.recorder();
+                        worker_loop(&inner, &mut rec);
+                    })
                     .expect("spawn solver worker"),
             );
         }
@@ -410,6 +470,9 @@ impl Server {
     /// Transport failures ([`ServeError::Io`]); a clean peer disconnect
     /// returns `Ok(())`.
     pub fn serve_transport(&self, mut transport: impl Transport) -> Result<()> {
+        // One recorder (= one trace lane) per connection loop, flushed
+        // when the connection ends.
+        let mut rec = self.inner.recorder();
         loop {
             match transport.recv(POLL)? {
                 Received::Closed => return Ok(()),
@@ -419,14 +482,20 @@ impl Server {
                     }
                 }
                 Received::Frame(payload) => {
-                    let response = match Request::decode(&payload) {
+                    let decode = rec.enter("serve.decode");
+                    let decoded = Request::decode(&payload);
+                    rec.exit_with(decode, &[("bytes", payload.len() as f64)]);
+                    let response = match decoded {
                         Err(e) => Response::Error {
                             message: e.to_string(),
                         },
-                        Ok(request) => self.handle(request),
+                        Ok(request) => self.handle(request, &mut rec),
                     };
                     let closing = matches!(response, Response::ShuttingDown);
-                    transport.send(&response.encode())?;
+                    let encode = rec.enter("serve.encode");
+                    let frame = response.encode();
+                    rec.exit(encode);
+                    transport.send(&frame)?;
                     if closing {
                         return Ok(());
                     }
@@ -504,21 +573,48 @@ impl Server {
             insertions: c.insertions,
             entries: cache.len() as u64,
             capacity: cache.capacity() as u64,
-            requests: self.inner.counters.requests.load(Ordering::Relaxed),
-            solved_rhs: self.inner.counters.solved_rhs.load(Ordering::Relaxed),
-            dispatch_batches: self.inner.counters.dispatch_batches.load(Ordering::Relaxed),
-            coalesced_requests: self
-                .inner
-                .counters
-                .coalesced_requests
-                .load(Ordering::Relaxed),
-            staleness_evictions: self
-                .inner
-                .counters
-                .staleness_evictions
-                .load(Ordering::Relaxed),
-            degraded_served: self.inner.counters.degraded_served.load(Ordering::Relaxed),
+            requests: self.inner.counters.requests.get(),
+            solved_rhs: self.inner.counters.solved_rhs.get(),
+            dispatch_batches: self.inner.counters.dispatch_batches.get(),
+            coalesced_requests: self.inner.counters.coalesced_requests.get(),
+            staleness_evictions: self.inner.counters.staleness_evictions.get(),
+            degraded_served: self.inner.counters.degraded_served.get(),
         }
+    }
+
+    /// A point-in-time snapshot of the full metrics surface: every
+    /// `serve.*` counter and latency histogram, with the cache counters
+    /// mirrored in under `cache.*`. This is the queryable surface
+    /// behind `repro serve --metrics`; [`Server::stats`] remains the
+    /// frozen wire subset.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        {
+            let cache = self.inner.cache.lock().unwrap();
+            let c = cache.counters();
+            self.inner.metrics.counter("cache.hits").set(c.hits);
+            self.inner.metrics.counter("cache.misses").set(c.misses);
+            self.inner
+                .metrics
+                .counter("cache.evictions")
+                .set(c.evictions);
+            self.inner
+                .metrics
+                .counter("cache.insertions")
+                .set(c.insertions);
+            self.inner
+                .metrics
+                .gauge("cache.entries")
+                .set(cache.len() as f64);
+            self.inner
+                .metrics
+                .gauge("cache.capacity")
+                .set(cache.capacity() as f64);
+        }
+        self.inner
+            .metrics
+            .gauge("serve.queued_rhs")
+            .set(self.queued_rhs() as f64);
+        self.inner.metrics.snapshot()
     }
 
     /// Stops the server: wakes and joins the solver workers, then fails
@@ -558,6 +654,22 @@ impl Server {
         self.inner.closing.load(Ordering::Acquire)
     }
 
+    /// Joins every connection thread this handle spawned (loopback
+    /// connections register themselves; a thread never joins itself).
+    /// Call after [`shutdown`](Server::shutdown) when the connection
+    /// loops must have fully exited — e.g. so their trace lanes are
+    /// flushed before a [`TraceSession::drain`]. Idempotent; also runs
+    /// on the last handle's drop.
+    pub fn join_connections(&self) {
+        let current = std::thread::current().id();
+        let connections: Vec<_> = self.inner.connections.lock().unwrap().drain(..).collect();
+        for conn in connections {
+            if conn.thread().id() != current {
+                let _ = conn.join();
+            }
+        }
+    }
+
     /// Right-hand sides currently queued (the backpressure gauge the
     /// `Busy` bound compares against). Exposed for tests and benches
     /// that need to observe saturation deterministically.
@@ -569,14 +681,14 @@ impl Server {
     // Request handling (one call per decoded request).
     // -----------------------------------------------------------------
 
-    fn handle(&self, request: Request) -> Response {
-        self.inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+    fn handle(&self, request: Request, rec: &mut Recorder) -> Response {
+        self.inner.counters.requests.inc();
         match request {
             Request::Prepare {
                 matrix,
                 config,
                 engine,
-            } => self.handle_prepare(&matrix, &config, &engine),
+            } => self.handle_prepare(&matrix, &config, &engine, rec),
             Request::Solve {
                 matrix,
                 config,
@@ -584,8 +696,14 @@ impl Server {
                 rhs,
                 accept_degraded,
             } => {
-                match self.resolve_and_submit(matrix, &config, &engine, vec![rhs], accept_degraded)
-                {
+                match self.resolve_and_submit(
+                    matrix,
+                    &config,
+                    &engine,
+                    vec![rhs],
+                    accept_degraded,
+                    rec,
+                ) {
                     Ok((mut xs, degraded)) => Response::Solved {
                         x: xs.pop().unwrap_or_default(),
                         degraded,
@@ -605,7 +723,8 @@ impl Server {
                         message: "batch must contain at least one RHS".into(),
                     };
                 }
-                match self.resolve_and_submit(matrix, &config, &engine, batch, accept_degraded) {
+                match self.resolve_and_submit(matrix, &config, &engine, batch, accept_degraded, rec)
+                {
                     Ok((xs, degraded)) => Response::SolvedBatch { xs, degraded },
                     Err(e) => error_response(e),
                 }
@@ -632,10 +751,14 @@ impl Server {
         matrix: &Matrix,
         config: &SolverConfig,
         engine: &EngineRef,
+        rec: &mut Recorder,
     ) -> Response {
         let fingerprint = matrix.fingerprint();
         let key = CacheKey::new(fingerprint, config, engine);
-        if self.inner.cache.lock().unwrap().get(&key).is_some() {
+        let lookup = rec.enter("serve.lookup");
+        let hit = self.inner.cache.lock().unwrap().get(&key).is_some();
+        rec.exit_with(lookup, &[("hit", f64::from(hit))]);
+        if hit {
             return Response::Prepared {
                 fingerprint,
                 hit: true,
@@ -646,7 +769,10 @@ impl Server {
         // concurrent equal Prepare would only produce a bit-identical
         // replica (deterministic engine build from the seed), so a
         // benign double-prepare beats serializing every connection.
-        match build_entry(&self.inner, matrix, config, engine) {
+        let prepare = rec.enter("serve.prepare");
+        let built = build_entry(&self.inner, matrix, config, engine);
+        rec.exit(prepare);
+        match built {
             Ok(entry) => {
                 self.inner.cache.lock().unwrap().insert(key, entry);
                 Response::Prepared {
@@ -668,11 +794,15 @@ impl Server {
         engine: &EngineRef,
         rhs: Vec<Vec<f64>>,
         accept_degraded: bool,
+        rec: &mut Recorder,
     ) -> std::result::Result<(Vec<Vec<f64>>, bool), ServeError> {
         let key = match matrix {
             MatrixRef::Cached(fingerprint) => {
                 let key = CacheKey::new(fingerprint, config, engine);
-                if self.inner.cache.lock().unwrap().get(&key).is_none() {
+                let lookup = rec.enter("serve.lookup");
+                let hit = self.inner.cache.lock().unwrap().get(&key).is_some();
+                rec.exit_with(lookup, &[("hit", f64::from(hit))]);
+                if !hit {
                     return Err(ServeError::NotPrepared { fingerprint });
                 }
                 key
@@ -680,15 +810,20 @@ impl Server {
             MatrixRef::Inline(m) => {
                 let fingerprint = m.fingerprint();
                 let key = CacheKey::new(fingerprint, config, engine);
-                if self.inner.cache.lock().unwrap().get(&key).is_none() {
-                    let entry =
-                        build_entry(&self.inner, &m, config, engine).map_err(ServeError::Remote)?;
+                let lookup = rec.enter("serve.lookup");
+                let hit = self.inner.cache.lock().unwrap().get(&key).is_some();
+                rec.exit_with(lookup, &[("hit", f64::from(hit))]);
+                if !hit {
+                    let prepare = rec.enter("serve.prepare");
+                    let built = build_entry(&self.inner, &m, config, engine);
+                    rec.exit(prepare);
+                    let entry = built.map_err(ServeError::Remote)?;
                     self.inner.cache.lock().unwrap().insert(key.clone(), entry);
                 }
                 key
             }
         };
-        self.submit(key, rhs, accept_degraded)
+        self.submit(key, rhs, accept_degraded, rec)
     }
 
     /// Queues jobs under `key` (respecting the backpressure bound) and
@@ -698,6 +833,7 @@ impl Server {
         key: CacheKey,
         rhs: Vec<Vec<f64>>,
         accept_degraded: bool,
+        rec: &mut Recorder,
     ) -> std::result::Result<(Vec<Vec<f64>>, bool), ServeError> {
         let (tx, rx) = mpsc::channel();
         {
@@ -707,6 +843,7 @@ impl Server {
             }
             let cost = rhs.len();
             if st.queued_rhs + cost > self.inner.cfg.queue_capacity {
+                self.inner.counters.busy_rejections.inc();
                 return Err(ServeError::Busy);
             }
             st.queued_rhs += cost;
@@ -716,6 +853,7 @@ impl Server {
                 rhs,
                 accept_degraded,
                 reply: tx,
+                enqueued: Instant::now(),
             });
             // A key is enqueued exactly once: if jobs were already
             // pending it is in `ready` or `active`; otherwise it joins
@@ -726,7 +864,12 @@ impl Server {
                 self.inner.work.notify_one();
             }
         }
-        rx.recv().map_err(|_| ServeError::Closed)?
+        // The coalesce wait as the connection sees it: queue entry to
+        // reply, dispatch included.
+        let wait = rec.enter("serve.wait");
+        let reply = rx.recv().map_err(|_| ServeError::Closed);
+        rec.exit(wait);
+        reply?
     }
 }
 
@@ -737,13 +880,7 @@ impl Drop for Server {
             return;
         }
         self.shutdown();
-        let current = std::thread::current().id();
-        let connections: Vec<_> = self.inner.connections.lock().unwrap().drain(..).collect();
-        for conn in connections {
-            if conn.thread().id() != current {
-                let _ = conn.join();
-            }
-        }
+        self.join_connections();
     }
 }
 
@@ -791,7 +928,7 @@ fn build_entry(
 
 /// One dispatcher thread: claim a key, coalesce its queue into a
 /// batch, solve, reply, release.
-fn worker_loop(inner: &Inner) {
+fn worker_loop(inner: &Inner, rec: &mut Recorder) {
     loop {
         let (key, jobs) = {
             let mut st = inner.state.lock().unwrap();
@@ -808,6 +945,16 @@ fn worker_loop(inner: &Inner) {
                 st = inner.work.wait(st).unwrap();
             }
         };
+
+        // The coalesce-wait histogram closes at claim time: how long
+        // each job sat queued before a worker picked its key up.
+        let claimed = Instant::now();
+        for job in &jobs {
+            let waited = claimed.duration_since(job.enqueued);
+            inner.counters.wait_us.record(waited.as_micros() as u64);
+        }
+        let dispatch = rec.enter("serve.dispatch");
+        let total_rhs: usize = jobs.iter().map(|j| j.rhs.len()).sum();
 
         // Clone the entry out under a short lock; everything else runs
         // unlocked so other keys' dispatches and all cache traffic keep
@@ -835,6 +982,10 @@ fn worker_loop(inner: &Inner) {
                 dispatch_aged(inner, &key, &jobs, *aged);
             }
         }
+        rec.exit_with(
+            dispatch,
+            &[("jobs", jobs.len() as f64), ("rhs", total_rhs as f64)],
+        );
 
         let mut st = inner.state.lock().unwrap();
         st.active.remove(&key);
@@ -851,25 +1002,20 @@ fn worker_loop(inner: &Inner) {
 /// flagging the answers `degraded` as instructed.
 fn serve_batch(inner: &Inner, mut replica: CachedSolver, jobs: &[Job], degraded: bool) {
     let batch: Vec<Vec<f64>> = jobs.iter().flat_map(|j| j.rhs.iter().cloned()).collect();
+    inner.counters.dispatch_batches.inc();
+    inner.counters.coalesced_requests.add(jobs.len() as u64);
+    inner.counters.batch_rhs.record(batch.len() as u64);
+    let started = Instant::now();
+    let solved = replica.solve_batch_parallel(&batch, inner.cfg.batch_workers.max(1));
     inner
         .counters
-        .dispatch_batches
-        .fetch_add(1, Ordering::Relaxed);
-    inner
-        .counters
-        .coalesced_requests
-        .fetch_add(jobs.len() as u64, Ordering::Relaxed);
-    match replica.solve_batch_parallel(&batch, inner.cfg.batch_workers.max(1)) {
+        .dispatch_us
+        .record(started.elapsed().as_micros() as u64);
+    match solved {
         Ok(xs) => {
-            inner
-                .counters
-                .solved_rhs
-                .fetch_add(xs.len() as u64, Ordering::Relaxed);
+            inner.counters.solved_rhs.add(xs.len() as u64);
             if degraded {
-                inner
-                    .counters
-                    .degraded_served
-                    .fetch_add(xs.len() as u64, Ordering::Relaxed);
+                inner.counters.degraded_served.add(xs.len() as u64);
             }
             let mut xs = xs.into_iter();
             for job in jobs {
@@ -922,10 +1068,7 @@ fn dispatch_aged(
             // capacity eviction — counted separately) and re-prepare
             // from the retained pristine matrix.
             inner.cache.lock().unwrap().remove(key);
-            inner
-                .counters
-                .staleness_evictions
-                .fetch_add(1, Ordering::Relaxed);
+            inner.counters.staleness_evictions.inc();
             let matrix = aged.matrix().clone();
             let config = aged.replica().config().clone();
             match build_entry(inner, &matrix, &config, &key.engine) {

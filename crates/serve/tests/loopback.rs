@@ -76,6 +76,50 @@ fn prepare_solve_evict_stats_lifecycle() {
 }
 
 #[test]
+fn metrics_registry_mirrors_stats_and_cache_counters() {
+    let server = Server::with_builtin_engines(ServerConfig::default());
+    let mut client = Client::new(server.loopback());
+    let config = quiet_config();
+    let engine = EngineRef::new("numeric", 0);
+    let a = workload_matrix(8, 9);
+
+    let (fp, _) = client.prepare(&a, &config, &engine).unwrap();
+    for k in 0..3 {
+        client
+            .solve(
+                MatrixRef::Cached(fp),
+                &config,
+                &engine,
+                &workload_rhs(8, 9, k),
+            )
+            .unwrap();
+    }
+
+    let stats = client.stats().unwrap();
+    let snap = server.metrics();
+    // The registry is the same data the wire-level stats report, plus
+    // the cache counters mirrored under their own names.
+    assert_eq!(snap.counter("serve.requests"), stats.requests);
+    assert_eq!(snap.counter("serve.solved_rhs"), stats.solved_rhs);
+    assert_eq!(
+        snap.counter("serve.dispatch_batches"),
+        stats.dispatch_batches
+    );
+    assert_eq!(snap.counter("cache.hits"), stats.hits);
+    assert_eq!(snap.counter("cache.misses"), stats.misses);
+    assert_eq!(snap.counter("cache.insertions"), stats.insertions);
+    assert_eq!(snap.counter("serve.busy_rejections"), 0);
+    // Dispatch latency histogram saw exactly the solved batches.
+    match snap.get("serve.dispatch_us") {
+        Some(amc_obs::MetricValue::Histogram(h)) => {
+            assert_eq!(h.count, stats.dispatch_batches);
+        }
+        other => panic!("serve.dispatch_us missing or mistyped: {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
 fn inline_solve_prepares_on_first_sight() {
     let server = Server::with_builtin_engines(ServerConfig::default());
     let mut client = Client::new(server.loopback());
@@ -256,6 +300,11 @@ fn saturated_queue_returns_busy_instead_of_hanging() {
         server.queued_rhs(),
         3,
         "the rejected request was not queued"
+    );
+    assert_eq!(
+        server.metrics().counter("serve.busy_rejections"),
+        1,
+        "the rejection must land in the metrics registry"
     );
 
     // Shutdown drains the queued jobs with errors: the blocked filler

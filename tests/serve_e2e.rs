@@ -51,7 +51,7 @@ fn concurrent_clients_get_bit_identical_results_with_cache_hits() {
         solver_workers: 2,
         batch_workers: 2,
         queue_capacity: 256,
-        aging: None,
+        ..ServerConfig::default()
     });
     let config = solver_config();
 
