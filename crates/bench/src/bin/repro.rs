@@ -34,6 +34,9 @@ struct RunOpts {
     addr: String,
     /// `repro serve --metrics`: dump the full metrics registry on exit.
     metrics: bool,
+    /// `repro run --workers N`: override the campaign file's worker
+    /// count (reports are bit-identical at any value).
+    workers: Option<usize>,
 }
 
 impl RunOpts {
@@ -60,6 +63,7 @@ impl RunOpts {
                 .cloned()
                 .unwrap_or_else(|| "127.0.0.1:7171".to_string()),
             metrics: args.iter().any(|a| a == "--metrics"),
+            workers: flag("--workers").and_then(|v| v.parse().ok()),
         }
     }
 
@@ -77,7 +81,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = RunOpts::parse(&args);
     // Flag values (e.g. the N of `--trials N`) are not commands.
-    let flag_values: Vec<usize> = ["--trials", "--seed", "--addr"]
+    let flag_values: Vec<usize> = ["--trials", "--seed", "--addr", "--workers"]
         .iter()
         .filter_map(|f| args.iter().position(|a| a == *f).map(|i| i + 1))
         .collect();
@@ -164,14 +168,126 @@ fn main() {
         serve(&opts);
         ran_any = true;
     }
+    // File-driven and tree-writing commands are explicit-only too.
+    if cmd == "run" {
+        run_file(&opts, cmds.get(1).copied());
+        ran_any = true;
+    }
+    if cmd == "export-campaigns" {
+        export_campaigns();
+        ran_any = true;
+    }
     if !ran_any {
         eprintln!(
             "unknown command '{cmd}'. usage: repro [--quick] [--trials N] [--seed N] \
-             [--addr HOST:PORT] [--metrics] \
+             [--addr HOST:PORT] [--metrics] [--workers N] \
              <fig6|fig7|fig8|fig9|fig10|headline|scaling|ablation|transient|yield|parallel\
-             |scenarios|engines|simd|serve|serve-bench|lifetime|trace|all>"
+             |scenarios|engines|simd|serve|serve-bench|lifetime|trace\
+             |run <campaign.json>|export-campaigns|all>"
         );
         std::process::exit(2);
+    }
+}
+
+/// Runs a campaign loaded from a `CampaignFile` JSON spec (see
+/// `amc_scenario::spec` and the committed `campaigns/*.json`).
+/// `--quick` selects the file's quick variant and `--workers` overrides
+/// its worker count; the report is bit-identical to the file's in-code
+/// twin at any worker count.
+fn run_file(opts: &RunOpts, path: Option<&str>) {
+    use amc_scenario::campaigns::extended_registry;
+    use amc_scenario::CampaignFile;
+
+    banner("Run — a campaign loaded from a file");
+    let Some(path) = path else {
+        eprintln!("usage: repro [--quick] [--workers N] run <campaign.json>");
+        std::process::exit(2);
+    };
+    let file = match CampaignFile::load(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    let spec = file.select(opts.quick);
+    let campaign = match spec.lower(extended_registry()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let workers = opts.workers.unwrap_or(campaign.workers());
+    println!(
+        "[{}] {} cells x {} trial(s), {} worker(s) (from {path}, {} variant)",
+        campaign.name(),
+        campaign.cell_count(),
+        campaign.trials(),
+        workers,
+        if opts.quick { "quick" } else { "full" }
+    );
+    match campaign.run_with_workers(workers) {
+        Ok(report) => {
+            print!("{}", render_campaign_cells(&report));
+            let artifact = format!(
+                "BENCH_campaign_{}.json",
+                report
+                    .name
+                    .replace(|c: char| !c.is_ascii_alphanumeric(), "_")
+            );
+            match report::write_json(&artifact, &campaign_report_json(&report)) {
+                Ok(()) => println!("\nwrote {artifact}"),
+                Err(e) => println!("\ncould not write {artifact}: {e}"),
+            }
+        }
+        Err(e) => {
+            eprintln!("campaign '{}' failed: {e}", campaign.name());
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "-> the file lowers onto the same Campaign::builder path as the \
+         in-code studies, so a committed spec is a reproducible study: \
+         same seeds, same shards, bit-identical report."
+    );
+}
+
+/// Regenerates the committed `campaigns/*.json` specs from the in-code
+/// campaign constructors (both `--quick` and full variants per file).
+/// CI re-runs this to guard against the files drifting from the code.
+fn export_campaigns() {
+    use amc_scenario::{campaigns, CampaignFile, CampaignSpec};
+
+    banner("Export — the shipped campaigns as files");
+    type Ctor = fn(bool) -> amc_scenario::Result<amc_scenario::Campaign>;
+    let shipped: [(&str, Ctor); 4] = [
+        ("depth_sweep", campaigns::depth_sweep),
+        ("split_rule", campaigns::split_rule_study),
+        ("engine_ladder", campaigns::engine_ladder),
+        ("simd_scaling", campaigns::simd_scaling),
+    ];
+    if let Err(e) = std::fs::create_dir_all("campaigns") {
+        eprintln!("could not create campaigns/: {e}");
+        std::process::exit(1);
+    }
+    for (name, ctor) in shipped {
+        let capture = |quick: bool| ctor(quick).map(|c| CampaignSpec::from_campaign(&c));
+        let file = match (capture(true), capture(false)) {
+            (Ok(quick), Ok(full)) => CampaignFile { quick, full },
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("could not build campaign '{name}': {e}");
+                std::process::exit(1);
+            }
+        };
+        let path = format!("campaigns/{name}.json");
+        match std::fs::write(&path, file.render()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -883,7 +999,7 @@ fn simd(opts: &RunOpts) {
 /// and nonideality ladders, executed by the `amc-scenario` engine and
 /// written to `BENCH_scenarios.json`.
 fn scenarios(opts: &RunOpts) {
-    use amc_scenario::campaign::{run_worker_sweep, CampaignReport};
+    use amc_scenario::campaign::run_worker_sweep;
     use amc_scenario::{campaigns, workload};
 
     banner("Scenarios — declarative campaigns over the workload registry");
@@ -939,76 +1055,8 @@ fn scenarios(opts: &RunOpts) {
     println!("workload registry at n = {n}:\n");
     print!("{}", registry_table.render());
 
-    let render_cells = |report: &CampaignReport| {
-        let mut t = TextTable::new([
-            "workload",
-            "solver",
-            "engine",
-            "nonideality",
-            "ok",
-            "median err",
-            "mean err",
-            "arrays",
-            "model lat",
-        ]);
-        for c in &report.cells {
-            t.row([
-                c.workload.clone(),
-                c.solver.clone(),
-                c.engine.to_string(),
-                c.nonideality.to_string(),
-                format!("{}/{}", c.completed, c.trials),
-                format!("{:.3e}", c.errors.median),
-                format!("{:.3e}", c.errors.mean),
-                c.program_ops.to_string(),
-                c.model_latency_s
-                    .map(|t| format!("{:.1} us", t * 1e6))
-                    .unwrap_or_else(|| "-".to_string()),
-            ]);
-        }
-        t.render()
-    };
-    let campaign_json = |report: &CampaignReport| {
-        Json::obj([
-            ("name", report.name.clone().into()),
-            ("trials", report.trials.into()),
-            ("rhs_per_trial", report.rhs_per_trial.into()),
-            (
-                "cells",
-                Json::Arr(
-                    report
-                        .cells
-                        .iter()
-                        .map(|c| {
-                            Json::obj([
-                                ("workload", c.workload.clone().into()),
-                                ("family", c.family.into()),
-                                ("n", c.n.into()),
-                                ("solver", c.solver.clone().into()),
-                                ("engine", c.engine.into()),
-                                ("nonideality", c.nonideality.into()),
-                                ("trials", c.trials.into()),
-                                ("completed", c.completed.into()),
-                                ("err_mean", c.errors.mean.into()),
-                                ("err_median", c.errors.median.into()),
-                                ("err_max", c.errors.max.into()),
-                                ("program_ops", c.program_ops.into()),
-                                ("inv_ops", c.inv_ops.into()),
-                                ("mvm_ops", c.mvm_ops.into()),
-                                ("analog_time_per_solve_s", c.analog_time_per_solve_s.into()),
-                                (
-                                    "analog_energy_per_solve_j",
-                                    c.analog_energy_per_solve_j.into(),
-                                ),
-                                ("model_latency_s", c.model_latency_s.into()),
-                                ("cond_estimate", c.meta.cond_estimate.into()),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-        ])
-    };
+    let render_cells = render_campaign_cells;
+    let campaign_json = campaign_report_json;
 
     let mut campaigns_json = Vec::new();
 
@@ -1917,6 +1965,84 @@ fn lifetime(opts: &RunOpts) {
 
 fn banner(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// The shared per-cell text table of campaign reports — `scenarios` and
+/// `run` render through the same function, so a file-loaded campaign's
+/// output is comparable line-for-line with its in-code twin.
+fn render_campaign_cells(report: &amc_scenario::CampaignReport) -> String {
+    let mut t = TextTable::new([
+        "workload",
+        "solver",
+        "engine",
+        "nonideality",
+        "ok",
+        "median err",
+        "mean err",
+        "arrays",
+        "model lat",
+    ]);
+    for c in &report.cells {
+        t.row([
+            c.workload.clone(),
+            c.solver.clone(),
+            c.engine.to_string(),
+            c.nonideality.to_string(),
+            format!("{}/{}", c.completed, c.trials),
+            format!("{:.3e}", c.errors.median),
+            format!("{:.3e}", c.errors.mean),
+            c.program_ops.to_string(),
+            c.model_latency_s
+                .map(|t| format!("{:.1} us", t * 1e6))
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    t.render()
+}
+
+/// The shared machine-readable form of a campaign report (one entry of
+/// `BENCH_scenarios.json`'s `campaigns` array, and the whole body of
+/// `repro run`'s artifact).
+fn campaign_report_json(report: &amc_scenario::CampaignReport) -> Json {
+    Json::obj([
+        ("name", report.name.clone().into()),
+        ("trials", report.trials.into()),
+        ("rhs_per_trial", report.rhs_per_trial.into()),
+        (
+            "cells",
+            Json::Arr(
+                report
+                    .cells
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("workload", c.workload.clone().into()),
+                            ("family", c.family.into()),
+                            ("n", c.n.into()),
+                            ("solver", c.solver.clone().into()),
+                            ("engine", c.engine.into()),
+                            ("nonideality", c.nonideality.into()),
+                            ("trials", c.trials.into()),
+                            ("completed", c.completed.into()),
+                            ("err_mean", c.errors.mean.into()),
+                            ("err_median", c.errors.median.into()),
+                            ("err_max", c.errors.max.into()),
+                            ("program_ops", c.program_ops.into()),
+                            ("inv_ops", c.inv_ops.into()),
+                            ("mvm_ops", c.mvm_ops.into()),
+                            ("analog_time_per_solve_s", c.analog_time_per_solve_s.into()),
+                            (
+                                "analog_energy_per_solve_j",
+                                c.analog_energy_per_solve_j.into(),
+                            ),
+                            ("model_latency_s", c.model_latency_s.into()),
+                            ("cond_estimate", c.meta.cond_estimate.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Prints the qualitative claim check for a two-or-more-solver sweep:

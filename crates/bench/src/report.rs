@@ -1,193 +1,18 @@
-//! Shared report emission: a small JSON value model and an aligned
-//! text-table builder.
+//! Shared report emission: the workspace JSON value model (re-exported
+//! from `amc-config`) and an aligned text-table builder.
 //!
 //! Every machine-readable artifact the repro binary writes
 //! (`BENCH_parallel.json`, `BENCH_scenarios.json`, …) goes through
 //! [`Json`] instead of hand-rolled `format!` string concatenation, so
 //! escaping, nesting, and number formatting are implemented once. The
-//! vendored `serde` is a derive-marker stand-in (see `vendor/serde`), so
-//! this module is the workspace's serialization layer until a real
-//! registry is reachable.
+//! value model used to live here; it is now `amc-config`'s — the same
+//! type campaign files parse into — re-exported under its historical
+//! path so report-building code is unchanged while gaining
+//! [`Json::parse`] and the `ToConfig` / `FromConfig` machinery.
 
 use std::fmt::Write as _;
 
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A finite number (non-finite values render as `null`, which keeps
-    /// emitted files standard-compliant).
-    Num(f64),
-    /// An integer, rendered without a decimal point.
-    Int(i64),
-    /// A string (escaped on render).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; insertion order is preserved.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Builds an object from `(key, value)` pairs.
-    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Renders the value as pretty-printed JSON (2-space indent) with a
-    /// trailing newline.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.render_into(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn render_into(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            Json::Num(x) => {
-                if x.is_finite() {
-                    // `{:?}` is the shortest representation that parses
-                    // back to the same f64, and always carries a decimal
-                    // point or exponent.
-                    let _ = write!(out, "{x:?}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Int(i) => {
-                let _ = write!(out, "{i}");
-            }
-            Json::Str(s) => render_string(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (k, item) in items.iter().enumerate() {
-                    if k > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    item.render_into(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                if pairs.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (k, (key, value)) in pairs.iter().enumerate() {
-                    if k > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    render_string(out, key);
-                    out.push_str(": ");
-                    value.render_into(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn push_indent(out: &mut String, indent: usize) {
-    for _ in 0..indent {
-        out.push_str("  ");
-    }
-}
-
-fn render_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-impl From<bool> for Json {
-    fn from(v: bool) -> Json {
-        Json::Bool(v)
-    }
-}
-
-impl From<f64> for Json {
-    fn from(v: f64) -> Json {
-        Json::Num(v)
-    }
-}
-
-impl From<usize> for Json {
-    fn from(v: usize) -> Json {
-        Json::Int(v as i64)
-    }
-}
-
-impl From<i64> for Json {
-    fn from(v: i64) -> Json {
-        Json::Int(v)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(v: &str) -> Json {
-        Json::Str(v.to_string())
-    }
-}
-
-impl From<String> for Json {
-    fn from(v: String) -> Json {
-        Json::Str(v)
-    }
-}
-
-impl From<Option<f64>> for Json {
-    fn from(v: Option<f64>) -> Json {
-        v.map_or(Json::Null, Json::Num)
-    }
-}
-
-impl From<Vec<Json>> for Json {
-    fn from(v: Vec<Json>) -> Json {
-        Json::Arr(v)
-    }
-}
-
-/// Writes a rendered JSON value to `path`.
-///
-/// # Errors
-///
-/// Propagates filesystem failures.
-pub fn write_json(path: &str, value: &Json) -> std::io::Result<()> {
-    std::fs::write(path, value.render())
-}
+pub use amc_config::{write_json, Json};
 
 /// An aligned plain-text table: first column left-aligned, the rest
 /// right-aligned, widths fitted to content.

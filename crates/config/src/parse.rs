@@ -1,0 +1,325 @@
+//! The strict JSON parser behind [`Json::parse`].
+//!
+//! Recursive descent over the input bytes with strict conformance:
+//! duplicate keys, trailing garbage, over-deep nesting, malformed
+//! numbers, and broken escapes are all rejected with the 1-based
+//! line/column of the offending character.
+
+use crate::error::ParseError;
+use crate::value::Json;
+
+pub(crate) fn parse(text: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        text,
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing characters after the top-level value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        self.err_at(self.pos, message)
+    }
+
+    fn err_at(&self, pos: usize, message: impl Into<String>) -> ParseError {
+        let (line, column) = locate(self.text, pos);
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth >= Json::MAX_DEPTH {
+            return Err(self.err(format!(
+                "nesting exceeds the maximum depth of {} levels",
+                Json::MAX_DEPTH
+            )));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input, expected a value")),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => {
+                let c = self.text[self.pos..].chars().next().unwrap_or('\u{fffd}');
+                Err(self.err(format!("unexpected character {c:?}, expected a value")))
+            }
+        }
+    }
+
+    fn keyword(&mut self, word: &'static str, value: Json) -> Result<Json, ParseError> {
+        if self.text[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("invalid literal, expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.pos += 1; // '{'
+        self.skip_ws();
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key_pos = self.pos;
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string key in object"));
+            }
+            let key = self.string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(self.err_at(key_pos, format!("duplicate key {key:?} in object")));
+            }
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.pos += 1; // '['
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.text[self.pos..].chars().next() else {
+                return Err(self.err_at(start, "unterminated string"));
+            };
+            match c {
+                '"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                '\\' => {
+                    let escape_pos = self.pos;
+                    self.pos += 1;
+                    let Some(e) = self.text[self.pos..].chars().next() else {
+                        return Err(self.err_at(start, "unterminated string"));
+                    };
+                    self.pos += e.len_utf8();
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => out.push(self.unicode_escape(escape_pos)?),
+                        other => {
+                            return Err(self.err_at(
+                                escape_pos,
+                                format!("invalid escape character {other:?}"),
+                            ));
+                        }
+                    }
+                }
+                c if (c as u32) < 0x20 => {
+                    return Err(self.err("unescaped control character in string"));
+                }
+                c => {
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Decodes the payload of a `\u` escape (cursor just past the `u`),
+    /// combining surrogate pairs.
+    fn unicode_escape(&mut self, escape_pos: usize) -> Result<char, ParseError> {
+        let hi = self.hex4(escape_pos)?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: a low surrogate escape must follow.
+            if !self.text[self.pos..].starts_with("\\u") {
+                return Err(self.err_at(escape_pos, "unpaired surrogate in \\u escape"));
+            }
+            self.pos += 2;
+            let lo = self.hex4(escape_pos)?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(self.err_at(escape_pos, "invalid low surrogate in \\u escape"));
+            }
+            let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            return char::from_u32(code)
+                .ok_or_else(|| self.err_at(escape_pos, "invalid \\u escape"));
+        }
+        char::from_u32(hi)
+            .ok_or_else(|| self.err_at(escape_pos, "unpaired surrogate in \\u escape"))
+    }
+
+    fn hex4(&mut self, escape_pos: usize) -> Result<u32, ParseError> {
+        let digits = self.bytes.get(self.pos..self.pos + 4).ok_or_else(|| {
+            self.err_at(escape_pos, "\\u escape requires four hexadecimal digits")
+        })?;
+        let mut code = 0u32;
+        for &d in digits {
+            let v = (d as char).to_digit(16).ok_or_else(|| {
+                self.err_at(escape_pos, "\\u escape requires four hexadecimal digits")
+            })?;
+            code = code * 16 + v;
+        }
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone or a nonzero digit run (no leading
+        // zeros, per the JSON grammar).
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    return Err(self.err_at(start, "numbers may not have leading zeros"));
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err_at(start, "invalid number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected digits after the decimal point"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected digits in the exponent"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let literal = &self.text[start..self.pos];
+        if is_float {
+            // `str::parse::<f64>` is correctly rounded, so the
+            // emitter's shortest-round-trip text parses back exactly.
+            let x: f64 = literal
+                .parse()
+                .map_err(|_| self.err_at(start, format!("invalid number literal `{literal}`")))?;
+            if !x.is_finite() {
+                return Err(self.err_at(start, format!("number `{literal}` overflows f64")));
+            }
+            Ok(Json::Num(x))
+        } else if let Ok(i) = literal.parse::<i64>() {
+            Ok(Json::Int(i))
+        } else if let Ok(u) = literal.parse::<u64>() {
+            Ok(Json::UInt(u))
+        } else {
+            Err(self.err_at(
+                start,
+                format!("integer literal `{literal}` is out of range"),
+            ))
+        }
+    }
+}
+
+/// 1-based (line, column) of byte offset `pos`, counting columns in
+/// characters.
+fn locate(text: &str, pos: usize) -> (usize, usize) {
+    let mut line = 1;
+    let mut column = 1;
+    for (i, c) in text.char_indices() {
+        if i >= pos {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            column = 1;
+        } else {
+            column += 1;
+        }
+    }
+    (line, column)
+}

@@ -1,0 +1,163 @@
+//! The [`ToConfig`] / [`FromConfig`] traits and their impls for
+//! primitives and standard containers.
+
+use crate::error::ConfigError;
+use crate::value::Json;
+
+/// Types that can serialize themselves into a [`Json`] value.
+///
+/// Structs encode as field-name objects; enums encode externally
+/// tagged (`"Variant"` for unit variants, `{"Variant": payload}`
+/// otherwise); `Option` fields are omitted when `None`. The derive
+/// macro in the vendored `serde` facade emits impls with exactly this
+/// shape.
+pub trait ToConfig {
+    /// Serializes `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that can deserialize themselves from a [`Json`] value.
+///
+/// Decoders are strict: unknown fields, missing fields, and unknown
+/// variant tags are errors that name the offender and list the known
+/// alternatives (see [`ConfigError`]).
+pub trait FromConfig: Sized {
+    /// Deserializes a value of `Self` from `value`.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] describing the first kind mismatch, missing or
+    /// unknown field, unknown variant, or domain-validation failure,
+    /// with the path from the decode root.
+    fn from_json(value: &Json) -> Result<Self, ConfigError>;
+}
+
+impl ToConfig for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromConfig for Json {
+    fn from_json(value: &Json) -> Result<Self, ConfigError> {
+        Ok(value.clone())
+    }
+}
+
+impl ToConfig for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromConfig for bool {
+    fn from_json(value: &Json) -> Result<Self, ConfigError> {
+        match value {
+            Json::Bool(b) => Ok(*b),
+            other => Err(ConfigError::mismatch("a bool", other)),
+        }
+    }
+}
+
+impl ToConfig for f64 {
+    fn to_json(&self) -> Json {
+        Json::num(*self)
+    }
+}
+
+impl FromConfig for f64 {
+    fn from_json(value: &Json) -> Result<Self, ConfigError> {
+        match value {
+            Json::Num(x) => Ok(*x),
+            Json::Int(i) => Ok(*i as f64),
+            Json::UInt(u) => Ok(*u as f64),
+            other => Err(ConfigError::mismatch("a number", other)),
+        }
+    }
+}
+
+impl ToConfig for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromConfig for String {
+    fn from_json(value: &Json) -> Result<Self, ConfigError> {
+        match value {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(ConfigError::mismatch("a string", other)),
+        }
+    }
+}
+
+fn integer_from_json(value: &Json, expected: &'static str) -> Result<i128, ConfigError> {
+    match value {
+        Json::Int(i) => Ok(i128::from(*i)),
+        Json::UInt(u) => Ok(i128::from(*u)),
+        other => Err(ConfigError::mismatch(expected, other)),
+    }
+}
+
+macro_rules! impl_integer {
+    ($($t:ty),* $(,)?) => {$(
+        impl ToConfig for $t {
+            fn to_json(&self) -> Json {
+                match i64::try_from(*self) {
+                    Ok(i) => Json::Int(i),
+                    // Only reachable for u64/usize values above
+                    // i64::MAX, which the cast preserves.
+                    Err(_) => Json::UInt(*self as u64),
+                }
+            }
+        }
+
+        impl FromConfig for $t {
+            fn from_json(value: &Json) -> Result<Self, ConfigError> {
+                let wide = integer_from_json(value, concat!("an integer (", stringify!($t), ")"))?;
+                <$t>::try_from(wide).map_err(|_| {
+                    ConfigError::invalid(format!(
+                        "integer {wide} is out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_integer!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToConfig> ToConfig for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToConfig::to_json).collect())
+    }
+}
+
+impl<T: FromConfig> FromConfig for Vec<T> {
+    fn from_json(value: &Json) -> Result<Self, ConfigError> {
+        let Json::Arr(items) = value else {
+            return Err(ConfigError::mismatch("an array", value));
+        };
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json(item).map_err(|e| e.at_index(i)))
+            .collect()
+    }
+}
+
+impl<T: ToConfig> ToConfig for Option<T> {
+    fn to_json(&self) -> Json {
+        self.as_ref().map_or(Json::Null, ToConfig::to_json)
+    }
+}
+
+impl<T: FromConfig> FromConfig for Option<T> {
+    fn from_json(value: &Json) -> Result<Self, ConfigError> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}

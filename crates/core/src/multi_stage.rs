@@ -71,6 +71,7 @@ pub(crate) enum StageIo {
 /// root cascade is level 0, its `A1`/`A4s` sub-solvers are level 1, and
 /// so on. Levels beyond the plan run [`LevelIo::Pure`].
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LevelIo {
     /// Ideal analog recursion: no converters, no hops (the default for
     /// levels a plan does not mention).
@@ -126,6 +127,7 @@ impl LevelIo {
 /// bus-connected architecture is `[Bus, Macro]` — see
 /// [`SignalPlan::paper`].
 #[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SignalPlan {
     levels: Vec<LevelIo>,
 }
@@ -681,6 +683,7 @@ pub struct PartitionPlan {
 
 /// Split-index selection rule of a [`PartitionPlan`].
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SplitRule {
     /// The paper's default `⌈n/2⌉` everywhere.
     Halves,

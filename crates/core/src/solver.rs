@@ -38,6 +38,7 @@ pub use crate::split_search::SplitSearchOptions;
 
 /// Solver architecture selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Stages {
     /// Single full-size INV circuit (the paper's "original AMC" baseline).
     Original,
@@ -188,6 +189,45 @@ impl SolverConfig {
             Stages::Multi(d) => PartitionPlan::depth(d),
         };
         base.with_split_rule(self.split)
+    }
+}
+
+/// Encodes as a four-field object: `stages`, `signal_plan`,
+/// `split_rule`, `capture_trace`.
+#[cfg(feature = "serde")]
+impl serde::ToConfig for SolverConfig {
+    fn to_json(&self) -> serde::Json {
+        serde::Json::obj([
+            ("stages", serde::ToConfig::to_json(&self.stages)),
+            ("signal_plan", serde::ToConfig::to_json(&self.signal)),
+            ("split_rule", serde::ToConfig::to_json(&self.split)),
+            (
+                "capture_trace",
+                serde::ToConfig::to_json(&self.capture_trace),
+            ),
+        ])
+    }
+}
+
+/// Decodes by routing the four fields back through
+/// [`SolverConfig::builder`], so a file-loaded configuration passes
+/// exactly the validation an in-code one does — the same contract as
+/// the `amc-serve` wire codec.
+#[cfg(feature = "serde")]
+impl serde::FromConfig for SolverConfig {
+    fn from_json(value: &serde::Json) -> std::result::Result<Self, serde::ConfigError> {
+        let record = serde::decode::fields(
+            value,
+            "SolverConfig",
+            &["stages", "signal_plan", "split_rule", "capture_trace"],
+        )?;
+        SolverConfig::builder()
+            .stages(record.required("stages")?)
+            .signal_plan(record.required("signal_plan")?)
+            .split_rule(record.required("split_rule")?)
+            .capture_trace(record.required("capture_trace")?)
+            .finish()
+            .map_err(|e| serde::ConfigError::invalid(e.to_string()))
     }
 }
 
@@ -1143,6 +1183,56 @@ mod tests {
             .io(io)
             .finish()
             .is_ok());
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn solver_config_round_trips_through_json() {
+        use serde::{FromConfig, ToConfig};
+        let io = IoConfig::default_8bit();
+        let configs = [
+            SolverConfig::builder().finish().unwrap(),
+            SolverConfig::builder()
+                .stages(Stages::Two)
+                .io(io)
+                .split_rule(SplitRule::Searched(SplitSearchOptions {
+                    imbalance_weight: 0.25,
+                }))
+                .capture_trace(false)
+                .finish()
+                .unwrap(),
+            SolverConfig::builder()
+                .stages(Stages::Multi(3))
+                .signal_plan(SignalPlan::uniform_bus(2, io))
+                .finish()
+                .unwrap(),
+        ];
+        for config in configs {
+            let json = config.to_json();
+            let text = json.render();
+            let back = SolverConfig::from_json(&serde::Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, config);
+        }
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn solver_config_decode_revalidates_through_the_builder() {
+        use serde::{FromConfig, ToConfig};
+        // A structurally valid file describing a nonsensical solver must
+        // fail decode with the builder's validation message.
+        let mut json = SolverConfig::builder().finish().unwrap().to_json();
+        let serde::Json::Obj(pairs) = &mut json else {
+            panic!()
+        };
+        pairs[0].1 = serde::Json::tagged("Multi", serde::Json::Int(0));
+        let err = SolverConfig::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("Multi(0)"), "{err}");
+        // Misspelled fields name the offender and the known set.
+        let bad = serde::Json::obj([("stagez", serde::Json::Str("One".into()))]);
+        let err = SolverConfig::from_json(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("stagez") && msg.contains("stages"), "{msg}");
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub struct SplitScore {
 
 /// Options controlling the search.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SplitSearchOptions {
     /// Weight of the size-imbalance penalty: a split far from `n/2` makes
     /// the larger block nearly as big as `A` itself, eroding BlockAMC's

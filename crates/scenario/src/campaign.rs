@@ -231,6 +231,21 @@ impl Campaign {
         self.trials
     }
 
+    /// Right-hand sides drawn per trial.
+    pub fn rhs_per_trial(&self) -> usize {
+        self.rhs_per_trial
+    }
+
+    /// Worker count trials are sharded over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The campaign's base seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Number of cells (`workloads × solvers × ladder`).
     pub fn cell_count(&self) -> usize {
         self.workloads.len() * self.solvers.len() * self.ladder.len()

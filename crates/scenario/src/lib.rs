@@ -30,6 +30,12 @@
 //!   the engine ladder comparing every shipped backend (plus the
 //!   registered `amc-engine-simd` backend, run purely by name), and
 //!   the large-`n` simd scaling campaign.
+//! * [`spec`] — campaigns as *files*: [`CampaignSpec`] is the pure-data
+//!   mirror of a built [`Campaign`] (serialized with `amc-config`'s
+//!   strict JSON), [`CampaignFile`] pairs a `quick` and a `full`
+//!   variant, and [`CampaignSpec::lower`] rebuilds the runnable
+//!   campaign through [`Campaign::builder`] — file-loaded studies are
+//!   bit-identical to their in-code twins at any worker count.
 //!
 //! # Example
 //!
@@ -66,6 +72,7 @@ pub mod campaign;
 pub mod campaigns;
 mod error;
 pub mod lifetime;
+pub mod spec;
 pub mod workload;
 
 pub use campaign::{Campaign, CampaignReport, CellRecord, EngineSel, Nonideality, SolverCell};
@@ -74,6 +81,7 @@ pub use lifetime::{
     run_lifetime_worker_sweep, LifetimeCampaign, LifetimeCellRecord, LifetimeReport,
     LifetimeSummary, PolicyCell, RepairPolicy,
 };
+pub use spec::{CampaignFile, CampaignSpec, EngineSelSpec, RungSpec, SolverSpec};
 pub use workload::{WorkloadFamily, WorkloadInstance, WorkloadMeta, WorkloadSpec};
 
 /// Convenient result alias used across the crate.

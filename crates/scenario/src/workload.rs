@@ -23,7 +23,7 @@ use rand_chacha::ChaCha8Rng;
 use crate::{Result, ScenarioError};
 
 /// A matrix family the registry can draw instances from.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum WorkloadFamily {
     /// Wishart `A = XᵀX/m`, `m = 4n` — the paper's benchmark family,
     /// well-conditioned (κ ≈ 9) at every size.
@@ -94,7 +94,7 @@ impl WorkloadFamily {
 }
 
 /// A declarative workload: family × size × seed, plus a display name.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct WorkloadSpec {
     /// Display name used in reports (unique within a campaign).
     pub name: String,

@@ -1,36 +1,22 @@
-//! Minimal offline facade for `serde`.
+//! Offline facade for `serde`, backed by the workspace's `amc-config`
+//! subsystem.
 //!
-//! The workspace's `serde` features only *derive* `Serialize` /
-//! `Deserialize` on plain data types; nothing in-tree serializes
-//! through a format crate yet. This facade therefore ships the two
-//! traits as markers plus derive macros emitting marker impls, which
-//! keeps every `#[cfg_attr(feature = "serde", …)]` compiling offline.
-//! When a real serializer is needed, replace this vendored crate with
-//! upstream serde — the attribute surface is identical.
+//! The facade used to ship marker traits only; it now re-exports the
+//! real serialization machinery so every
+//! `#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]` in
+//! the tree emits functional [`ToConfig`] / [`FromConfig`] impls:
+//! structs encode as field-name objects, enums encode externally
+//! tagged, and `Option` fields are omitted when `None`. See
+//! `amc-config`'s crate docs for the on-disk format.
+//!
+//! Like upstream serde, the `Serialize` / `Deserialize` names resolve
+//! to the derive macros in the macro namespace and to the traits
+//! (aliases of [`ToConfig`] / [`FromConfig`]) in the type namespace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use amc_config::decode;
+pub use amc_config::{ConfigError, FromConfig, Json, ParseError, ToConfig};
+pub use amc_config::{FromConfig as Deserialize, ToConfig as Serialize};
 pub use serde_derive::{Deserialize, Serialize};
-
-/// Marker for types that can be serialized.
-pub trait Serialize {}
-
-/// Marker for types that can be deserialized.
-pub trait Deserialize<'de>: Sized {}
-
-macro_rules! impl_primitives {
-    ($($t:ty),*) => {$(
-        impl Serialize for $t {}
-        impl<'de> Deserialize<'de> for $t {}
-    )*};
-}
-
-impl_primitives!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String);
-
-impl<T: Serialize> Serialize for Vec<T> {}
-impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
-impl<T: Serialize> Serialize for Option<T> {}
-impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
-impl<T: Serialize, const N: usize> Serialize for [T; N] {}
-impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}

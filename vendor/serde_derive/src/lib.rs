@@ -1,45 +1,411 @@
-//! Derive macros for the offline `serde` facade: they emit marker-trait
-//! impls (`impl serde::Serialize for T {}`), which is all the facade's
-//! traits require.
+//! Derive macros for the offline `serde` facade: they emit real
+//! `ToConfig` / `FromConfig` impls (re-exported by the facade from
+//! `amc-config`), so every `#[derive(Serialize, Deserialize)]` in the
+//! workspace becomes functional JSON (de)serialization.
 //!
-//! Implemented without `syn`: the macro scans the item's tokens for the
-//! type name following the `struct` / `enum` keyword. Generic types are
-//! not supported (none of the workspace's serde-derived types are
-//! generic).
+//! Encoding shape (matching upstream serde's defaults):
+//!
+//! - structs → objects keyed by field name, in declaration order;
+//! - enums → externally tagged: `"Variant"` for unit variants,
+//!   `{"Variant": payload}` for newtype and struct variants;
+//! - `Option<T>` fields → omitted when `None`, absent-or-`null`
+//!   decodes as `None`.
+//!
+//! Implemented without `syn`: a small token scanner extracts the item
+//! shape. Supported: non-generic structs with named fields, and
+//! non-generic enums with unit, single-field tuple (newtype), and
+//! struct variants — the full shape inventory of the workspace's
+//! serde-derived types. Anything else panics at expansion time with a
+//! clear message.
 
 #![warn(missing_docs)]
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-fn type_name(input: TokenStream) -> String {
-    let mut tokens = input.into_iter();
-    while let Some(token) = tokens.next() {
-        if let TokenTree::Ident(ident) = &token {
-            let word = ident.to_string();
-            if word == "struct" || word == "enum" {
-                if let Some(TokenTree::Ident(name)) = tokens.next() {
-                    return name.to_string();
-                }
+struct Field {
+    name: String,
+    /// Whether the field's type is `Option<…>` (omitted-or-value).
+    optional: bool,
+}
+
+enum Variant {
+    Unit(String),
+    Newtype(String),
+    Struct(String, Vec<Field>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consumes a leading attribute (`#[…]`) if present.
+fn skip_attribute(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    match tokens.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+            tokens.next();
+            // Outer attribute: a bracketed group follows.
+            match tokens.next() {
+                Some(TokenTree::Group(_)) => true,
+                other => panic!("serde derive: malformed attribute near {other:?}"),
             }
         }
+        _ => false,
     }
-    panic!("serde facade derives support only non-generic structs and enums");
 }
 
-/// Derives the facade's marker `Serialize`.
+/// Consumes a leading visibility qualifier (`pub`, `pub(crate)`, …) if
+/// present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+/// Parses the named fields inside a brace group: `a: T, pub b: Option<U>`.
+fn parse_fields(stream: TokenStream, context: &str) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        while skip_attribute(&mut tokens) {}
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            Some(other) => panic!("serde derive: expected field name in {context}, found {other}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde derive: expected ':' after field `{name}` in {context}, found {other:?}"
+            ),
+        }
+        // Consume the type up to a comma at angle-bracket depth 0,
+        // noting whether it is an `Option<…>`.
+        let mut optional = false;
+        let mut first_type_token = true;
+        let mut angle_depth = 0usize;
+        for token in tokens.by_ref() {
+            match &token {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Ident(ident) if first_type_token => {
+                    optional = ident.to_string() == "Option";
+                }
+                _ => {}
+            }
+            first_type_token = false;
+        }
+        fields.push(Field { name, optional });
+    }
+    fields
+}
+
+/// Parses the variants inside an enum's brace group.
+fn parse_variants(stream: TokenStream, context: &str) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while skip_attribute(&mut tokens) {}
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            Some(other) => {
+                panic!("serde derive: expected variant name in {context}, found {other}")
+            }
+        };
+        match tokens.next() {
+            None => {
+                variants.push(Variant::Unit(name));
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant::Unit(name));
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                // Count top-level commas to distinguish newtype from
+                // multi-field tuple variants.
+                let mut angle_depth = 0usize;
+                let mut element_count = 1usize;
+                let mut empty = true;
+                for token in group.stream() {
+                    empty = false;
+                    match &token {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => {
+                            angle_depth = angle_depth.saturating_sub(1);
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            element_count += 1;
+                        }
+                        _ => {}
+                    }
+                }
+                assert!(
+                    !empty && element_count == 1,
+                    "serde derive: variant `{name}` in {context}: only single-field tuple \
+                     (newtype) variants are supported"
+                );
+                variants.push(Variant::Newtype(name));
+                if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    tokens.next();
+                }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(group.stream(), context);
+                variants.push(Variant::Struct(name, fields));
+                if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    tokens.next();
+                }
+            }
+            Some(other) => panic!(
+                "serde derive: unsupported token {other} after variant `{name}` in {context} \
+                 (discriminants are not supported)"
+            ),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        while skip_attribute(&mut tokens) {}
+        skip_visibility(&mut tokens);
+        match tokens.next() {
+            None => panic!("serde derive: no struct or enum found in derive input"),
+            Some(TokenTree::Ident(ident)) => {
+                let keyword = ident.to_string();
+                if keyword != "struct" && keyword != "enum" {
+                    continue;
+                }
+                let Some(TokenTree::Ident(name)) = tokens.next() else {
+                    panic!("serde derive: expected a type name after `{keyword}`");
+                };
+                let name = name.to_string();
+                match tokens.next() {
+                    Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                        return if keyword == "struct" {
+                            Item::Struct {
+                                fields: parse_fields(group.stream(), &name),
+                                name,
+                            }
+                        } else {
+                            Item::Enum {
+                                variants: parse_variants(group.stream(), &name),
+                                name,
+                            }
+                        };
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("serde derive: generic type `{name}` is not supported")
+                    }
+                    _ => panic!(
+                        "serde derive: `{name}` must be a struct with named fields or an enum \
+                         (tuple and unit structs are not supported)"
+                    ),
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Emits the statements building a `(String, Json)` field list from the
+/// given accessor prefix (`&self.` for structs, `` for bound variant
+/// fields), honoring `Option` omission.
+fn encode_fields(out: &mut String, fields: &[Field], accessor: &dyn Fn(&str) -> String) {
+    out.push_str(
+        "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Json)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for field in fields {
+        let access = accessor(&field.name);
+        if field.optional {
+            out.push_str(&format!(
+                "if let ::std::option::Option::Some(inner) = {access} {{\n\
+                 fields.push((::std::string::String::from(\"{0}\"), \
+                 ::serde::ToConfig::to_json(inner)));\n}}\n",
+                field.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "fields.push((::std::string::String::from(\"{0}\"), \
+                 ::serde::ToConfig::to_json({access})));\n",
+                field.name
+            ));
+        }
+    }
+}
+
+fn known_list(names: impl IntoIterator<Item = String>) -> String {
+    let quoted: Vec<String> = names.into_iter().map(|n| format!("\"{n}\"")).collect();
+    format!("&[{}]", quoted.join(", "))
+}
+
+fn decode_field_inits(fields: &[Field], map_err: &str) -> String {
+    let mut out = String::new();
+    for field in fields {
+        let method = if field.optional {
+            "optional"
+        } else {
+            "required"
+        };
+        out.push_str(&format!(
+            "{0}: record.{method}(\"{0}\"){map_err}?,\n",
+            field.name
+        ));
+    }
+    out
+}
+
+fn generate_to_config(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = if fields.is_empty() {
+                "::serde::Json::Obj(::std::vec::Vec::new())".to_string()
+            } else {
+                let mut body = String::new();
+                encode_fields(&mut body, fields, &|f| format!("&self.{f}"));
+                body.push_str("::serde::Json::Obj(fields)");
+                body
+            };
+            format!(
+                "impl ::serde::ToConfig for {name} {{\n\
+                 fn to_json(&self) -> ::serde::Json {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for variant in variants {
+                match variant {
+                    Variant::Unit(tag) => arms.push_str(&format!(
+                        "{name}::{tag} => \
+                         ::serde::Json::Str(::std::string::String::from(\"{tag}\")),\n"
+                    )),
+                    Variant::Newtype(tag) => arms.push_str(&format!(
+                        "{name}::{tag}(value) => \
+                         ::serde::Json::tagged(\"{tag}\", ::serde::ToConfig::to_json(value)),\n"
+                    )),
+                    Variant::Struct(tag, fields) => {
+                        let bindings = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut body = String::new();
+                        encode_fields(&mut body, fields, &|f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{tag} {{ {bindings} }} => {{\n{body}\
+                             ::serde::Json::tagged(\"{tag}\", ::serde::Json::Obj(fields))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::ToConfig for {name} {{\n\
+                 fn to_json(&self) -> ::serde::Json {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn generate_from_config(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let known = known_list(fields.iter().map(|f| f.name.clone()));
+            let inits = decode_field_inits(fields, "");
+            format!(
+                "impl ::serde::FromConfig for {name} {{\n\
+                 fn from_json(value: &::serde::Json) \
+                 -> ::std::result::Result<Self, ::serde::ConfigError> {{\n\
+                 let record = ::serde::decode::fields(value, \"{name}\", {known})?;\n\
+                 let _ = &record;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for variant in variants {
+                match variant {
+                    Variant::Unit(tag) => arms.push_str(&format!(
+                        "\"{tag}\" => {{\n\
+                         ::serde::decode::expect_unit(payload, \"{name}\", \"{tag}\")?;\n\
+                         ::std::result::Result::Ok({name}::{tag})\n}}\n"
+                    )),
+                    Variant::Newtype(tag) => arms.push_str(&format!(
+                        "\"{tag}\" => {{\n\
+                         let payload = \
+                         ::serde::decode::expect_payload(payload, \"{name}\", \"{tag}\")?;\n\
+                         ::std::result::Result::Ok({name}::{tag}(\
+                         ::serde::FromConfig::from_json(payload)\
+                         .map_err(|e| e.at(\"{tag}\"))?))\n}}\n"
+                    )),
+                    Variant::Struct(tag, fields) => {
+                        let known = known_list(fields.iter().map(|f| f.name.clone()));
+                        let map_err = format!(".map_err(|e| e.at(\"{tag}\"))");
+                        let inits = decode_field_inits(fields, &map_err);
+                        arms.push_str(&format!(
+                            "\"{tag}\" => {{\n\
+                             let payload = \
+                             ::serde::decode::expect_payload(payload, \"{name}\", \"{tag}\")?;\n\
+                             let record = ::serde::decode::fields(\
+                             payload, \"{name}::{tag}\", {known}){map_err}?;\n\
+                             let _ = &record;\n\
+                             ::std::result::Result::Ok({name}::{tag} {{\n{inits}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            let known = known_list(variants.iter().map(|v| match v {
+                Variant::Unit(tag) | Variant::Newtype(tag) | Variant::Struct(tag, _) => tag.clone(),
+            }));
+            format!(
+                "impl ::serde::FromConfig for {name} {{\n\
+                 fn from_json(value: &::serde::Json) \
+                 -> ::std::result::Result<Self, ::serde::ConfigError> {{\n\
+                 let (tag, payload) = ::serde::decode::variant(value, \"{name}\")?;\n\
+                 match tag {{\n{arms}\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::decode::unknown_variant(\"{name}\", tag, {known})),\n}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (an alias of `amc_config::ToConfig`):
+/// structs encode as field-name objects, enums externally tagged,
+/// `Option` fields omitted when `None`.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let name = type_name(input);
-    format!("impl ::serde::Serialize for {name} {{}}")
+    let item = parse_item(input);
+    generate_to_config(&item)
         .parse()
-        .expect("generated impl parses")
+        .expect("generated ToConfig impl parses")
 }
 
-/// Derives the facade's marker `Deserialize`.
+/// Derives `serde::Deserialize` (an alias of `amc_config::FromConfig`):
+/// strict decoding that rejects unknown fields and unknown variant
+/// tags, listing the known alternatives.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let name = type_name(input);
-    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    let item = parse_item(input);
+    generate_from_config(&item)
         .parse()
-        .expect("generated impl parses")
+        .expect("generated FromConfig impl parses")
 }
